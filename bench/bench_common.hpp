@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace lcr::bench {
+
+/// Environment override helpers so every bench can be scaled up/down:
+///   LCR_BENCH_SCALE  - log2 graph size (default per bench)
+///   LCR_BENCH_HOSTS  - max simulated hosts (default per bench)
+///   LCR_BENCH_PR_ITERS - pagerank iterations
+inline unsigned env_scale(unsigned dflt) {
+  if (const char* s = std::getenv("LCR_BENCH_SCALE"))
+    return static_cast<unsigned>(std::atoi(s));
+  return dflt;
+}
+
+inline int env_hosts(int dflt) {
+  if (const char* s = std::getenv("LCR_BENCH_HOSTS")) return std::atoi(s);
+  return dflt;
+}
+
+inline std::uint32_t env_pr_iters(std::uint32_t dflt) {
+  if (const char* s = std::getenv("LCR_BENCH_PR_ITERS"))
+    return static_cast<std::uint32_t>(std::atoi(s));
+  return dflt;
+}
+
+}  // namespace lcr::bench

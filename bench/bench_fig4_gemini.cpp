@@ -1,0 +1,87 @@
+// Figure 4: Gemini total execution time with LCI vs MPI-Probe runtimes.
+//
+// Paper shape: on kron30 and rmat28, where communication dominates, LCI
+// clearly wins; across all apps at the largest host count the geomean
+// communication speedup is ~2x, yielding ~1.64x execution-time speedup.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/cluster_configs.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+using namespace lcr;
+
+int main() {
+  // Scale 11 default: at smaller scales the per-round traffic is too small
+  // for the runtimes to differentiate above scheduler noise (EXPERIMENTS.md).
+  const unsigned scale = bench::env_scale(11);
+  const int max_hosts = bench::env_hosts(8);
+  const std::uint32_t pr_iters = bench::env_pr_iters(6);
+
+  std::printf("=== Figure 4: Gemini exec time - LCI vs MPI-Probe "
+              "(THREAD_MULTIPLE) ===\n");
+  std::printf("(graphs at scale %u, blocked edge-cut, stampede2-like "
+              "fabric)\n\n", scale);
+
+  const bench::ClusterProfile profile = bench::stampede2_like();
+  std::vector<double> exec_speedups, comm_speedups;
+
+  for (const char* gname : {"kron", "rmat"}) {
+    graph::GenOptions opt;
+    opt.make_weights = true;
+    graph::Csr base = graph::by_name(gname, scale, opt);
+    graph::Csr sym = graph::symmetrize(base);
+
+    for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
+      const graph::Csr& g = std::string(app) == "cc" ? sym : base;
+      bench::Table table({"hosts", "lci(s)", "mpi(s)", "lci-comm(s)",
+                          "mpi-comm(s)", "exec speedup", "comm speedup"});
+      for (int hosts = 2; hosts <= max_hosts; hosts *= 2) {
+        bench::RunSpec spec;
+        spec.app = app;
+        spec.engine = "gemini";
+        spec.hosts = hosts;
+        spec.threads = profile.compute_threads;
+        spec.source = bench::choose_source(g);
+        spec.pagerank_iters = pr_iters;
+        spec.fabric = profile.fabric;
+        // The paper's Gemini streams one signal per frontier out-edge; the
+        // dense per-destination aggregation is this repo's extension and is
+        // benchmarked separately in bench_ablation.
+        spec.gemini_dense_threshold = 2.0;
+        // Small per-thread batches reproduce the many-small-messages regime
+        // that differentiates the runtimes at the paper's scale.
+        spec.gemini_batch_bytes = 1024;
+
+        spec.backend = comm::BackendKind::Lci;
+        const bench::RunResult lci = bench::run_app(g, spec);
+        spec.backend = comm::BackendKind::MpiProbe;
+        const bench::RunResult mpi = bench::run_app(g, spec);
+
+        table.add_row(
+            {std::to_string(hosts), bench::fmt_seconds(lci.total_s),
+             bench::fmt_seconds(mpi.total_s), bench::fmt_seconds(lci.comm_s),
+             bench::fmt_seconds(mpi.comm_s),
+             bench::fmt_ratio(mpi.total_s / lci.total_s),
+             bench::fmt_ratio(mpi.comm_s / std::max(lci.comm_s, 1e-9))});
+        if (hosts == max_hosts) {
+          exec_speedups.push_back(mpi.total_s / lci.total_s);
+          comm_speedups.push_back(mpi.comm_s / std::max(lci.comm_s, 1e-9));
+        }
+      }
+      std::printf("--- %s / %s ---\n", gname, app);
+      table.print(std::cout);
+      std::printf("\n");
+    }
+  }
+
+  std::printf("geomean at %d hosts: comm speedup %.2fx (paper: 2x), exec "
+              "speedup %.2fx (paper: 1.64x)\n",
+              max_hosts, bench::geomean(comm_speedups),
+              bench::geomean(exec_speedups));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6: breakdown of execution time into computation and non-overlapped
+// communication, kron graph at the maximum host count, per backend.
+//
+// Paper shape: the computation component is essentially identical across
+// communication layers; "the changes in performance come from the
+// communication component", where LCI is best or comparable to MPI-RMA and
+// MPI-Probe is worst.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/cluster_configs.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+using namespace lcr;
+
+int main() {
+  const unsigned scale = bench::env_scale(10);
+  const int hosts = bench::env_hosts(8);
+  const std::uint32_t pr_iters = bench::env_pr_iters(8);
+
+  std::printf("=== Figure 6: compute vs non-overlapped communication, kron "
+              "at %d hosts ===\n\n", hosts);
+
+  const bench::ClusterProfile profile = bench::stampede2_like();
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr base = graph::kron(scale, 16.0, opt);
+  graph::Csr sym = graph::symmetrize(base);
+
+  bench::Table table({"app", "backend", "compute(s)", "comm(s)", "total(s)",
+                      "comm %"});
+  for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
+    const graph::Csr& g = std::string(app) == "cc" ? sym : base;
+    for (auto kind : {comm::BackendKind::Lci, comm::BackendKind::MpiProbe,
+                      comm::BackendKind::MpiRma}) {
+      bench::RunSpec spec;
+      spec.app = app;
+      spec.backend = kind;
+      spec.hosts = hosts;
+      spec.threads = profile.compute_threads;
+      spec.source = bench::choose_source(g);
+      spec.pagerank_iters = pr_iters;
+      spec.fabric = profile.fabric;
+      const bench::RunResult r = bench::run_app(g, spec);
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.0f%%",
+                    100.0 * r.comm_s / std::max(r.total_s, 1e-9));
+      table.add_row({app, comm::to_string(kind),
+                     bench::fmt_seconds(r.compute_s),
+                     bench::fmt_seconds(r.comm_s),
+                     bench::fmt_seconds(r.total_s), pct});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nshape to check: compute(s) roughly equal across backends "
+              "per app; differences live in comm(s).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// The three LCI interface styles on one ping-pong + streaming workload:
+//
+//   queue     - SEND-ENQ / RECV-DEQ, first-packet policy (the interface the
+//               paper builds Abelian on: no matching at all),
+//   two-sided - exact-(src, tag) hash matching, zero-copy rendezvous into
+//               the posted buffer (no wildcards -> O(1) matching),
+//   one-sided - put-with-signal into a pre-exposed buffer (no per-message
+//               receive path at all).
+//
+// Expected shape: the pre-arranged interfaces (posted two-sided, exposed
+// one-sided) are faster on a KNOWN pattern; the queue is the only one that
+// handles an irregular pattern (senders/tags/sizes unknown), which is
+// exactly Abelian's situation - the reason the paper presents Queue.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_support/table.hpp"
+#include "fabric/fabric.hpp"
+#include "lci/completion.hpp"
+#include "lci/one_sided.hpp"
+#include "lci/queue.hpp"
+#include "lci/two_sided.hpp"
+#include "runtime/timer.hpp"
+
+using namespace lcr;
+
+namespace {
+
+constexpr int kMessages = 30000;
+constexpr std::size_t kSize = 64;
+
+fabric::FabricConfig quiet() {
+  fabric::FabricConfig cfg = fabric::omnipath_knl_config();
+  cfg.wire_latency = std::chrono::nanoseconds(0);
+  cfg.bandwidth_Bps = 0;
+  return cfg;
+}
+
+double queue_rate() {
+  fabric::Fabric fab(2, quiet());
+  lci::Queue q0(fab, 0, {}), q1(fab, 1, {});
+  std::vector<char> payload(kSize, 'a');
+  int sent = 0, received = 0;
+  std::vector<std::unique_ptr<lci::Request>> live;
+  rt::Timer timer;
+  while (received < kMessages) {
+    for (int b = 0; b < 16 && sent < kMessages; ++b) {
+      auto req = std::make_unique<lci::Request>();
+      if (!q0.send_enq(payload.data(), kSize, 1,
+                       static_cast<std::uint32_t>(sent), *req))
+        break;
+      ++sent;
+      live.push_back(std::move(req));
+    }
+    q1.progress();
+    lci::Request in;
+    while (q1.recv_deq(in)) {
+      q1.release(in);
+      ++received;
+    }
+    q0.progress();
+  }
+  return kMessages / timer.elapsed_s();
+}
+
+double two_sided_rate() {
+  fabric::Fabric fab(2, quiet());
+  lci::TwoSided t0(fab, 0), t1(fab, 1);
+  std::vector<char> payload(kSize, 'a');
+  std::vector<char> in(kSize);
+  int done = 0;
+  rt::Timer timer;
+  // Pre-arranged tags: receiver posts, sender matches; window of 1 posted
+  // recv per tag key keeps the table small and honest.
+  while (done < kMessages) {
+    lci::Request rreq, sreq;
+    t1.recv(in.data(), kSize, 0, static_cast<std::uint32_t>(done & 0xFF),
+            rreq);
+    while (!t0.send(payload.data(), kSize, 1,
+                    static_cast<std::uint32_t>(done & 0xFF), sreq)) {
+      t0.progress();
+      t1.progress();
+    }
+    while (!rreq.done()) {
+      t1.progress();
+      t0.progress();
+    }
+    ++done;
+  }
+  return kMessages / timer.elapsed_s();
+}
+
+double one_sided_rate() {
+  fabric::Fabric fab(2, quiet());
+  lci::OneSided o0(fab, 0), o1(fab, 1);
+  std::vector<char> region(kSize * 64);
+  const lci::RemoteBuffer rb = o1.expose(region.data(), region.size());
+  lci::CompletionCounter arrived;
+  o1.register_signal(1, &arrived);
+  std::vector<char> payload(kSize, 'a');
+  arrived.expect(kMessages);
+  int sent = 0;
+  rt::Timer timer;
+  while (!arrived.complete()) {
+    for (int b = 0; b < 16 && sent < kMessages; ++b) {
+      if (!o0.put_signal(rb, (static_cast<std::size_t>(sent) % 64) * kSize,
+                         payload.data(), kSize, 1))
+        break;
+      ++sent;
+    }
+    o1.progress();
+  }
+  const double rate = kMessages / timer.elapsed_s();
+  o1.deregister_signal(1);
+  o1.unexpose(rb);
+  return rate;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== LCI interface styles: %d x %zuB transfers ===\n\n",
+              kMessages, kSize);
+  const double q = queue_rate();
+  const double t = two_sided_rate();
+  const double o = one_sided_rate();
+  bench::Table table({"interface", "msgs/s", "vs queue"});
+  table.add_row({"queue (first-packet)",
+                 std::to_string(static_cast<long long>(q)), "1.00x"});
+  table.add_row({"two-sided (hash match, ping-pong posted)",
+                 std::to_string(static_cast<long long>(t)),
+                 bench::fmt_ratio(t / q)});
+  table.add_row({"one-sided (put+signal)",
+                 std::to_string(static_cast<long long>(o)),
+                 bench::fmt_ratio(o / q)});
+  table.print(std::cout);
+  std::printf(
+      "\nshape to check: the pre-arranged interfaces (two-sided with posted "
+      "receives,\none-sided into exposed buffers) beat the queue on this "
+      "KNOWN pattern - and the\nqueue is the only one usable when senders/"
+      "sizes/tags are unknown, which is\nAbelian's irregular situation "
+      "(Section III-A).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table I: inputs and their key properties.
+//
+// The paper's inputs are clueweb12 (|V|=978M, E/V~16, extreme max
+// in-degree), kron30 (|V|=1073M, E/V~32) and rmat28 (E/V~16). We generate
+// scaled-down graphs with the same degree-distribution signatures (see
+// DESIGN.md substitution table) and print their Table-I row set.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+using namespace lcr;
+
+int main() {
+  const unsigned scale = bench::env_scale(13);
+  std::printf("=== Table I: inputs and their key properties ===\n");
+  std::printf("(scaled-down analogues at scale %u; paper originals in "
+              "parentheses)\n\n", scale);
+
+  struct Input {
+    const char* name;
+    const char* analogue;
+    graph::Csr g;
+  };
+  const Input inputs[] = {
+      {"web", "clueweb12: |V|=978M E/V~16, max-Din >> max-Dout",
+       graph::web(scale, 16.0)},
+      {"kron", "kron30: |V|=1073M E/V~32", graph::kron(scale, 32.0)},
+      {"rmat", "rmat28: |V|=268M E/V~16", graph::rmat(scale, 16.0)},
+  };
+
+  bench::Table table({"graph", "|V|", "|E|", "|E|/|V|", "max Dout",
+                      "max Din"});
+  for (const Input& in : inputs) {
+    const graph::GraphStats s = graph::compute_stats(in.g);
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.1f", s.avg_degree);
+    table.add_row({in.name, std::to_string(s.num_nodes),
+                   std::to_string(s.num_edges), avg,
+                   std::to_string(s.max_out_degree),
+                   std::to_string(s.max_in_degree)});
+  }
+  table.print(std::cout);
+  std::printf("\nsignatures to check: web has max-Din >> max-Dout "
+              "(clueweb12); kron has ~2x the E/V of rmat.\n");
+  for (const Input& in : inputs)
+    std::printf("  %s <- %s\n", in.name, in.analogue);
+  return 0;
+}

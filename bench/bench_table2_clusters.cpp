@@ -1,0 +1,61 @@
+// Table II (+ Table III): Abelian total execution time on the rmat graph at
+// the maximum host count, LCI vs MPI-Probe, on both cluster personalities.
+//
+// Paper shape (Table II): LCI <= MPI-Probe on both clusters; the ranking is
+// portable from the Omni-Path/KNL cluster to the Infiniband/SandyBridge one
+// (Section IV-B3: "the results show a similar trend, LCI performs better in
+// all tested cases").
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/cluster_configs.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+using namespace lcr;
+
+int main() {
+  const unsigned scale = bench::env_scale(10);
+  const int hosts = bench::env_hosts(8);
+  const std::uint32_t pr_iters = bench::env_pr_iters(8);
+
+  std::printf("=== Table III: cluster configurations ===\n");
+  for (const auto& profile : bench::all_profiles())
+    std::printf("  %s\n", bench::format_profile(profile).c_str());
+
+  std::printf("\n=== Table II: Abelian exec time (s), rmat at %d hosts "
+              "===\n\n", hosts);
+
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr base = graph::rmat(scale, 16.0, opt);
+  graph::Csr sym = graph::symmetrize(base);
+
+  bench::Table table({"app", "s2-like LCI", "s2-like MPI-Probe",
+                      "s1-like LCI", "s1-like MPI-Probe"});
+  for (const char* app : {"bfs", "cc", "pagerank", "sssp"}) {
+    const graph::Csr& g = std::string(app) == "cc" ? sym : base;
+    std::vector<std::string> row{app};
+    for (const auto& profile : bench::all_profiles()) {
+      for (auto kind : {comm::BackendKind::Lci, comm::BackendKind::MpiProbe}) {
+        bench::RunSpec spec;
+        spec.app = app;
+        spec.backend = kind;
+        spec.hosts = hosts;
+        spec.threads = profile.compute_threads;
+        spec.source = bench::choose_source(g);
+        spec.pagerank_iters = pr_iters;
+        spec.fabric = profile.fabric;
+        row.push_back(bench::fmt_seconds(bench::run_app(g, spec).total_s));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nshape to check: LCI <= MPI-Probe in each cluster column "
+              "pair.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "abelian/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace lcr::abelian {
+
+Cluster::Cluster(int num_hosts, fabric::FabricConfig config)
+    : num_hosts_(num_hosts),
+      fabric_(static_cast<std::size_t>(num_hosts), std::move(config)),
+      barrier_(static_cast<std::size_t>(num_hosts)) {}
+
+void Cluster::run(const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_hosts_));
+  std::exception_ptr first_error;
+  rt::Spinlock error_lock;
+  for (int h = 0; h < num_hosts_; ++h) {
+    threads.emplace_back([&, h] {
+      try {
+        fn(h);
+      } catch (...) {
+        std::lock_guard<rt::Spinlock> guard(error_lock);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t Cluster::oob_allreduce_sum(std::uint64_t value) {
+  acc_u64_.fetch_add(value, std::memory_order_acq_rel);
+  barrier_.arrive_and_wait();
+  const std::uint64_t result = acc_u64_.load(std::memory_order_acquire);
+  barrier_.arrive_and_wait();
+  acc_u64_.store(0, std::memory_order_relaxed);  // idempotent across hosts
+  barrier_.arrive_and_wait();
+  return result;
+}
+
+double Cluster::oob_allreduce_sum(double value) {
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ += value;
+  }
+  barrier_.arrive_and_wait();
+  double result;
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    result = acc_double_;
+  }
+  barrier_.arrive_and_wait();
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ = 0.0;
+  }
+  barrier_.arrive_and_wait();
+  return result;
+}
+
+std::uint64_t Cluster::oob_allreduce_min(std::uint64_t value) {
+  // min(x) == ~max(~x); reuse the u64 sum slot as a max via CAS.
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_u64_min_ = std::min(acc_u64_min_, value);
+  }
+  barrier_.arrive_and_wait();
+  std::uint64_t result;
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    result = acc_u64_min_;
+  }
+  barrier_.arrive_and_wait();
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_u64_min_ = ~std::uint64_t{0};
+  }
+  barrier_.arrive_and_wait();
+  return result;
+}
+
+double Cluster::oob_allreduce_max(double value) {
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ = std::max(acc_double_, value);
+  }
+  barrier_.arrive_and_wait();
+  double result;
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    result = acc_double_;
+  }
+  barrier_.arrive_and_wait();
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ = 0.0;
+  }
+  barrier_.arrive_and_wait();
+  return result;
+}
+
+}  // namespace lcr::abelian

@@ -1,0 +1,64 @@
+// Simulated cluster harness: N hosts as threads over one fabric.
+//
+// Each "host" of the paper's cluster is an OS thread group (one host-main
+// thread that may spawn compute threads and a communication thread). Hosts
+// share nothing except (a) the fabric - the network - and (b) a tiny
+// out-of-band control plane (barrier + allreduce) standing in for the job
+// launcher / PMI layer that real clusters also have. The OOB plane is used
+// only for BSP round control (termination detection), identically for every
+// backend, so it never contributes to the measured differences between
+// communication layers (see DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::abelian {
+
+class Cluster {
+ public:
+  Cluster(int num_hosts, fabric::FabricConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_hosts() const noexcept { return num_hosts_; }
+  fabric::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Runs fn(host_id) on one thread per host and joins them all. Any
+  /// exception thrown by a host is rethrown (first one wins).
+  void run(const std::function<void(int)>& fn);
+
+  // --- Out-of-band control plane (host-main threads only) ---
+
+  void oob_barrier() { barrier_.arrive_and_wait(); }
+
+  /// Sum-allreduce over all hosts. Collective: every host-main must call.
+  std::uint64_t oob_allreduce_sum(std::uint64_t value);
+  double oob_allreduce_sum(double value);
+
+  /// Max-allreduce over all hosts.
+  double oob_allreduce_max(double value);
+
+  /// Min-allreduce over all hosts (u64).
+  std::uint64_t oob_allreduce_min(std::uint64_t value);
+
+ private:
+  int num_hosts_;
+  fabric::Fabric fabric_;
+  rt::SenseBarrier barrier_;
+
+  // Allreduce scratch (host 0 resets between uses; barriers sequence it).
+  std::atomic<std::uint64_t> acc_u64_{0};
+  rt::Spinlock acc_lock_;
+  double acc_double_ = 0.0;
+  std::uint64_t acc_u64_min_ = ~std::uint64_t{0};
+};
+
+}  // namespace lcr::abelian

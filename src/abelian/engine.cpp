@@ -1,0 +1,323 @@
+#include "abelian/engine.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::abelian {
+
+HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
+                       EngineConfig cfg)
+    : cluster_(cluster),
+      graph_(graph),
+      cfg_(cfg),
+      backend_(comm::make_backend(cfg.backend, cluster.fabric(),
+                                  graph.host_id, cfg.backend_options)),
+      team_(std::make_unique<rt::ThreadTeam>(cfg.compute_threads)),
+      send_queue_(1024),
+      recv_queue_(cfg.recv_queue_capacity) {
+  comm_thread_ = std::thread([this] { comm_thread_loop(); });
+}
+
+HostEngine::~HostEngine() {
+  stop_.store(true, std::memory_order_release);
+  if (comm_thread_.joinable()) comm_thread_.join();
+  // Drop anything still queued (teardown only; release() recycles backend
+  // resources which are about to be destroyed anyway).
+  while (auto m = recv_queue_.try_pop()) delete *m;
+  while (auto w = send_queue_.try_pop()) delete *w;
+}
+
+// ---------------------------------------------------------------------------
+// Phase completion tracking
+// ---------------------------------------------------------------------------
+
+void HostEngine::PhaseState::arm(std::uint32_t id, int num_hosts,
+                                 const std::vector<int>& recv_from) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  phase_id = id;
+  total.assign(static_cast<std::size_t>(num_hosts), -1);
+  got.assign(static_cast<std::size_t>(num_hosts), 0);
+  peers_remaining = recv_from.size();
+  complete.store(peers_remaining == 0, std::memory_order_release);
+}
+
+void HostEngine::PhaseState::note_chunk(int src,
+                                        const comm::ChunkHeader& header) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  const auto s = static_cast<std::size_t>(src);
+  if (total[s] < 0) total[s] = static_cast<std::int32_t>(header.num_chunks);
+  if (++got[s] == total[s]) {
+    assert(peers_remaining > 0);
+    if (--peers_remaining == 0)
+      complete.store(true, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communication thread
+// ---------------------------------------------------------------------------
+
+void HostEngine::post_cmd(Cmd cmd, const comm::PhaseSpec* spec) {
+  if (backend_->thread_safe_recv()) {
+    // LCI: phase hooks are trivial and thread-safe; run them inline.
+    switch (cmd) {
+      case Cmd::BeginPhase: backend_->begin_phase(*spec); break;
+      case Cmd::Flush: backend_->flush(); break;
+      case Cmd::EndPhase: backend_->end_phase(); break;
+      case Cmd::None: break;
+    }
+    return;
+  }
+  const std::uint64_t before = cmd_acks_.load(std::memory_order_acquire);
+  cmd_spec_ = spec;
+  cmd_.store(cmd, std::memory_order_release);
+  rt::Backoff backoff;
+  while (cmd_acks_.load(std::memory_order_acquire) == before)
+    backoff.pause();
+}
+
+void HostEngine::comm_thread_loop() {
+  rt::Backoff backoff;
+  std::deque<comm::InMessage*> holding;  // messages awaiting queue space
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+
+    const Cmd cmd = cmd_.load(std::memory_order_acquire);
+    if (cmd != Cmd::None) {
+      switch (cmd) {
+        case Cmd::BeginPhase: backend_->begin_phase(*cmd_spec_); break;
+        case Cmd::Flush: backend_->flush(); break;
+        case Cmd::EndPhase: backend_->end_phase(); break;
+        case Cmd::None: break;
+      }
+      cmd_.store(Cmd::None, std::memory_order_relaxed);
+      cmd_acks_.fetch_add(1, std::memory_order_release);
+      did_work = true;
+    }
+
+    if (!backend_->thread_safe_send()) {
+      // Pump queued sends into the backend (MPI layers never push back).
+      while (auto work = send_queue_.try_pop()) {
+        SendWork* sw = *work;
+        rt::Backoff send_backoff;
+        while (!backend_->try_send(sw->dst, sw->payload)) {
+          backend_->progress();
+          send_backoff.pause();
+        }
+        delete sw;
+        sends_pending_.fetch_sub(1, std::memory_order_release);
+        did_work = true;
+      }
+    }
+    if (!backend_->thread_safe_recv()) {
+      // Drain arrived messages into the engine receive queue.
+      while (!holding.empty() && recv_queue_.try_push(holding.front()))
+        holding.pop_front();
+      if (holding.empty()) {
+        comm::InMessage msg;
+        while (backend_->try_recv(msg)) {
+          auto* m = new comm::InMessage(std::move(msg));
+          if (!recv_queue_.try_push(m)) {
+            holding.push_back(m);
+            break;
+          }
+          did_work = true;
+        }
+      }
+    }
+
+    backend_->progress();
+    if (did_work)
+      backoff.reset();
+    else
+      backoff.pause();
+  }
+  for (comm::InMessage* m : holding) delete m;  // teardown
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void HostEngine::submit_send(int dst, std::vector<std::byte> payload,
+                             const ScatterFn& scatter) {
+  stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
+  if (cfg_.backend_options.tracker != nullptr)
+    cfg_.backend_options.tracker->on_alloc(payload.size());
+  if (backend_->thread_safe_send()) {
+    rt::Backoff backoff;
+    while (!backend_->try_send(dst, payload)) {
+      // Back pressure: relieve it by receiving/scattering, then retry.
+      if (!drain_one(scatter)) backoff.pause();
+    }
+    return;
+  }
+  auto* sw = new SendWork{dst, std::move(payload)};
+  sends_pending_.fetch_add(1, std::memory_order_acq_rel);
+  rt::Backoff backoff;
+  while (!send_queue_.try_push(sw)) {
+    if (!drain_one(scatter)) backoff.pause();
+  }
+}
+
+void HostEngine::send_chunks(int dst, std::vector<std::byte>&& records,
+                             std::size_t chunk_cap, std::size_t rec_bytes,
+                             const ScatterFn& scatter) {
+  std::size_t slice =
+      chunk_cap == 0 ? records.size()
+                     : (chunk_cap > comm::kChunkHeaderBytes
+                            ? chunk_cap - comm::kChunkHeaderBytes
+                            : 1024);
+  // Never split a record across chunks: scatter parses each chunk
+  // independently.
+  if (rec_bytes > 0 && slice >= rec_bytes) slice -= slice % rec_bytes;
+  std::size_t num_chunks = 1;
+  if (!records.empty() && slice > 0)
+    num_chunks = (records.size() + slice - 1) / slice;
+  assert(num_chunks <= 0xFFFF);
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = c * slice;
+    const std::size_t hi =
+        records.empty() ? 0 : std::min(records.size(), lo + slice);
+    const std::size_t n = hi > lo ? hi - lo : 0;
+    std::vector<std::byte> chunk(comm::kChunkHeaderBytes + n);
+    comm::ChunkHeader header;
+    header.phase_id = phase_state_.phase_id;
+    header.chunk_idx = static_cast<std::uint16_t>(c);
+    header.num_chunks = static_cast<std::uint16_t>(num_chunks);
+    header.payload_bytes = static_cast<std::uint32_t>(n);
+    std::memcpy(chunk.data(), &header, sizeof(header));
+    if (n > 0)
+      std::memcpy(chunk.data() + comm::kChunkHeaderBytes, records.data() + lo,
+                  n);
+    submit_send(dst, std::move(chunk), scatter);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+bool HostEngine::next_message(comm::InMessage& out) {
+  {
+    std::lock_guard<rt::Spinlock> guard(stash_lock_);
+    auto it = stash_.find(phase_state_.phase_id);
+    if (it != stash_.end() && !it->second.empty()) {
+      out = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) stash_.erase(it);
+      return true;
+    }
+  }
+  if (backend_->thread_safe_recv()) return backend_->try_recv(out);
+  if (auto m = recv_queue_.try_pop()) {
+    out = std::move(**m);
+    delete *m;
+    return true;
+  }
+  return false;
+}
+
+bool HostEngine::drain_one(const ScatterFn& scatter) {
+  comm::InMessage msg;
+  if (!next_message(msg)) return false;
+  const comm::ChunkHeader header = msg.header();
+  if (header.phase_id != phase_state_.phase_id) {
+    // A peer already raced ahead into a later phase; keep for later.
+    std::lock_guard<rt::Spinlock> guard(stash_lock_);
+    stash_[header.phase_id].push_back(std::move(msg));
+    return true;
+  }
+  if (header.payload_bytes > 0)
+    scatter(msg.src, msg.payload(), header.payload_bytes);
+  if (msg.release) msg.release();
+  phase_state_.note_chunk(msg.src, header);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Phase driver
+// ---------------------------------------------------------------------------
+
+void HostEngine::execute_phase(
+    std::uint32_t pattern, std::size_t rec_bytes,
+    const std::vector<std::vector<graph::VertexId>>& send_lists,
+    const std::vector<std::vector<graph::VertexId>>& recv_lists,
+    const GatherFn& gather, const ScatterFn& scatter) {
+  rt::Timer phase_timer;
+  const int p = graph_.num_hosts;
+  const int me = graph_.host_id;
+
+  comm::PhaseSpec spec;
+  spec.phase_id = phase_counter_++;
+  spec.pattern_key =
+      (pattern << 16) | static_cast<std::uint32_t>(rec_bytes & 0xFFFF);
+  spec.max_send_bytes.assign(static_cast<std::size_t>(p), 0);
+  spec.max_recv_bytes.assign(static_cast<std::size_t>(p), 0);
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto rs = static_cast<std::size_t>(r);
+    if (!send_lists[rs].empty()) {
+      spec.send_to.push_back(r);
+      spec.max_send_bytes[rs] =
+          comm::kChunkHeaderBytes + send_lists[rs].size() * rec_bytes;
+    }
+    if (!recv_lists[rs].empty()) {
+      spec.recv_from.push_back(r);
+      spec.max_recv_bytes[rs] =
+          comm::kChunkHeaderBytes + recv_lists[rs].size() * rec_bytes;
+    }
+  }
+
+  phase_state_.arm(spec.phase_id, p, spec.recv_from);
+  post_cmd(Cmd::BeginPhase, &spec);
+
+  const std::size_t chunk_cap = backend_->chunk_bytes();
+  std::atomic<std::size_t> next_peer{0};
+  std::atomic<std::size_t> gathers_left{spec.send_to.size()};
+
+  team_->run([&](std::size_t tid) {
+    // Stage 1: parallel gathers, one peer at a time per thread.
+    for (;;) {
+      const std::size_t i =
+          next_peer.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec.send_to.size()) break;
+      const int dst = spec.send_to[i];
+      std::vector<std::byte> records;
+      records.reserve(1024);
+      gather(dst, records);
+      send_chunks(dst, std::move(records), chunk_cap, rec_bytes, scatter);
+      gathers_left.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    // Thread 0 flushes once every send of the phase has been handed over.
+    if (tid == 0) {
+      rt::Backoff backoff;
+      while (gathers_left.load(std::memory_order_acquire) != 0 ||
+             sends_pending_.load(std::memory_order_acquire) != 0) {
+        if (!drain_one(scatter)) backoff.pause();
+      }
+      post_cmd(Cmd::Flush, nullptr);
+    }
+
+    // Stage 2: scatter incoming messages until the phase completes.
+    rt::Backoff backoff;
+    while (!phase_state_.complete.load(std::memory_order_acquire)) {
+      if (drain_one(scatter))
+        backoff.reset();
+      else
+        backoff.pause();
+    }
+  });
+
+  post_cmd(Cmd::EndPhase, nullptr);
+  stats_.comm_s += phase_timer.elapsed_s();
+  stats_.phases++;
+}
+
+}  // namespace lcr::abelian

@@ -1,0 +1,212 @@
+// The Abelian host engine: the gather-communicate-scatter runtime of Fig. 2.
+//
+// Per host there is one dedicated communication thread and a team of compute
+// threads. A BSP communication phase runs as:
+//
+//   1. compute threads gather per-peer dirty records into buffers in
+//      parallel and enqueue them to the network,
+//   2. once its gathers are done each compute thread switches to scattering
+//      messages received from other hosts, in arbitrary arrival order,
+//   3. the dedicated communication thread interleaves sending and receiving
+//      the whole time; no blocking operations are used.
+//
+// Thread discipline per backend (see comm/backend.hpp):
+//   * LCI (thread_safe): compute threads call try_send / try_recv directly;
+//     the communication thread is exactly the LCI server (Algorithm 3).
+//   * MPI-Probe (FUNNELED) / MPI-RMA: every backend call is executed by the
+//     communication thread; compute threads talk to it through a
+//     multi-producer send queue and a concurrent receive queue, and phase
+//     transitions travel through a command mailbox.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abelian/cluster.hpp"
+#include "comm/backend.hpp"
+#include "comm/serializer.hpp"
+#include "graph/dist_graph.hpp"
+#include "runtime/bitset.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/thread_team.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::abelian {
+
+struct EngineConfig {
+  comm::BackendKind backend = comm::BackendKind::Lci;
+  comm::BackendOptions backend_options;
+  std::size_t compute_threads = 2;
+  std::size_t recv_queue_capacity = 8192;
+};
+
+struct EngineStats {
+  std::uint64_t phases = 0;
+  std::uint64_t rounds = 0;
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  /// Non-overlapped communication time: wall time of sync phases (Fig 6).
+  double comm_s = 0.0;
+  /// Computation time, accumulated by the app drivers (Fig 6).
+  double compute_s = 0.0;
+};
+
+class HostEngine {
+ public:
+  HostEngine(Cluster& cluster, const graph::DistGraph& graph,
+             EngineConfig cfg);
+  ~HostEngine();
+
+  HostEngine(const HostEngine&) = delete;
+  HostEngine& operator=(const HostEngine&) = delete;
+
+  int host_id() const noexcept { return graph_.host_id; }
+  const graph::DistGraph& graph() const noexcept { return graph_; }
+  Cluster& cluster() noexcept { return cluster_; }
+  rt::ThreadTeam& team() noexcept { return *team_; }
+  comm::Backend& backend() noexcept { return *backend_; }
+  EngineStats& stats() noexcept { return stats_; }
+
+  /// Serializes records for one peer into `out` (records only, no header).
+  using GatherFn =
+      std::function<void(int peer, std::vector<std::byte>& out)>;
+  /// Applies one received payload from `peer`. Must be thread-safe across
+  /// messages (different messages may scatter concurrently).
+  using ScatterFn =
+      std::function<void(int peer, const std::byte* data, std::size_t size)>;
+
+  /// Runs one full communication phase: parallel gathers to every peer with
+  /// a non-empty `send_lists` entry, then receive+scatter until one message
+  /// stream from every peer with a non-empty `recv_lists` entry completed.
+  /// `pattern` (0 = reduce, 1 = broadcast) and `rec_bytes` key the RMA
+  /// window sets; max message sizes derive from the list sizes
+  /// (all-nodes-active upper bound).
+  void execute_phase(
+      std::uint32_t pattern, std::size_t rec_bytes,
+      const std::vector<std::vector<graph::VertexId>>& send_lists,
+      const std::vector<std::vector<graph::VertexId>>& recv_lists,
+      const GatherFn& gather, const ScatterFn& scatter);
+
+  // ---- Partition-aware sync wrappers (used by app drivers) ----
+
+  /// Reduce: ship dirty mirror labels to their masters and combine there.
+  /// combine(T& current, T incoming) -> bool (true if current changed);
+  /// on_update(master_lid) fires when a master's value changed. Must be safe
+  /// under concurrent invocation for different messages (use atomic ops).
+  template <typename T, typename Combine, typename OnUpdate>
+  void sync_reduce(T* labels, const rt::ConcurrentBitset& dirty,
+                   Combine&& combine, OnUpdate&& on_update) {
+    execute_phase(
+        0, comm::record_bytes<T>(), graph_.mirror_to_master,
+        graph_.master_to_mirror,
+        [&](int peer, std::vector<std::byte>& out) {
+          comm::gather_records<T>(
+              graph_.mirror_to_master[static_cast<std::size_t>(peer)], dirty,
+              labels, out);
+        },
+        [&](int peer, const std::byte* data, std::size_t size) {
+          const auto& shared =
+              graph_.master_to_mirror[static_cast<std::size_t>(peer)];
+          comm::scatter_records<T>(data, size,
+                                   [&](std::uint32_t pos, const T& value) {
+                                     const graph::VertexId lid = shared[pos];
+                                     if (combine(labels[lid], value))
+                                       on_update(lid);
+                                   });
+        });
+  }
+
+  /// Broadcast: ship dirty master labels to every host holding a mirror.
+  /// on_set(mirror_lid) fires after the mirror label was overwritten.
+  template <typename T, typename OnSet>
+  void sync_broadcast(T* labels, const rt::ConcurrentBitset& dirty,
+                      OnSet&& on_set) {
+    execute_phase(
+        1, comm::record_bytes<T>(), graph_.master_to_mirror,
+        graph_.mirror_to_master,
+        [&](int peer, std::vector<std::byte>& out) {
+          comm::gather_records<T>(
+              graph_.master_to_mirror[static_cast<std::size_t>(peer)], dirty,
+              labels, out);
+        },
+        [&](int peer, const std::byte* data, std::size_t size) {
+          const auto& shared =
+              graph_.mirror_to_master[static_cast<std::size_t>(peer)];
+          comm::scatter_records<T>(data, size,
+                                   [&](std::uint32_t pos, const T& value) {
+                                     const graph::VertexId lid = shared[pos];
+                                     labels[lid] = value;  // single writer
+                                     on_set(lid);
+                                   });
+        });
+  }
+
+ private:
+  /// Tracks completion of the receive side of one phase.
+  struct PhaseState {
+    std::uint32_t phase_id = 0;
+    rt::Spinlock lock;
+    std::vector<std::int32_t> total;  // expected chunks per rank; -1 unknown
+    std::vector<std::int32_t> got;
+    std::size_t peers_remaining = 0;
+    std::atomic<bool> complete{false};
+
+    void arm(std::uint32_t id, int num_hosts,
+             const std::vector<int>& recv_from);
+    void note_chunk(int src, const comm::ChunkHeader& header);
+  };
+
+  struct SendWork {
+    int dst = -1;
+    std::vector<std::byte> payload;
+  };
+
+  enum class Cmd : std::uint8_t { None, BeginPhase, Flush, EndPhase };
+
+  void comm_thread_loop();
+  void post_cmd(Cmd cmd, const comm::PhaseSpec* spec);
+  void submit_send(int dst, std::vector<std::byte> payload,
+                   const ScatterFn& scatter);
+  void send_chunks(int dst, std::vector<std::byte>&& records,
+                   std::size_t chunk_cap, std::size_t rec_bytes,
+                   const ScatterFn& scatter);
+  /// Receives and processes at most one message; returns whether one was
+  /// handled (scattered or stashed).
+  bool drain_one(const ScatterFn& scatter);
+  bool next_message(comm::InMessage& out);
+
+  Cluster& cluster_;
+  const graph::DistGraph& graph_;
+  EngineConfig cfg_;
+  std::unique_ptr<comm::Backend> backend_;
+  std::unique_ptr<rt::ThreadTeam> team_;
+
+  // Communication thread.
+  std::thread comm_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<Cmd> cmd_{Cmd::None};
+  const comm::PhaseSpec* cmd_spec_ = nullptr;
+  std::atomic<std::uint64_t> cmd_acks_{0};
+
+  // Routing queues for non-thread-safe backends.
+  rt::MpmcQueue<SendWork*> send_queue_;
+  std::atomic<std::size_t> sends_pending_{0};
+  rt::MpmcQueue<comm::InMessage*> recv_queue_;
+
+  // Messages that arrived for a future phase.
+  rt::Spinlock stash_lock_;
+  std::map<std::uint32_t, std::deque<comm::InMessage>> stash_;
+
+  PhaseState phase_state_;
+  std::uint32_t phase_counter_ = 0;
+
+  EngineStats stats_;
+};
+
+}  // namespace lcr::abelian

@@ -1,0 +1,37 @@
+#include "abelian/sync.hpp"
+
+namespace lcr::abelian {
+
+SyncPlan plan_push_monotone(graph::PartitionPolicy policy) {
+  SyncPlan plan;
+  switch (policy) {
+    case graph::PartitionPolicy::BlockedEdgeCut:
+    case graph::PartitionPolicy::OutgoingEdgeCut:
+      // Pushes originate at masters (all out-edges live with the master)
+      // and may write mirrors: reduce only.
+      plan.do_reduce = true;
+      plan.do_broadcast = false;
+      break;
+    case graph::PartitionPolicy::IncomingEdgeCut:
+      // Pushes always write masters (all in-edges live with the master),
+      // but originate at possibly-stale mirrors: broadcast only.
+      plan.do_reduce = false;
+      plan.do_broadcast = true;
+      break;
+    case graph::PartitionPolicy::CartesianVertexCut:
+      // Both endpoints may be mirrors: reduce then broadcast.
+      plan.do_reduce = true;
+      plan.do_broadcast = true;
+      break;
+  }
+  return plan;
+}
+
+SyncPlan plan_accumulate(graph::PartitionPolicy policy) {
+  // Same partition-awareness as the monotone plan: where contributions land
+  // (reduce) and where the recomputed value is read (broadcast) are
+  // determined by which endpoints can be mirrors.
+  return plan_push_monotone(policy);
+}
+
+}  // namespace lcr::abelian

@@ -1,0 +1,37 @@
+// Partition-aware synchronization planning.
+//
+// "The Abelian runtime is partition-aware. It minimizes the communication
+// volume by choosing reduce, broadcast, or both, based on the partitioning
+// policy" (paper Section II). The plan depends on where an operator writes
+// and where proxies that will be *read* next round live:
+//
+//  * Push operators write destination proxies. Under an edge cut (blocked /
+//    outgoing), all out-edges of a vertex live with its master, so pushes
+//    originate only at masters and only a reduce is required for monotone
+//    (idempotent-combine) labels. Under a vertex cut, out-edges of a vertex
+//    are spread across hosts, so mirrors push too and need fresh values: the
+//    reduce must be followed by a broadcast.
+//  * Accumulate-reduce patterns (pagerank) additionally always broadcast the
+//    recomputed master value when mirrors read it next round (vertex cut).
+#pragma once
+
+#include "graph/dist_graph.hpp"
+
+namespace lcr::abelian {
+
+/// Which sync phases a round needs.
+struct SyncPlan {
+  bool do_reduce = true;
+  bool do_broadcast = false;
+};
+
+/// Plan for a push-style data-driven operator (bfs / cc / sssp) whose reduce
+/// combine is idempotent and monotone (min).
+SyncPlan plan_push_monotone(graph::PartitionPolicy policy);
+
+/// Plan for an accumulate-then-recompute pattern (pagerank): contributions
+/// are Add-reduced to the master, which recomputes and must broadcast when
+/// any host reads mirror copies of the value next round.
+SyncPlan plan_accumulate(graph::PartitionPolicy policy);
+
+}  // namespace lcr::abelian

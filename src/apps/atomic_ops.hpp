@@ -1,0 +1,35 @@
+// Atomic label-update helpers used by vertex operators and reduce combines.
+//
+// Labels live in plain arrays (cache-friendly AoS per the paper's layout
+// discussion); updates go through atomic_ref-style CAS loops so concurrent
+// pushes and scatters are safe.
+#pragma once
+
+#include <atomic>
+
+namespace lcr::apps {
+
+/// Atomically labels[addr] = min(labels[addr], value). Returns true if the
+/// stored value decreased.
+template <typename T>
+bool atomic_min(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (value < current) {
+    if (ref.compare_exchange_weak(current, value, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+/// Atomically target += value (CAS loop; works for double).
+template <typename T>
+void atomic_add(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(current, current + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace lcr::apps

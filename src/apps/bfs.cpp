@@ -1,0 +1,12 @@
+#include "apps/bfs.hpp"
+
+#include "apps/push_engine.hpp"
+
+namespace lcr::apps {
+
+std::vector<std::uint32_t> run_bfs(abelian::HostEngine& eng,
+                                   graph::VertexId source) {
+  return run_push<BfsTraits>(eng, source);
+}
+
+}  // namespace lcr::apps

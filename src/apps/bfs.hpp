@@ -1,0 +1,33 @@
+// Breadth-first search (level labels) on the Abelian engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "abelian/engine.hpp"
+
+namespace lcr::apps {
+
+struct BfsTraits {
+  using Label = std::uint32_t;
+  static constexpr Label kInf = std::numeric_limits<Label>::max();
+  static constexpr const char* kName = "bfs";
+
+  static Label init_label(graph::VertexId gid, graph::VertexId source) {
+    return gid == source ? 0 : kInf;
+  }
+  static bool init_active(graph::VertexId gid, graph::VertexId source) {
+    return gid == source;
+  }
+  static Label relax(Label src_label, graph::Weight) {
+    return src_label == kInf ? kInf : src_label + 1;
+  }
+};
+
+/// Runs distributed BFS from `source`; returns this host's local labels
+/// (hop counts; kInf = unreachable). eng.stats() carries timings.
+std::vector<std::uint32_t> run_bfs(abelian::HostEngine& eng,
+                                   graph::VertexId source);
+
+}  // namespace lcr::apps

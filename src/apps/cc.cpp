@@ -1,0 +1,11 @@
+#include "apps/cc.hpp"
+
+#include "apps/push_engine.hpp"
+
+namespace lcr::apps {
+
+std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng) {
+  return run_push<CcTraits>(eng, /*source=*/0);
+}
+
+}  // namespace lcr::apps

@@ -1,0 +1,31 @@
+// Connected components via min-label propagation on Abelian.
+//
+// Defined on undirected graphs: callers should symmetrize the input
+// (graph::symmetrize) before partitioning, as the benchmarks do.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "abelian/engine.hpp"
+
+namespace lcr::apps {
+
+struct CcTraits {
+  using Label = std::uint32_t;
+  static constexpr Label kInf = std::numeric_limits<Label>::max();
+  static constexpr const char* kName = "cc";
+
+  static Label init_label(graph::VertexId gid, graph::VertexId) {
+    return gid;  // every vertex starts as its own component
+  }
+  static bool init_active(graph::VertexId, graph::VertexId) { return true; }
+  static Label relax(Label src_label, graph::Weight) { return src_label; }
+};
+
+/// Distributed connected components; returns local component labels
+/// (the minimum global vertex id in each component).
+std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng);
+
+}  // namespace lcr::apps

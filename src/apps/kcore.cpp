@@ -1,0 +1,132 @@
+#include "apps/kcore.hpp"
+
+#include <deque>
+
+#include "apps/atomic_ops.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::apps {
+
+std::vector<std::uint32_t> run_kcore(abelian::HostEngine& eng,
+                                     std::uint32_t k) {
+  const graph::DistGraph& g = eng.graph();
+  const std::size_t n = g.num_local;
+
+  // deg is authoritative at masters; dead/newly_dead mark removals.
+  std::vector<std::uint32_t> deg(g.global_out_degree.begin(),
+                                 g.global_out_degree.end());
+  std::vector<std::uint32_t> dead_flag(n, 0);
+  std::vector<std::uint32_t> delta(n, 0);
+  rt::ConcurrentBitset dead(n);
+  rt::ConcurrentBitset newly_dead(n);
+  rt::ConcurrentBitset dirty_delta(n);
+  rt::ConcurrentBitset dirty_dead(n);
+
+  for (;;) {
+    // --- 1. Masters decide removals from their authoritative degree ---
+    rt::Timer decide_timer;
+    std::atomic<std::uint64_t> deaths{0};
+    eng.team().parallel_chunks(
+        0, g.num_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t lid = lo; lid < hi; ++lid) {
+            if (!dead.test(lid) && deg[lid] < k) {
+              dead.set(lid);
+              newly_dead.set(lid);
+              dead_flag[lid] = 1;
+              dirty_dead.set(lid);
+              deaths.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+    eng.stats().compute_s += decide_timer.elapsed_s();
+
+    // Global fixed point: nobody died anywhere this round.
+    const std::uint64_t total_deaths =
+        eng.cluster().oob_allreduce_sum(deaths.load());
+    if (total_deaths == 0) break;
+
+    // --- 2. Broadcast removals so mirror proxies learn about them ---
+    eng.sync_broadcast<std::uint32_t>(dead_flag.data(), dirty_dead,
+                                      [&](graph::VertexId lid) {
+                                        if (dead.set(lid)) newly_dead.set(lid);
+                                      });
+    dirty_dead.clear_all();
+
+    // --- 3. Push decrements along the removed vertices' local out-edges ---
+    rt::Timer push_timer;
+    eng.team().parallel_chunks(
+        0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          newly_dead.for_each_in_range(lo, hi, [&](std::size_t lid) {
+            g.out_edges.for_each_edge(
+                static_cast<graph::VertexId>(lid),
+                [&](graph::VertexId dst, graph::Weight) {
+                  if (dead.test(dst)) return;
+                  atomic_add(delta[dst], std::uint32_t{1});
+                  dirty_delta.set(dst);
+                });
+          });
+        });
+    newly_dead.clear_all();
+    eng.stats().compute_s += push_timer.elapsed_s();
+
+    // --- 4. Add-reduce decrement deltas from mirrors to masters ---
+    eng.sync_reduce<std::uint32_t>(
+        delta.data(), dirty_delta,
+        [&](std::uint32_t& current, std::uint32_t incoming) {
+          atomic_add(current, incoming);
+          return true;
+        },
+        [](graph::VertexId) {});
+
+    // --- 5. Masters apply deltas; everyone resets round state ---
+    rt::Timer apply_timer;
+    eng.team().parallel_chunks(
+        0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t lid = lo; lid < hi; ++lid) {
+            if (lid < g.num_masters) {
+              const std::uint32_t d = delta[lid];
+              deg[lid] = d >= deg[lid] ? 0 : deg[lid] - d;
+            }
+            delta[lid] = 0;
+          }
+        });
+    dirty_delta.clear_all();
+    eng.stats().compute_s += apply_timer.elapsed_s();
+    eng.stats().rounds++;
+  }
+
+  std::vector<std::uint32_t> alive(n);
+  for (std::size_t lid = 0; lid < n; ++lid)
+    alive[lid] = dead.test(lid) ? 0 : 1;
+  return alive;
+}
+
+std::vector<std::uint32_t> reference_kcore(const graph::Csr& g,
+                                           std::uint32_t k) {
+  const graph::VertexId n = g.num_nodes();
+  std::vector<std::uint32_t> deg(n);
+  std::vector<std::uint32_t> alive(n, 1);
+  std::deque<graph::VertexId> worklist;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.degree(v));
+    if (deg[v] < k) {
+      alive[v] = 0;
+      worklist.push_back(v);
+    }
+  }
+  while (!worklist.empty()) {
+    const graph::VertexId v = worklist.front();
+    worklist.pop_front();
+    for (graph::EdgeId e = g.edge_begin(v); e < g.edge_end(v); ++e) {
+      const graph::VertexId w = g.edge_target(e);
+      if (!alive[w]) continue;
+      if (--deg[w] < k) {
+        alive[w] = 0;
+        worklist.push_back(w);
+      }
+    }
+  }
+  return alive;
+}
+
+}  // namespace lcr::apps

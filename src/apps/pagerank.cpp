@@ -1,0 +1,103 @@
+#include "apps/pagerank.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "abelian/sync.hpp"
+#include "apps/atomic_ops.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::apps {
+
+std::vector<double> run_pagerank(abelian::HostEngine& eng,
+                                 PagerankOptions opt) {
+  const graph::DistGraph& g = eng.graph();
+  const std::size_t n_local = g.num_local;
+  const double n_global = static_cast<double>(g.global_nodes);
+
+  std::vector<double> rank(n_local, 1.0 / n_global);
+  std::vector<double> accum(n_local, 0.0);
+  rt::ConcurrentBitset dirty(n_local);
+  rt::ConcurrentBitset rank_dirty(n_local);
+
+  const abelian::SyncPlan plan = abelian::plan_accumulate(g.policy);
+
+  for (std::uint32_t iter = 0; iter < opt.max_iterations; ++iter) {
+    // --- Computation: scatter contributions along local out-edges ---
+    rt::Timer compute_timer;
+    eng.team().parallel_chunks(
+        0, n_local, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t lid = lo; lid < hi; ++lid) {
+            const std::uint32_t outdeg = g.global_out_degree[lid];
+            if (outdeg == 0 || g.out_edges.degree(lid) == 0) continue;
+            const double contrib = rank[lid] / static_cast<double>(outdeg);
+            g.out_edges.for_each_edge(
+                static_cast<graph::VertexId>(lid),
+                [&](graph::VertexId dst, graph::Weight) {
+                  atomic_add(accum[dst], contrib);
+                  dirty.set(dst);
+                });
+          }
+        });
+    eng.stats().compute_s += compute_timer.elapsed_s();
+
+    // --- Reduce: Add dirty accumulator mirrors into masters (skipped when
+    // the partition guarantees contributions land on masters, e.g. the
+    // incoming edge-cut) ---
+    if (plan.do_reduce) {
+      eng.sync_reduce<double>(
+          accum.data(), dirty,
+          [&](double& current, double incoming) {
+            atomic_add(current, incoming);
+            return true;
+          },
+          [](graph::VertexId) {});
+    }
+
+    // --- Recompute masters, measure convergence ---
+    rt::Timer recompute_timer;
+    double local_delta = 0.0;
+    {
+      rt::Spinlock delta_lock;
+      eng.team().parallel_chunks(
+          0, g.num_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            double delta = 0.0;
+            for (std::size_t lid = lo; lid < hi; ++lid) {
+              const double next =
+                  (1.0 - opt.damping) / n_global + opt.damping * accum[lid];
+              delta += std::abs(next - rank[lid]);
+              rank[lid] = next;
+              rank_dirty.set(lid);
+            }
+            std::lock_guard<rt::Spinlock> guard(delta_lock);
+            local_delta += delta;
+          });
+    }
+    eng.stats().compute_s += recompute_timer.elapsed_s();
+
+    // --- Broadcast new ranks to mirrors (vertex cuts only) ---
+    if (plan.do_broadcast) {
+      eng.sync_broadcast<double>(rank.data(), rank_dirty,
+                                 [](graph::VertexId) {});
+    }
+
+    // --- Reset round state ---
+    rt::Timer reset_timer;
+    eng.team().parallel_chunks(0, n_local,
+                               [&](std::size_t lo, std::size_t hi,
+                                   std::size_t) {
+                                 for (std::size_t lid = lo; lid < hi; ++lid)
+                                   accum[lid] = 0.0;
+                               });
+    dirty.clear_all();
+    rank_dirty.clear_all();
+    eng.stats().compute_s += reset_timer.elapsed_s();
+    eng.stats().rounds++;
+
+    const double global_delta = eng.cluster().oob_allreduce_sum(local_delta);
+    if (opt.tolerance > 0.0 && global_delta < opt.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace lcr::apps

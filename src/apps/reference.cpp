@@ -1,0 +1,111 @@
+#include "apps/reference.hpp"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace lcr::apps {
+
+namespace {
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+}
+
+std::vector<std::uint32_t> reference_bfs(const graph::Csr& g,
+                                         graph::VertexId source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+  std::deque<graph::VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const graph::VertexId u = queue.front();
+    queue.pop_front();
+    for (graph::EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const graph::VertexId v = g.edge_target(e);
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> reference_sssp(const graph::Csr& g,
+                                          graph::VertexId source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+  using Item = std::pair<std::uint64_t, graph::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (graph::EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const graph::VertexId v = g.edge_target(e);
+      const std::uint64_t nd = d + g.edge_weight(e);
+      if (nd < dist[v]) {
+        dist[v] = static_cast<std::uint32_t>(nd);
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> reference_cc(const graph::Csr& g) {
+  // Union-find over the undirected closure, then canonicalize each root to
+  // the minimum vertex id of its component (matching label propagation).
+  const graph::VertexId n = g.num_nodes();
+  std::vector<graph::VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<graph::VertexId(graph::VertexId)> find =
+      [&](graph::VertexId x) {
+        while (parent[x] != x) {
+          parent[x] = parent[parent[x]];
+          x = parent[x];
+        }
+        return x;
+      };
+  for (graph::VertexId u = 0; u < n; ++u)
+    for (graph::EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      const graph::VertexId ru = find(u);
+      const graph::VertexId rv = find(g.edge_target(e));
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  std::vector<std::uint32_t> label(n);
+  for (graph::VertexId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<double> reference_pagerank(const graph::Csr& g, double damping,
+                                       std::uint32_t max_iterations,
+                                       double tolerance) {
+  const graph::VertexId n = g.num_nodes();
+  const double n_d = static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / n_d);
+  std::vector<double> accum(n, 0.0);
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (graph::VertexId u = 0; u < n; ++u) {
+      const std::size_t deg = g.degree(u);
+      if (deg == 0) continue;
+      const double contrib = rank[u] / static_cast<double>(deg);
+      for (graph::EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e)
+        accum[g.edge_target(e)] += contrib;
+    }
+    double delta = 0.0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      const double next = (1.0 - damping) / n_d + damping * accum[v];
+      delta += std::abs(next - rank[v]);
+      rank[v] = next;
+    }
+    if (tolerance > 0.0 && delta < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace lcr::apps

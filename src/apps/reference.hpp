@@ -1,0 +1,32 @@
+// Sequential reference implementations used to validate the distributed
+// engines (tests compare every (graph x partition x backend x hosts) run
+// against these).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lcr::apps {
+
+/// BFS hop counts from `source` (UINT32_MAX = unreachable).
+std::vector<std::uint32_t> reference_bfs(const graph::Csr& g,
+                                         graph::VertexId source);
+
+/// Dijkstra distances from `source` (UINT32_MAX = unreachable).
+std::vector<std::uint32_t> reference_sssp(const graph::Csr& g,
+                                          graph::VertexId source);
+
+/// Connected-component labels (min vertex id per component) over the
+/// undirected closure of g.
+std::vector<std::uint32_t> reference_cc(const graph::Csr& g);
+
+/// PageRank with the same formula / damping / iteration scheme as the
+/// distributed implementation.
+std::vector<double> reference_pagerank(const graph::Csr& g,
+                                       double damping = 0.85,
+                                       std::uint32_t max_iterations = 100,
+                                       double tolerance = 1e-7);
+
+}  // namespace lcr::apps

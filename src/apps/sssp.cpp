@@ -1,0 +1,12 @@
+#include "apps/sssp.hpp"
+
+#include "apps/push_engine.hpp"
+
+namespace lcr::apps {
+
+std::vector<std::uint32_t> run_sssp(abelian::HostEngine& eng,
+                                    graph::VertexId source) {
+  return run_push<SsspTraits>(eng, source);
+}
+
+}  // namespace lcr::apps

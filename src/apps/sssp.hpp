@@ -1,0 +1,32 @@
+// Single-source shortest paths (data-driven Bellman-Ford) on Abelian.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "abelian/engine.hpp"
+
+namespace lcr::apps {
+
+struct SsspTraits {
+  using Label = std::uint32_t;
+  static constexpr Label kInf = std::numeric_limits<Label>::max();
+  static constexpr const char* kName = "sssp";
+
+  static Label init_label(graph::VertexId gid, graph::VertexId source) {
+    return gid == source ? 0 : kInf;
+  }
+  static bool init_active(graph::VertexId gid, graph::VertexId source) {
+    return gid == source;
+  }
+  static Label relax(Label src_label, graph::Weight w) {
+    return src_label == kInf ? kInf : src_label + w;
+  }
+};
+
+/// Distributed SSSP from `source` over edge weights; returns local distances.
+std::vector<std::uint32_t> run_sssp(abelian::HostEngine& eng,
+                                    graph::VertexId source);
+
+}  // namespace lcr::apps

@@ -1,0 +1,41 @@
+#include "bench_support/cluster_configs.hpp"
+
+#include <sstream>
+
+namespace lcr::bench {
+
+ClusterProfile stampede2_like() {
+  ClusterProfile p;
+  p.name = "stampede2-like";
+  p.fabric = fabric::omnipath_knl_config();
+  p.compute_threads = 2;  // scaled from 68 cores (single-core container)
+  p.description =
+      "Intel KNL-class hosts, Omni-Path-class fabric (psm2 analogue): "
+      "16KiB MTU, ~0.9us latency, 100Gb/s";
+  return p;
+}
+
+ClusterProfile stampede1_like() {
+  ClusterProfile p;
+  p.name = "stampede1-like";
+  p.fabric = fabric::infiniband_snb_config();
+  p.compute_threads = 2;  // scaled from 16 cores
+  p.description =
+      "SandyBridge-class hosts, Infiniband FDR-class fabric (ibverbs RC "
+      "analogue): 8KiB MTU, ~1.3us latency, 54Gb/s";
+  return p;
+}
+
+std::vector<ClusterProfile> all_profiles() {
+  return {stampede2_like(), stampede1_like()};
+}
+
+std::string format_profile(const ClusterProfile& p) {
+  std::ostringstream os;
+  os << p.name << ": " << p.description
+     << " | rx-buffers/endpoint=" << p.fabric.default_rx_buffers
+     << " threads/host=" << p.compute_threads;
+  return os.str();
+}
+
+}  // namespace lcr::bench

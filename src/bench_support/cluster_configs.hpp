@@ -1,0 +1,30 @@
+// Named cluster configurations (paper Table III analogues).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/config.hpp"
+
+namespace lcr::bench {
+
+struct ClusterProfile {
+  std::string name;          // "stampede2-like", "stampede1-like"
+  fabric::FabricConfig fabric;
+  std::size_t compute_threads;  // per host (scaled from 68 / 16 cores)
+  std::string description;
+};
+
+/// Stampede2 analogue: Intel KNL + Omni-Path (the paper's primary platform).
+ClusterProfile stampede2_like();
+
+/// Stampede1 analogue: SandyBridge + Infiniband FDR (Section IV-B3).
+ClusterProfile stampede1_like();
+
+/// All profiles, for sweeps.
+std::vector<ClusterProfile> all_profiles();
+
+/// Formats a Table-III-style description block.
+std::string format_profile(const ClusterProfile& p);
+
+}  // namespace lcr::bench

@@ -1,0 +1,218 @@
+#include "bench_support/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "abelian/cluster.hpp"
+#include "abelian/engine.hpp"
+#include "abelian/sync.hpp"
+#include "apps/bfs.hpp"
+#include "apps/cc.hpp"
+#include "apps/kcore.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "apps/sssp_delta.hpp"
+#include "gemini/engine.hpp"
+#include "graph/partition.hpp"
+#include "runtime/mem_tracker.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::bench {
+
+graph::VertexId choose_source(const graph::Csr& g) {
+  graph::VertexId best = 0;
+  std::size_t best_deg = 0;
+  for (graph::VertexId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > best_deg) {
+      best_deg = g.degree(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct HostOutcome {
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+template <typename Label>
+void write_masters(const graph::DistGraph& g, const std::vector<Label>& local,
+                   std::vector<Label>& global) {
+  for (graph::VertexId lid = 0; lid < g.num_masters; ++lid)
+    global[g.l2g[lid]] = local[lid];
+}
+
+/// Untimed warm-up: run one empty sync round with the app's patterns and
+/// datatype. This mirrors the paper's measurement protocol ("RMA window
+/// creation time is excluded in MPI-RMA results") and warms every backend's
+/// send/receive paths equally.
+template <typename Label>
+void warmup_sync(abelian::HostEngine& eng, const abelian::SyncPlan& plan) {
+  rt::ConcurrentBitset clean(eng.graph().num_local);
+  std::vector<Label> scratch(eng.graph().num_local, Label{});
+  if (plan.do_reduce)
+    eng.sync_reduce<Label>(
+        scratch.data(), clean, [](Label&, Label) { return false; },
+        [](graph::VertexId) {});
+  if (plan.do_broadcast)
+    eng.sync_broadcast<Label>(scratch.data(), clean, [](graph::VertexId) {});
+}
+
+void warmup_engine(abelian::HostEngine& eng, const std::string& app,
+                   graph::PartitionPolicy policy) {
+  abelian::SyncPlan plan = app == "pagerank"
+                               ? abelian::plan_accumulate(policy)
+                               : abelian::plan_push_monotone(policy);
+  if (app == "kcore") plan = abelian::SyncPlan{true, true};
+  if (app == "pagerank")
+    warmup_sync<double>(eng, plan);
+  else
+    warmup_sync<std::uint32_t>(eng, plan);
+  // Warm-up communication must not count towards the reported numbers.
+  eng.stats().comm_s = 0.0;
+  eng.stats().compute_s = 0.0;
+  eng.stats().phases = 0;
+  eng.stats().messages_sent.store(0);
+  eng.stats().bytes_sent.store(0);
+}
+
+}  // namespace
+
+RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
+  const bool is_gemini = spec.engine == "gemini";
+  const graph::PartitionPolicy policy =
+      is_gemini ? graph::PartitionPolicy::BlockedEdgeCut : spec.policy;
+
+  std::vector<graph::DistGraph> parts =
+      graph::partition(g, spec.hosts, policy);
+
+  abelian::Cluster cluster(spec.hosts, spec.fabric);
+
+  RunResult result;
+  result.peak_mem.assign(static_cast<std::size_t>(spec.hosts), 0);
+  const bool is_pagerank = spec.app == "pagerank";
+  if (is_pagerank)
+    result.labels_f64.assign(g.num_nodes(), 0.0);
+  else
+    result.labels_u32.assign(g.num_nodes(), 0);
+
+  std::vector<HostOutcome> outcomes(static_cast<std::size_t>(spec.hosts));
+  std::vector<rt::MemTracker> trackers(static_cast<std::size_t>(spec.hosts));
+
+  cluster.run([&](int h) {
+    const auto hs = static_cast<std::size_t>(h);
+    const graph::DistGraph& part = parts[hs];
+    HostOutcome& out = outcomes[hs];
+
+    if (is_gemini) {
+      gemini::GeminiConfig cfg;
+      cfg.comm = spec.backend == comm::BackendKind::Lci
+                     ? gemini::CommKind::Lci
+                     : gemini::CommKind::MpiProbeMulti;
+      cfg.compute_threads = spec.threads;
+      cfg.mpi_personality = spec.mpi_personality;
+      cfg.tracker = &trackers[hs];
+      cfg.dense_threshold = spec.gemini_dense_threshold;
+      cfg.batch_bytes = spec.gemini_batch_bytes;
+      gemini::GeminiHost host(cluster, part, cfg);
+
+      cluster.oob_barrier();
+      rt::Timer timer;
+      if (spec.app == "bfs") {
+        auto labels = host.run_push<apps::BfsTraits>(spec.source);
+        write_masters(part, labels, result.labels_u32);
+      } else if (spec.app == "cc") {
+        auto labels = host.run_push<apps::CcTraits>(0);
+        write_masters(part, labels, result.labels_u32);
+      } else if (spec.app == "sssp") {
+        auto labels = host.run_push<apps::SsspTraits>(spec.source);
+        write_masters(part, labels, result.labels_u32);
+      } else if (spec.app == "pagerank") {
+        auto ranks = host.run_pagerank(0.85, spec.pagerank_iters,
+                                       spec.pagerank_tol);
+        write_masters(part, ranks, result.labels_f64);
+      } else {
+        throw std::invalid_argument("unknown app: " + spec.app);
+      }
+      out.total_s = timer.elapsed_s();
+      cluster.oob_barrier();
+      out.compute_s = host.stats().compute_s;
+      out.comm_s = host.stats().comm_s;
+      out.rounds = host.stats().rounds;
+      out.messages = host.stats().messages.load();
+      out.bytes = host.stats().bytes.load();
+      return;
+    }
+
+    abelian::EngineConfig cfg;
+    cfg.backend = spec.backend;
+    cfg.backend_options.tracker = &trackers[hs];
+    cfg.backend_options.mpi_personality = spec.mpi_personality;
+    cfg.backend_options.aggregation_timeout_us = spec.aggregation_timeout_us;
+    cfg.compute_threads = spec.threads;
+    abelian::HostEngine eng(cluster, part, cfg);
+
+    warmup_engine(eng, spec.app, policy);
+    cluster.oob_barrier();
+    rt::Timer timer;
+    if (spec.app == "bfs") {
+      auto labels = apps::run_bfs(eng, spec.source);
+      write_masters(part, labels, result.labels_u32);
+    } else if (spec.app == "cc") {
+      auto labels = apps::run_cc(eng);
+      write_masters(part, labels, result.labels_u32);
+    } else if (spec.app == "sssp") {
+      auto labels = apps::run_sssp(eng, spec.source);
+      write_masters(part, labels, result.labels_u32);
+    } else if (spec.app == "pagerank") {
+      apps::PagerankOptions opt;
+      opt.max_iterations = spec.pagerank_iters;
+      opt.tolerance = spec.pagerank_tol;
+      auto ranks = apps::run_pagerank(eng, opt);
+      write_masters(part, ranks, result.labels_f64);
+    } else if (spec.app == "kcore") {
+      auto alive = apps::run_kcore(eng, spec.kcore_k);
+      write_masters(part, alive, result.labels_u32);
+    } else if (spec.app == "sssp_delta") {
+      auto labels = apps::run_sssp_delta(eng, spec.source);
+      write_masters(part, labels, result.labels_u32);
+    } else {
+      throw std::invalid_argument("unknown app: " + spec.app);
+    }
+    out.total_s = timer.elapsed_s();
+    cluster.oob_barrier();
+    out.compute_s = eng.stats().compute_s;
+    out.comm_s = eng.stats().comm_s;
+    out.rounds = eng.stats().rounds;
+    out.messages = eng.stats().messages_sent.load();
+    out.bytes = eng.stats().bytes_sent.load();
+  });
+
+  for (int h = 0; h < spec.hosts; ++h) {
+    auto& ep = cluster.fabric().endpoint(static_cast<fabric::Rank>(h));
+    result.wire_sends += ep.stats().sends.load();
+    result.wire_puts += ep.stats().puts.load();
+    result.wire_bytes += ep.stats().bytes_tx.load();
+    result.wire_soft_retries += ep.stats().retries_no_rx.load() +
+                                ep.stats().retries_throttled.load() +
+                                ep.stats().retries_cq_full.load();
+    const auto hs = static_cast<std::size_t>(h);
+    result.total_s = std::max(result.total_s, outcomes[hs].total_s);
+    result.compute_s = std::max(result.compute_s, outcomes[hs].compute_s);
+    result.comm_s = std::max(result.comm_s, outcomes[hs].comm_s);
+    result.rounds = std::max(result.rounds, outcomes[hs].rounds);
+    result.messages += outcomes[hs].messages;
+    result.bytes += outcomes[hs].bytes;
+    result.peak_mem[hs] = trackers[hs].peak();
+  }
+  return result;
+}
+
+}  // namespace lcr::bench

@@ -1,0 +1,68 @@
+// End-to-end experiment runner: graph -> partition -> cluster -> app.
+//
+// One call runs one (app x engine x backend x policy x hosts) configuration
+// on a simulated cluster and returns validated labels plus the timing and
+// memory measurements the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/backend.hpp"
+#include "fabric/config.hpp"
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+
+namespace lcr::bench {
+
+struct RunSpec {
+  std::string app = "bfs";        // bfs | cc | sssp | pagerank
+  std::string engine = "abelian"; // abelian | gemini
+  comm::BackendKind backend = comm::BackendKind::Lci;
+  graph::PartitionPolicy policy = graph::PartitionPolicy::CartesianVertexCut;
+  int hosts = 4;
+  std::size_t threads = 2;
+  graph::VertexId source = 0;
+  std::uint32_t pagerank_iters = 20;
+  std::uint32_t kcore_k = 4;  // for app == "kcore" (abelian engine only)
+  /// Gemini sparse/dense switch (see gemini::GeminiConfig::dense_threshold).
+  /// The Fig-4 bench forces sparse (> 1.0) to reproduce the paper's
+  /// per-edge signal regime; the dense aggregation is this repo's extension.
+  double gemini_dense_threshold = 0.05;
+  /// Gemini record-batch bytes per (thread, destination).
+  std::size_t gemini_batch_bytes = 8 * 1024;
+  double pagerank_tol = 0.0;  // 0: fixed iteration count (fair comparisons)
+  std::string mpi_personality = "default";
+  /// MPI-Probe buffered-layer flush timeout (ablation C).
+  std::uint64_t aggregation_timeout_us = 50;
+  fabric::FabricConfig fabric = fabric::test_config();
+};
+
+struct RunResult {
+  double total_s = 0.0;    // max across hosts
+  double compute_s = 0.0;  // max across hosts
+  double comm_s = 0.0;     // max across hosts (non-overlapped communication)
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;  // summed across hosts
+  std::uint64_t bytes = 0;
+  /// Peak communication-buffer working set per host (Fig 5).
+  std::vector<std::uint64_t> peak_mem;
+  /// Fabric-level totals across hosts (wire traffic introspection).
+  std::uint64_t wire_sends = 0;
+  std::uint64_t wire_puts = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_soft_retries = 0;  // NoRxBuffer + Throttled + CqFull
+  /// Global result labels assembled from the masters.
+  std::vector<std::uint32_t> labels_u32;  // bfs / cc / sssp
+  std::vector<double> labels_f64;         // pagerank
+};
+
+/// Runs `spec` on `g`. For cc the caller should pass a symmetrized graph.
+/// The gemini engine forces BlockedEdgeCut.
+RunResult run_app(const graph::Csr& g, const RunSpec& spec);
+
+/// Picks a well-connected source (max out-degree vertex).
+graph::VertexId choose_source(const graph::Csr& g);
+
+}  // namespace lcr::bench

@@ -1,0 +1,71 @@
+#include "bench_support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace lcr::bench {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(s < 0.1 ? 4 : 3) << s;
+  return os.str();
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (bytes >= (1ULL << 30))
+    os << static_cast<double>(bytes) / (1ULL << 30) << "GiB";
+  else if (bytes >= (1ULL << 20))
+    os << static_cast<double>(bytes) / (1ULL << 20) << "MiB";
+  else if (bytes >= (1ULL << 10))
+    os << static_cast<double>(bytes) / (1ULL << 10) << "KiB";
+  else
+    os << bytes << "B";
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << r << "x";
+  return os.str();
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace lcr::bench

@@ -1,0 +1,31 @@
+// Plain-text table formatting for benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lcr::bench {
+
+/// Column-aligned text table, printed like the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_seconds(double s);
+std::string fmt_bytes(std::uint64_t bytes);
+std::string fmt_ratio(double r);
+
+/// Geometric mean of strictly positive values (0 on empty input).
+double geomean(const std::vector<double>& values);
+
+}  // namespace lcr::bench

@@ -1,0 +1,32 @@
+#include "comm/backend.hpp"
+
+#include "comm/lci_backend.hpp"
+#include "comm/mpi_probe_backend.hpp"
+#include "comm/mpi_rma_backend.hpp"
+
+namespace lcr::comm {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::Lci: return "lci";
+    case BackendKind::MpiProbe: return "mpi-probe";
+    case BackendKind::MpiRma: return "mpi-rma";
+  }
+  return "?";
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      fabric::Fabric& fabric, int rank,
+                                      const BackendOptions& options) {
+  switch (kind) {
+    case BackendKind::Lci:
+      return std::make_unique<LciBackend>(fabric, rank, options);
+    case BackendKind::MpiProbe:
+      return std::make_unique<MpiProbeBackend>(fabric, rank, options);
+    case BackendKind::MpiRma:
+      return std::make_unique<MpiRmaBackend>(fabric, rank, options);
+  }
+  return nullptr;
+}
+
+}  // namespace lcr::comm

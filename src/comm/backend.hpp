@@ -1,0 +1,110 @@
+// Communication-backend interface for the gather-communicate-scatter runtime.
+//
+// The Abelian engine (paper Fig. 2) drives one of three interchangeable
+// backends: LCI (Section III-D), MPI-Probe (III-B) or MPI-RMA (III-C). The
+// interface captures exactly the degrees of freedom the paper contrasts:
+//
+//  * thread_safe(): may compute threads send/receive directly? True for LCI
+//    ("a thread can send a serialized message through SEND-ENQ and use
+//    RECV-DEQ for probing incoming messages"); false for the MPI layers,
+//    where a dedicated communication thread owns all MPI calls.
+//  * chunk_bytes(): preferred message chunking. The MPI/LCI layers split a
+//    peer's payload into eager-limit-sized chunks (the many-small-irregular-
+//    messages regime); MPI-RMA sends one put per peer into a preallocated
+//    worst-case window slot (chunk_bytes() == 0).
+//  * begin_phase/flush/end_phase: BSP phase hooks; only RMA uses them
+//    heavily (window creation, access/exposure epochs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "runtime/mem_tracker.hpp"
+
+namespace lcr::fabric {
+class Fabric;
+}
+
+namespace lcr::comm {
+
+/// Description of one BSP communication phase, identical on all hosts.
+struct PhaseSpec {
+  std::uint32_t phase_id = 0;
+  /// Stable key identifying the communication pattern x datatype; the RMA
+  /// backend keeps one preallocated window set per key ("for each datatype
+  /// ... for each pattern of communication").
+  std::uint32_t pattern_key = 0;
+  std::vector<int> send_to;
+  std::vector<int> recv_from;
+  /// Worst-case bytes (all nodes active) per peer, indexed by rank; used by
+  /// RMA to size windows.
+  std::vector<std::size_t> max_send_bytes;
+  std::vector<std::size_t> max_recv_bytes;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+  /// May compute threads call try_send directly? True for LCI (SEND-ENQ is
+  /// thread-safe) and for MPI-RMA ("the main compute thread ... will
+  /// instead perform RMA operations", Section III-C); false for MPI-Probe
+  /// (FUNNELED: the dedicated communication thread owns every MPI call).
+  virtual bool thread_safe_send() const = 0;
+  /// May compute threads call try_recv directly? True only for LCI
+  /// (RECV-DEQ); the MPI layers receive on the communication thread.
+  virtual bool thread_safe_recv() const = 0;
+  virtual std::size_t chunk_bytes() const = 0;
+
+  virtual void begin_phase(const PhaseSpec& spec) = 0;
+
+  /// Attempts to hand one framed message (ChunkHeader already in `payload`)
+  /// to the network layer. On success the buffer is moved out of `payload`
+  /// and the backend reports its eventual free to the tracker. Returns false
+  /// - leaving `payload` intact - when resources are exhausted; the caller
+  /// must make progress (receive/scatter) and retry. This is LCI's
+  /// back-pressure surface; the MPI backends always accept and buffer
+  /// internally instead (the "lack of back pressure" of Section III-B).
+  /// If !thread_safe(), only the communication thread may call.
+  virtual bool try_send(int dst, std::vector<std::byte>& payload) = 0;
+
+  /// Called once per phase by the communication thread after every send for
+  /// the phase has been issued.
+  virtual void flush() = 0;
+
+  /// Polls for an arrived message. If !thread_safe(), only the communication
+  /// thread may call.
+  virtual bool try_recv(InMessage& out) = 0;
+
+  /// One progress step; called in a loop by the communication thread.
+  virtual void progress() = 0;
+
+  virtual void end_phase() = 0;
+};
+
+/// Which backend to instantiate (bench/test parameter).
+enum class BackendKind : std::uint8_t { Lci, MpiProbe, MpiRma };
+
+const char* to_string(BackendKind k);
+
+struct BackendOptions {
+  rt::MemTracker* tracker = nullptr;
+  /// MPI personality name: "default", "intelmpi", "mvapich", "openmpi".
+  std::string mpi_personality = "default";
+  /// MPI-Probe buffered-layer flush timeout (us) for sub-eager aggregates.
+  std::uint64_t aggregation_timeout_us = 50;
+  /// LCI receive-window packets; 0 = use the fabric's default_rx_buffers.
+  std::size_t lci_rx_packets = 0;
+};
+
+/// Factory: builds the backend for `rank` on `fabric`.
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      fabric::Fabric& fabric, int rank,
+                                      const BackendOptions& options);
+
+}  // namespace lcr::comm

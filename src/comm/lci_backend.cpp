@@ -1,0 +1,110 @@
+#include "comm/lci_backend.hpp"
+
+#include <mutex>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::comm {
+
+namespace {
+constexpr std::uint32_t kDataTag = 7;
+}
+
+LciBackend::LciBackend(fabric::Fabric& fabric, int rank,
+                       const BackendOptions& options)
+    : queue_(fabric, static_cast<fabric::Rank>(rank),
+             lci::QueueConfig{
+                 lci::DeviceConfig{/*tx_packets=*/64,
+                                   /*rx_packets=*/options.lci_rx_packets != 0
+                                       ? options.lci_rx_packets
+                                       : fabric.config().default_rx_buffers,
+                                   /*pool_caches=*/8},
+                 options.tracker}),
+      tracker_(options.tracker) {}
+
+LciBackend::~LciBackend() = default;
+
+void LciBackend::begin_phase(const PhaseSpec&) {}
+
+bool LciBackend::try_send(int dst, std::vector<std::byte>& payload) {
+  auto slot = std::make_unique<SendSlot>();
+  // SEND-ENQ: a false return is the non-fatal resource-exhaustion signal;
+  // surface it so the caller can receive/scatter (back pressure), not spin.
+  if (!queue_.send_enq(payload.data(), payload.size(),
+                       static_cast<fabric::Rank>(dst), kDataTag, slot->req)) {
+    return false;
+  }
+  slot->payload = std::move(payload);
+  {
+    std::lock_guard<rt::Spinlock> guard(send_lock_);
+    in_flight_sends_.push_back(std::move(slot));
+  }
+  reap_sends();
+  return true;
+}
+
+void LciBackend::reap_sends() {
+  std::lock_guard<rt::Spinlock> guard(send_lock_);
+  while (!in_flight_sends_.empty() && in_flight_sends_.front()->req.done()) {
+    if (tracker_ != nullptr)
+      tracker_->on_free(in_flight_sends_.front()->payload.size());
+    in_flight_sends_.pop_front();
+  }
+}
+
+void LciBackend::flush() {
+  // All sends were injected synchronously (eager) or are progressing
+  // (rendezvous); nothing to force. Reap what has finished.
+  reap_sends();
+}
+
+bool LciBackend::try_recv(InMessage& out) {
+  // First: any rendezvous receive whose RDMA completed?
+  {
+    std::lock_guard<rt::Spinlock> guard(rdv_lock_);
+    for (auto it = pending_rdv_.begin(); it != pending_rdv_.end(); ++it) {
+      if ((*it)->done()) {
+        lci::Request* req = it->release();
+        pending_rdv_.erase(it);
+        out.src = static_cast<int>(req->peer);
+        out.data = static_cast<const std::byte*>(req->buffer);
+        out.size = req->size;
+        out.release = [this, req] {
+          queue_.release(*req);
+          delete req;
+        };
+        return true;
+      }
+    }
+  }
+
+  // RECV-DEQ: first-packet policy, any source, any tag.
+  auto req = std::make_unique<lci::Request>();
+  if (!queue_.recv_deq(*req)) return false;
+
+  if (!req->done()) {
+    // Rendezvous in progress: park it until the server's RDMA notification.
+    std::lock_guard<rt::Spinlock> guard(rdv_lock_);
+    pending_rdv_.push_back(std::move(req));
+    return false;
+  }
+
+  lci::Request* raw = req.release();
+  out.src = static_cast<int>(raw->peer);
+  out.data = static_cast<const std::byte*>(raw->buffer);
+  out.size = raw->size;
+  out.release = [this, raw] {
+    queue_.release(*raw);
+    delete raw;
+  };
+  return true;
+}
+
+void LciBackend::progress() {
+  queue_.progress();
+  reap_sends();
+}
+
+void LciBackend::end_phase() { reap_sends(); }
+
+}  // namespace lcr::comm

@@ -1,0 +1,59 @@
+// LCI communication backend (paper Section III-D).
+//
+// Thin shim over lci::Queue: send() is SEND-ENQ with retry-on-exhaustion,
+// try_recv() is RECV-DEQ with the first-packet policy, progress() runs the
+// communication server step (Algorithm 3). Compute threads may call send and
+// try_recv directly (thread_safe() == true); completion is observed through
+// the request status flags, never a library call.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "comm/backend.hpp"
+#include "lci/queue.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::comm {
+
+class LciBackend final : public Backend {
+ public:
+  LciBackend(fabric::Fabric& fabric, int rank, const BackendOptions& options);
+  ~LciBackend() override;
+
+  const char* name() const override { return "lci"; }
+  bool thread_safe_send() const override { return true; }
+  bool thread_safe_recv() const override { return true; }
+  std::size_t chunk_bytes() const override { return queue_.eager_limit(); }
+
+  void begin_phase(const PhaseSpec& spec) override;
+  bool try_send(int dst, std::vector<std::byte>& payload) override;
+  void flush() override;
+  bool try_recv(InMessage& out) override;
+  void progress() override;
+  void end_phase() override;
+
+  lci::Queue& queue() noexcept { return queue_; }
+
+ private:
+  struct SendSlot {
+    std::vector<std::byte> payload;
+    lci::Request req;
+  };
+
+  void reap_sends();
+
+  lci::Queue queue_;
+  rt::MemTracker* tracker_;
+
+  // Incomplete requests list (paper: "Abelian's communication layer
+  // maintains a list of incomplete requests, and can start freeing resources
+  // ... by simply checking the boolean-type status of each request").
+  rt::Spinlock send_lock_;
+  std::deque<std::unique_ptr<SendSlot>> in_flight_sends_;
+
+  rt::Spinlock rdv_lock_;
+  std::deque<std::unique_ptr<lci::Request>> pending_rdv_;
+};
+
+}  // namespace lcr::comm

@@ -1,0 +1,38 @@
+// Engine-level message framing shared by every communication backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lcr::comm {
+
+/// Header prepended to every engine message (one chunk of a phase's payload
+/// from one host to another).
+struct ChunkHeader {
+  std::uint32_t phase_id = 0;   // global BSP phase counter
+  std::uint16_t chunk_idx = 0;  // this chunk's index
+  std::uint16_t num_chunks = 1; // total chunks from this sender this phase
+  std::uint32_t payload_bytes = 0;  // bytes following the header
+};
+
+inline constexpr std::size_t kChunkHeaderBytes = sizeof(ChunkHeader);
+
+/// A received message surfaced to the engine. `release()` must be called
+/// exactly once after the data has been consumed; it recycles backend
+/// resources (LCI packets, probe receive buffers, RMA exposure epochs).
+struct InMessage {
+  int src = -1;
+  const std::byte* data = nullptr;  // starts at the ChunkHeader
+  std::size_t size = 0;             // header + payload bytes
+  std::function<void()> release;
+
+  const ChunkHeader& header() const {
+    return *reinterpret_cast<const ChunkHeader*>(data);
+  }
+  const std::byte* payload() const { return data + kChunkHeaderBytes; }
+  std::size_t payload_size() const { return size - kChunkHeaderBytes; }
+};
+
+}  // namespace lcr::comm

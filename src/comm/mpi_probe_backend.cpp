@@ -1,0 +1,165 @@
+#include "comm/mpi_probe_backend.hpp"
+
+#include <cstring>
+
+#include "mpilite/personality.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::comm {
+
+namespace {
+
+constexpr int kDataTag = 7;
+
+mpi::Personality personality_by_name(const std::string& name) {
+  if (name == "intelmpi") return mpi::intelmpi_like();
+  if (name == "mvapich") return mpi::mvapich_like();
+  if (name == "openmpi") return mpi::openmpi_like();
+  return mpi::default_personality();
+}
+
+}  // namespace
+
+MpiProbeBackend::MpiProbeBackend(fabric::Fabric& fabric, int rank,
+                                 const BackendOptions& options)
+    : comm_(fabric, rank, personality_by_name(options.mpi_personality),
+            mpi::ThreadLevel::Funneled,
+            mpi::CommConfig{fabric.config().default_rx_buffers,
+                            /*internal_tracker=*/nullptr}),
+      tracker_(options.tracker),
+      timeout_ns_(options.aggregation_timeout_us * 1000),
+      agg_(fabric.num_ranks()) {}
+
+MpiProbeBackend::~MpiProbeBackend() = default;
+
+void MpiProbeBackend::begin_phase(const PhaseSpec&) {}
+
+void MpiProbeBackend::append_record(AggBuffer& agg,
+                                    const std::vector<std::byte>& payload) {
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  const std::size_t old = agg.bytes.size();
+  agg.bytes.resize(old + sizeof(size) + payload.size());
+  std::memcpy(agg.bytes.data() + old, &size, sizeof(size));
+  std::memcpy(agg.bytes.data() + old + sizeof(size), payload.data(),
+              payload.size());
+  if (tracker_ != nullptr)
+    tracker_->on_alloc(sizeof(size) + payload.size());
+  if (agg.oldest_ns == 0) agg.oldest_ns = rt::now_ns();
+}
+
+void MpiProbeBackend::flush_agg(int dst) {
+  AggBuffer& agg = agg_[static_cast<std::size_t>(dst)];
+  if (agg.bytes.empty()) return;
+  outstanding_.emplace_back();
+  OutstandingSend& out = outstanding_.back();
+  out.bytes = std::move(agg.bytes);
+  agg.bytes.clear();
+  agg.oldest_ns = 0;
+  out.req = comm_.isend(out.bytes.data(), out.bytes.size(), dst, kDataTag);
+}
+
+bool MpiProbeBackend::try_send(int dst, std::vector<std::byte>& payload) {
+  // MPI never pushes back: everything is accepted and buffered.
+  AggBuffer& agg = agg_[static_cast<std::size_t>(dst)];
+  if (payload.size() >= comm_.eager_limit()) {
+    // Large items are not aggregated (the buffered layer only batches items
+    // below the eager-send limit); flush what's pending to preserve order,
+    // then send the item as its own record.
+    append_record(agg, payload);
+    flush_agg(dst);
+  } else {
+    append_record(agg, payload);
+    if (agg.bytes.size() >= comm_.eager_limit()) flush_agg(dst);
+  }
+  // The record was copied into the aggregate (tracked above); the caller's
+  // gather buffer is done.
+  if (tracker_ != nullptr) tracker_->on_free(payload.size());
+  payload.clear();
+  payload.shrink_to_fit();
+  return true;
+}
+
+void MpiProbeBackend::flush() {
+  for (int dst = 0; dst < comm_.size(); ++dst) flush_agg(dst);
+}
+
+void MpiProbeBackend::reap_outstanding() {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (comm_.test(it->req)) {
+      if (tracker_ != nullptr) tracker_->on_free(it->bytes.size());
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MpiProbeBackend::pump_receives() {
+  // MPI_Iprobe with wildcards, then MPI_Irecv of the discovered size.
+  mpi::Status st;
+  while (comm_.iprobe(mpi::kAnySource, kDataTag, &st)) {
+    auto buf = std::make_shared<RecvBuf>();
+    buf->bytes.resize(st.size);
+    buf->src = st.source;
+    if (tracker_ != nullptr) tracker_->on_alloc(st.size);
+    pending_recvs_.push_back(PendingRecv{
+        buf, comm_.irecv(buf->bytes.data(), st.size, st.source, st.tag)});
+  }
+  for (auto it = pending_recvs_.begin(); it != pending_recvs_.end();) {
+    if (comm_.test(it->req)) {
+      split_records(it->buf);
+      it = pending_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MpiProbeBackend::split_records(std::shared_ptr<RecvBuf> buf) {
+  std::size_t off = 0;
+  rt::MemTracker* tracker = tracker_;
+  const std::size_t total = buf->bytes.size();
+  while (off < buf->bytes.size()) {
+    std::uint32_t size = 0;
+    std::memcpy(&size, buf->bytes.data() + off, sizeof(size));
+    off += sizeof(size);
+    InMessage msg;
+    msg.src = buf->src;
+    msg.data = buf->bytes.data() + off;
+    msg.size = size;
+    // Shared ownership: the aggregate is freed (and accounted) when the last
+    // record view is released.
+    msg.release = [buf, tracker, total] {
+      if (buf.use_count() == 1 && tracker != nullptr) tracker->on_free(total);
+    };
+    ready_.push_back(std::move(msg));
+    off += size;
+  }
+}
+
+bool MpiProbeBackend::try_recv(InMessage& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void MpiProbeBackend::progress() {
+  // Timeout-driven flush of aged sub-eager aggregates ("until the oldest
+  // buffered message times out").
+  const std::uint64_t now = rt::now_ns();
+  for (int dst = 0; dst < comm_.size(); ++dst) {
+    AggBuffer& agg = agg_[static_cast<std::size_t>(dst)];
+    if (!agg.bytes.empty() && now - agg.oldest_ns >= timeout_ns_)
+      flush_agg(dst);
+  }
+  reap_outstanding();
+  pump_receives();
+}
+
+void MpiProbeBackend::end_phase() {
+  flush();
+  reap_outstanding();
+}
+
+}  // namespace lcr::comm

@@ -1,0 +1,85 @@
+// MPI-Probe communication backend (paper Section III-B).
+//
+// The baseline two-sided layer: MPI_THREAD_FUNNELED, all MPI calls from the
+// dedicated communication thread, plus the *buffered network layer* the
+// authors had to add because MPI provides no back pressure:
+//
+//   "For sending messages, the system buffers small items (those less than
+//    the eager-send limit) until either the oldest buffered message times
+//    out or the buffer size exceeds the eager send limit."
+//
+// Receives use MPI_Iprobe with wildcards to learn the size/source of the
+// next incoming aggregate, then a matching MPI_Irecv; MPI_Test drives
+// progress and reclaims buffers. All calls are nonblocking.
+#pragma once
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "comm/backend.hpp"
+#include "mpilite/comm.hpp"
+
+namespace lcr::comm {
+
+class MpiProbeBackend final : public Backend {
+ public:
+  MpiProbeBackend(fabric::Fabric& fabric, int rank,
+                  const BackendOptions& options);
+  ~MpiProbeBackend() override;
+
+  const char* name() const override { return "mpi-probe"; }
+  bool thread_safe_send() const override { return false; }  // FUNNELED
+  bool thread_safe_recv() const override { return false; }
+  std::size_t chunk_bytes() const override { return comm_.eager_limit(); }
+
+  void begin_phase(const PhaseSpec& spec) override;
+  bool try_send(int dst, std::vector<std::byte>& payload) override;
+  void flush() override;
+  bool try_recv(InMessage& out) override;
+  void progress() override;
+  void end_phase() override;
+
+  mpi::Comm& comm() noexcept { return comm_; }
+
+ private:
+  /// Per-destination aggregation buffer of the buffered network layer.
+  struct AggBuffer {
+    std::vector<std::byte> bytes;   // [u32 record_size][record]...
+    std::uint64_t oldest_ns = 0;    // enqueue time of the oldest record
+  };
+
+  struct OutstandingSend {
+    std::vector<std::byte> bytes;
+    mpi::Request req;
+  };
+
+  /// A completed incoming aggregate, shared by the record views cut from it.
+  struct RecvBuf {
+    std::vector<std::byte> bytes;
+    int src = -1;
+  };
+
+  struct PendingRecv {
+    std::shared_ptr<RecvBuf> buf;
+    mpi::Request req;
+  };
+
+  void append_record(AggBuffer& agg, const std::vector<std::byte>& payload);
+  void flush_agg(int dst);
+  void reap_outstanding();
+  void pump_receives();
+  void split_records(std::shared_ptr<RecvBuf> buf);
+
+  mpi::Comm comm_;
+  rt::MemTracker* tracker_;
+  std::uint64_t timeout_ns_;
+
+  std::vector<AggBuffer> agg_;             // indexed by destination rank
+  std::list<OutstandingSend> outstanding_; // isends awaiting completion
+  std::list<PendingRecv> pending_recvs_;   // irecvs awaiting completion
+  std::deque<InMessage> ready_;            // parsed records ready for the engine
+};
+
+}  // namespace lcr::comm

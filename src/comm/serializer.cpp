@@ -1,0 +1,11 @@
+// Intentionally small: the serializer is header-only templates
+// (comm/serializer.hpp); this TU anchors the target and provides a
+// compile-time check that the record layout is as documented.
+#include "comm/serializer.hpp"
+
+namespace lcr::comm {
+
+static_assert(record_bytes<std::uint32_t>() == 8);
+static_assert(record_bytes<double>() == 12);
+
+}  // namespace lcr::comm

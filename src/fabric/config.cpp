@@ -1,0 +1,40 @@
+#include "fabric/config.hpp"
+
+namespace lcr::fabric {
+
+FabricConfig omnipath_knl_config() {
+  FabricConfig cfg;
+  cfg.name = "omnipath-knl";
+  cfg.mtu = 16 * 1024;
+  cfg.default_rx_buffers = 512;
+  cfg.cq_capacity = 8192;
+  cfg.injection_rate_pps = 0.0;  // not the bottleneck at our scale
+  cfg.wire_latency = std::chrono::nanoseconds(900);   // ~1us class fabric
+  cfg.bandwidth_Bps = 12.5e9;                         // 100 Gb/s
+  cfg.doorbell_cost_ns = 60;                          // psm2 tag-matching NIC
+  return cfg;
+}
+
+FabricConfig infiniband_snb_config() {
+  FabricConfig cfg;
+  cfg.name = "infiniband-fdr-snb";
+  cfg.mtu = 8 * 1024;
+  cfg.default_rx_buffers = 256;
+  cfg.cq_capacity = 4096;
+  cfg.injection_rate_pps = 0.0;
+  cfg.wire_latency = std::chrono::nanoseconds(1300);  // older fabric
+  cfg.bandwidth_Bps = 6.8e9;                          // FDR ~54.5 Gb/s
+  cfg.doorbell_cost_ns = 90;                          // verbs RC post path
+  return cfg;
+}
+
+FabricConfig test_config() {
+  FabricConfig cfg;
+  cfg.name = "test";
+  cfg.mtu = 4 * 1024;
+  cfg.default_rx_buffers = 64;
+  cfg.cq_capacity = 1024;
+  return cfg;
+}
+
+}  // namespace lcr::fabric

@@ -1,0 +1,65 @@
+// Fabric configuration: the "NIC personality" of the simulated network.
+//
+// The paper evaluates on two transports: Intel Omni-Path (psm2) on Stampede2
+// and Mellanox Infiniband FDR (ibverbs RC) on Stampede1. We cannot drive real
+// NICs here, so the fabric models the properties that matter to the runtimes
+// built on top of it:
+//   * an MTU / max eager payload,
+//   * a bounded pool of pre-posted receive buffers per endpoint (a verbs RQ):
+//     senders get a non-fatal Retry when the receiver has no buffers, which is
+//     the back-pressure signal MPI lacks and LCI exploits (paper Section III),
+//   * an injection-rate token bucket (packet injection limits "on many
+//     networks", Section III-B),
+//   * a wire latency + bandwidth model applied to delivery visibility.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lcr::fabric {
+
+struct FabricConfig {
+  /// Human-readable name, e.g. "omnipath-knl".
+  std::string name = "default";
+
+  /// Maximum payload of a single eager packet (post_send). RDMA writes
+  /// (post_put) are not limited by the MTU.
+  std::size_t mtu = 16 * 1024;
+
+  /// Number of receive buffers pre-posted per endpoint by default. Layers may
+  /// post their own buffers instead (LCI posts its packet pool).
+  std::size_t default_rx_buffers = 256;
+
+  /// Completion-queue capacity per endpoint.
+  std::size_t cq_capacity = 4096;
+
+  /// Injection rate limit in packets per second (token bucket); 0 = unlimited.
+  double injection_rate_pps = 0.0;
+
+  /// Token-bucket burst size (max tokens).
+  std::size_t injection_burst = 256;
+
+  /// One-way wire latency added to delivery visibility.
+  std::chrono::nanoseconds wire_latency{0};
+
+  /// Link bandwidth in bytes per second; 0 = infinite. Adds size/bw to the
+  /// delivery time of each packet / put notification.
+  double bandwidth_Bps = 0.0;
+
+  /// Per-operation software cost of the NIC driver doorbell, modelled as a
+  /// short busy spin (ns). Identical for every runtime on this fabric.
+  std::uint64_t doorbell_cost_ns = 0;
+};
+
+/// Omni-Path-on-KNL-like personality (Stampede2 analogue, Table III).
+FabricConfig omnipath_knl_config();
+
+/// Infiniband-FDR-on-SandyBridge-like personality (Stampede1 analogue).
+FabricConfig infiniband_snb_config();
+
+/// Zero-latency, unlimited fabric for unit tests.
+FabricConfig test_config();
+
+}  // namespace lcr::fabric

@@ -1,0 +1,116 @@
+#include "fabric/endpoint.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "runtime/timer.hpp"
+
+namespace lcr::fabric {
+
+Endpoint::Endpoint(Rank rank, const FabricConfig* config)
+    : rank_(rank), config_(config) {
+  tokens_ = static_cast<double>(config_->injection_burst);
+  last_refill_ns_ = rt::now_ns();
+}
+
+void Endpoint::post_rx(const RxSlot& slot) {
+  std::lock_guard<rt::Spinlock> guard(rx_lock_);
+  rx_slots_.push_back(slot);
+}
+
+std::size_t Endpoint::rx_available() const {
+  std::lock_guard<rt::Spinlock> guard(rx_lock_);
+  return rx_slots_.size();
+}
+
+bool Endpoint::take_rx_slot(RxSlot& out) {
+  std::lock_guard<rt::Spinlock> guard(rx_lock_);
+  if (rx_slots_.empty()) return false;
+  out = rx_slots_.front();
+  rx_slots_.pop_front();
+  return true;
+}
+
+void Endpoint::return_rx_slot(const RxSlot& slot) {
+  std::lock_guard<rt::Spinlock> guard(rx_lock_);
+  rx_slots_.push_front(slot);
+}
+
+bool Endpoint::push_cqe(const Cqe& cqe) {
+  std::lock_guard<rt::Spinlock> guard(cq_lock_);
+  if (cq_.size() >= config_->cq_capacity) return false;
+  cq_.push_back(cqe);
+  return true;
+}
+
+std::optional<Cqe> Endpoint::poll_cq() {
+  stats_.cq_polls.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<rt::Spinlock> guard(cq_lock_);
+  if (cq_.empty()) return std::nullopt;
+  const Cqe& head = cq_.front();
+  if (head.deliver_at_ns > rt::now_ns()) return std::nullopt;  // in flight
+  Cqe out = head;
+  cq_.pop_front();
+  if (out.kind == Cqe::Kind::Recv)
+    stats_.bytes_rx.fetch_add(out.meta.size, std::memory_order_relaxed);
+  return out;
+}
+
+RKey Endpoint::register_memory(void* base, std::size_t size) {
+  std::lock_guard<rt::Spinlock> guard(mr_lock_);
+  // Reuse a free slot if available.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].valid) {
+      regions_[i] = {base, size, true};
+      return static_cast<RKey>(i);
+    }
+  }
+  regions_.push_back({base, size, true});
+  return static_cast<RKey>(regions_.size() - 1);
+}
+
+void Endpoint::detach() {
+  {
+    std::lock_guard<rt::Spinlock> guard(rx_lock_);
+    rx_slots_.clear();
+  }
+  {
+    std::lock_guard<rt::Spinlock> guard(cq_lock_);
+    cq_.clear();
+  }
+  {
+    std::lock_guard<rt::Spinlock> guard(mr_lock_);
+    regions_.clear();
+  }
+}
+
+void Endpoint::deregister_memory(RKey key) {
+  std::lock_guard<rt::Spinlock> guard(mr_lock_);
+  if (key < regions_.size()) regions_[key].valid = false;
+}
+
+bool Endpoint::resolve_region(RKey key, std::size_t offset, std::size_t len,
+                              void** out_ptr) {
+  std::lock_guard<rt::Spinlock> guard(mr_lock_);
+  if (key >= regions_.size() || !regions_[key].valid) return false;
+  const MemoryRegion& mr = regions_[key];
+  if (offset + len > mr.size) return false;
+  *out_ptr = static_cast<char*>(mr.base) + offset;
+  return true;
+}
+
+bool Endpoint::consume_injection_token() {
+  if (config_->injection_rate_pps <= 0.0) return true;
+  std::lock_guard<rt::Spinlock> guard(tb_lock_);
+  const std::uint64_t now = rt::now_ns();
+  const double elapsed_s =
+      static_cast<double>(now - last_refill_ns_) * 1e-9;
+  tokens_ = std::min(tokens_ + elapsed_s * config_->injection_rate_pps,
+                     static_cast<double>(config_->injection_burst));
+  last_refill_ns_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+}  // namespace lcr::fabric

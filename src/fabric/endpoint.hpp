@@ -1,0 +1,120 @@
+// A fabric endpoint: one simulated NIC port owned by one host.
+//
+// Holds (a) the pool of pre-posted receive buffers (a verbs receive queue),
+// (b) the completion queue, (c) the registered-memory table for RDMA, and
+// (d) the sender-side injection token bucket.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fabric/config.hpp"
+#include "fabric/packet.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::fabric {
+
+/// A pre-posted receive buffer handed to the fabric by the layer above.
+struct RxSlot {
+  void* buffer = nullptr;
+  std::size_t capacity = 0;
+  std::uint64_t context = 0;  // opaque to the fabric; returned in the Cqe
+};
+
+/// A registered memory region; `rkey` indexes the endpoint's region table.
+struct MemoryRegion {
+  void* base = nullptr;
+  std::size_t size = 0;
+  bool valid = false;
+};
+
+/// Fabric-level statistics for one endpoint.
+struct EndpointStats {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> retries_no_rx{0};
+  std::atomic<std::uint64_t> retries_throttled{0};
+  std::atomic<std::uint64_t> retries_cq_full{0};
+  std::atomic<std::uint64_t> cq_polls{0};
+};
+
+class Fabric;
+
+class Endpoint {
+ public:
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  Rank rank() const noexcept { return rank_; }
+  const FabricConfig& config() const noexcept { return *config_; }
+
+  /// Pre-post a receive buffer. Buffers are consumed in FIFO order by
+  /// incoming eager packets; ownership stays with the caller, which gets the
+  /// buffer back via the Cqe.
+  void post_rx(const RxSlot& slot);
+
+  /// Number of currently available (unconsumed) receive buffers.
+  std::size_t rx_available() const;
+
+  /// Register `size` bytes at `base` for remote access; returns the rkey a
+  /// peer must use in post_put.
+  RKey register_memory(void* base, std::size_t size);
+
+  /// Invalidate an rkey.
+  void deregister_memory(RKey key);
+
+  /// Detach the owning communication layer: drops all pre-posted receive
+  /// buffers, pending completions and registered regions. Called by layer
+  /// destructors so a later layer on the same endpoint (e.g. the next run
+  /// on a persistent fabric) never receives into freed memory. Subsequent
+  /// sends to this endpoint soft-fail with NoRxBuffer until the next layer
+  /// posts buffers.
+  void detach();
+
+  /// Poll the completion queue. Returns the next visible completion, or
+  /// nullopt if none is ready (empty, or head still "in flight" under the
+  /// wire-latency model).
+  std::optional<Cqe> poll_cq();
+
+  EndpointStats& stats() noexcept { return stats_; }
+
+ private:
+  friend class Fabric;
+  Endpoint(Rank rank, const FabricConfig* config);
+
+  // --- Called by Fabric on behalf of remote senders. ---
+  bool take_rx_slot(RxSlot& out);
+  void return_rx_slot(const RxSlot& slot);  // undo after a later failure
+  bool push_cqe(const Cqe& cqe);
+  bool resolve_region(RKey key, std::size_t offset, std::size_t len,
+                      void** out_ptr);
+  bool consume_injection_token();
+
+  Rank rank_;
+  const FabricConfig* config_;
+
+  mutable rt::Spinlock rx_lock_;
+  std::deque<RxSlot> rx_slots_;
+
+  mutable rt::Spinlock cq_lock_;
+  std::deque<Cqe> cq_;
+
+  mutable rt::Spinlock mr_lock_;
+  std::vector<MemoryRegion> regions_;
+
+  // Token bucket (guarded by tb_lock_).
+  mutable rt::Spinlock tb_lock_;
+  double tokens_ = 0.0;
+  std::uint64_t last_refill_ns_ = 0;
+
+  EndpointStats stats_;
+};
+
+}  // namespace lcr::fabric

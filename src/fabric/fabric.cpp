@@ -1,0 +1,117 @@
+#include "fabric/fabric.hpp"
+
+#include <cstring>
+
+#include "runtime/cpu_relax.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::fabric {
+
+Fabric::Fabric(std::size_t num_ranks, FabricConfig config)
+    : config_(std::move(config)) {
+  endpoints_.reserve(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r)
+    endpoints_.emplace_back(
+        new Endpoint(static_cast<Rank>(r), &config_));
+}
+
+std::uint64_t Fabric::delivery_time_ns(std::size_t bytes) const {
+  std::uint64_t t = rt::now_ns();
+  t += static_cast<std::uint64_t>(config_.wire_latency.count());
+  if (config_.bandwidth_Bps > 0.0)
+    t += static_cast<std::uint64_t>(
+        static_cast<double>(bytes) / config_.bandwidth_Bps * 1e9);
+  return t;
+}
+
+PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
+                             MsgMeta meta) {
+  if (src >= endpoints_.size() || dst >= endpoints_.size())
+    return PostResult::Invalid;
+  if (meta.size > config_.mtu) return PostResult::TooLarge;
+
+  Endpoint& sep = *endpoints_[src];
+  Endpoint& dep = *endpoints_[dst];
+
+  if (!sep.consume_injection_token()) {
+    sep.stats().retries_throttled.fetch_add(1, std::memory_order_relaxed);
+    return PostResult::Throttled;
+  }
+
+  RxSlot slot;
+  if (!dep.take_rx_slot(slot)) {
+    sep.stats().retries_no_rx.fetch_add(1, std::memory_order_relaxed);
+    return PostResult::NoRxBuffer;
+  }
+  if (meta.size > slot.capacity) {
+    dep.return_rx_slot(slot);
+    return PostResult::TooLarge;
+  }
+
+  if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
+
+  if (meta.size > 0) std::memcpy(slot.buffer, payload, meta.size);
+  meta.src = src;
+
+  Cqe cqe;
+  cqe.kind = Cqe::Kind::Recv;
+  cqe.meta = meta;
+  cqe.buffer = slot.buffer;
+  cqe.rx_context = slot.context;
+  cqe.deliver_at_ns = delivery_time_ns(meta.size);
+
+  if (!dep.push_cqe(cqe)) {
+    dep.return_rx_slot(slot);
+    sep.stats().retries_cq_full.fetch_add(1, std::memory_order_relaxed);
+    return PostResult::CqFull;
+  }
+
+  sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
+  sep.stats().bytes_tx.fetch_add(meta.size, std::memory_order_relaxed);
+  return PostResult::Ok;
+}
+
+PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
+                            const void* payload, std::size_t size, bool notify,
+                            MsgMeta meta) {
+  if (src >= endpoints_.size() || dst >= endpoints_.size())
+    return PostResult::Invalid;
+
+  Endpoint& sep = *endpoints_[src];
+  Endpoint& dep = *endpoints_[dst];
+
+  if (!sep.consume_injection_token()) {
+    sep.stats().retries_throttled.fetch_add(1, std::memory_order_relaxed);
+    return PostResult::Throttled;
+  }
+
+  void* target = nullptr;
+  if (!dep.resolve_region(rkey, offset, size, &target))
+    return PostResult::Invalid;
+
+  if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
+
+  if (size > 0) std::memcpy(target, payload, size);
+
+  if (notify) {
+    meta.src = src;
+    meta.size = static_cast<std::uint32_t>(size);
+    Cqe cqe;
+    cqe.kind = Cqe::Kind::PutImm;
+    cqe.meta = meta;
+    cqe.deliver_at_ns = delivery_time_ns(size);
+    // A put notification consumes no rx buffer, but the CQ is still bounded.
+    // Retry from the caller would re-copy the data, which is harmless
+    // (idempotent write), so surface CqFull softly as well.
+    if (!dep.push_cqe(cqe)) {
+      sep.stats().retries_cq_full.fetch_add(1, std::memory_order_relaxed);
+      return PostResult::CqFull;
+    }
+  }
+
+  sep.stats().puts.fetch_add(1, std::memory_order_relaxed);
+  sep.stats().bytes_tx.fetch_add(size, std::memory_order_relaxed);
+  return PostResult::Ok;
+}
+
+}  // namespace lcr::fabric

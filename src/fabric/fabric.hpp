@@ -1,0 +1,61 @@
+// The simulated network fabric connecting all host endpoints.
+//
+// Semantics (modelled on reliable-connection verbs / psm2):
+//   * post_send: eager transfer of <= MTU bytes into a receive buffer the
+//     target pre-posted. Completes locally at return (buffered-at-target).
+//     Fails softly (PostResult) on missing rx buffers, throttling, or a full
+//     target CQ - the caller must retry; nothing is lost.
+//   * post_put: RDMA write of arbitrary size directly into a registered
+//     region on the target; optionally delivers a PutImm completion (like
+//     IBV_WR_RDMA_WRITE_WITH_IMM). Data is visible at the target no later
+//     than the notification.
+//   * per-link ordering: completions from one sender appear at the target CQ
+//     in posting order (RC ordering), because posts synchronize on the
+//     target's CQ lock in program order.
+//
+// The fabric itself is runtime-agnostic: LCI, mpilite two-sided and mpilite
+// RMA all drive exactly these three verbs, so measured differences between
+// them come from their own software stacks, not from the transport.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fabric/endpoint.hpp"
+
+namespace lcr::fabric {
+
+class Fabric {
+ public:
+  /// Creates a fabric with `num_ranks` endpoints sharing one configuration.
+  Fabric(std::size_t num_ranks, FabricConfig config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  std::size_t num_ranks() const noexcept { return endpoints_.size(); }
+  const FabricConfig& config() const noexcept { return config_; }
+
+  Endpoint& endpoint(Rank r) { return *endpoints_.at(r); }
+
+  /// Eager send of `meta.size` bytes at `payload` to rank `dst`. `meta.src`
+  /// is filled in from `src`. Payload may be nullptr iff meta.size == 0
+  /// (header-only control packets).
+  PostResult post_send(Rank src, Rank dst, const void* payload, MsgMeta meta);
+
+  /// RDMA write: copy `size` bytes into (rkey, offset) at `dst`. If `notify`
+  /// is true, a PutImm completion with `meta` is delivered to dst after the
+  /// data is in place.
+  PostResult post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
+                      const void* payload, std::size_t size, bool notify,
+                      MsgMeta meta);
+
+ private:
+  std::uint64_t delivery_time_ns(std::size_t bytes) const;
+
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace lcr::fabric

@@ -1,0 +1,71 @@
+// Wire-level metadata and completion records for the simulated fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcr::fabric {
+
+/// Rank of a host on the fabric.
+using Rank = std::uint32_t;
+
+/// Remote-access key identifying a registered memory region on an endpoint.
+using RKey = std::uint32_t;
+
+inline constexpr RKey kInvalidRKey = ~0U;
+
+/// Metadata carried with every eager packet and with put-notifications.
+/// `kind` is interpreted by the layer above (LCI packet types, mpilite
+/// protocol messages); the fabric never looks at it.
+struct MsgMeta {
+  Rank src = 0;
+  std::uint8_t kind = 0;
+  std::uint32_t tag = 0;
+  std::uint32_t size = 0;   // payload bytes
+  std::uint64_t imm = 0;    // immediate word 1 (request handles, counts, ...)
+  std::uint64_t imm2 = 0;   // immediate word 2 (addresses, rkeys, ...)
+};
+
+/// Result of posting an operation to the fabric.
+enum class PostResult : std::uint8_t {
+  Ok = 0,
+  /// Receiver has no pre-posted receive buffer (RNR in verbs terms).
+  /// Non-fatal: retry later. This is the back-pressure signal.
+  NoRxBuffer,
+  /// Sender is out of injection tokens; retry later.
+  Throttled,
+  /// Receiver completion queue is full; retry later.
+  CqFull,
+  /// Payload larger than the MTU (caller bug for post_send).
+  TooLarge,
+  /// Bad rank / rkey / bounds (caller bug).
+  Invalid,
+};
+
+inline const char* to_string(PostResult r) {
+  switch (r) {
+    case PostResult::Ok: return "Ok";
+    case PostResult::NoRxBuffer: return "NoRxBuffer";
+    case PostResult::Throttled: return "Throttled";
+    case PostResult::CqFull: return "CqFull";
+    case PostResult::TooLarge: return "TooLarge";
+    case PostResult::Invalid: return "Invalid";
+  }
+  return "?";
+}
+
+/// Completion-queue entry delivered to the receiving endpoint.
+struct Cqe {
+  enum class Kind : std::uint8_t {
+    Recv,    ///< An eager packet landed in `buffer` (a pre-posted rx buffer).
+    PutImm,  ///< An RDMA write completed remotely; meta.imm carries the
+             ///< immediate; no rx buffer is consumed.
+  };
+  Kind kind = Kind::Recv;
+  MsgMeta meta;
+  void* buffer = nullptr;          // valid for Kind::Recv
+  std::uint64_t rx_context = 0;    // the context the buffer was posted with
+  std::uint64_t deliver_at_ns = 0; // visibility time (wire latency model)
+};
+
+}  // namespace lcr::fabric

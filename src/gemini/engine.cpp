@@ -1,0 +1,285 @@
+#include "gemini/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+
+#include "comm/lci_backend.hpp"
+#include "mpilite/comm.hpp"
+#include "mpilite/personality.hpp"
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::gemini {
+
+const char* to_string(CommKind k) {
+  switch (k) {
+    case CommKind::Lci: return "lci";
+    case CommKind::MpiProbeMulti: return "mpi-probe";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kTag = 11;
+
+/// LCI shim: wraps the Abelian LCI backend, which is already thread-safe
+/// send_enq/recv_deq over the Queue.
+class GeminiLciComm final : public GeminiComm {
+ public:
+  GeminiLciComm(fabric::Fabric& fabric, int rank, rt::MemTracker* tracker) {
+    comm::BackendOptions opt;
+    opt.tracker = tracker;
+    backend_ = std::make_unique<comm::LciBackend>(fabric, rank, opt);
+  }
+  const char* name() const override { return "lci"; }
+  bool try_send(int dst, std::vector<std::byte>& payload) override {
+    return backend_->try_send(dst, payload);
+  }
+  bool try_recv(comm::InMessage& out) override {
+    if (backend_->try_recv(out)) return true;
+    // Nothing pending: lend this thread to the server for one progress
+    // step. On the paper's clusters the LCI server owns a core and this
+    // never helps; on this simulation's single-core hosts the polling
+    // thread would otherwise just spin waiting for the server to be
+    // scheduled. Queue::progress is thread-safe here.
+    backend_->progress();
+    return backend_->try_recv(out);
+  }
+  void progress() override { backend_->progress(); }
+
+ private:
+  std::unique_ptr<comm::LciBackend> backend_;
+};
+
+/// MPI shim under MPI_THREAD_MULTIPLE: every compute thread isends its own
+/// chunks and probes with wildcards; probe+recv pairs are serialized by a
+/// lock (the race real codes avoid by funnelling receives into one thread).
+class GeminiMpiComm final : public GeminiComm {
+ public:
+  GeminiMpiComm(fabric::Fabric& fabric, int rank,
+                const std::string& personality, rt::MemTracker* tracker,
+                std::size_t num_threads)
+      : comm_(fabric, rank, personality_by_name(personality),
+              mpi::ThreadLevel::Multiple,
+              mpi::CommConfig{fabric.config().default_rx_buffers, nullptr,
+                              /*declared_concurrency=*/num_threads + 1}),
+        tracker_(tracker) {}
+
+  const char* name() const override { return "mpi-probe"; }
+
+  bool try_send(int dst, std::vector<std::byte>& payload) override {
+    mpi::Request req = comm_.isend(payload.data(), payload.size(), dst, kTag);
+    if (!comm_.test(req)) {
+      // Rendezvous in flight: pin the buffer until completion.
+      std::lock_guard<rt::Spinlock> guard(out_lock_);
+      outstanding_.push_back(Outstanding{std::move(payload), std::move(req)});
+    } else {
+      if (tracker_ != nullptr) tracker_->on_free(payload.size());
+      payload.clear();
+    }
+    reap();
+    return true;  // MPI accepts everything (no back pressure)
+  }
+
+  bool try_recv(comm::InMessage& out) override {
+    std::unique_lock<rt::Spinlock> guard(recv_lock_, std::try_to_lock);
+    if (!guard.owns_lock()) return false;
+    mpi::Status st;
+    if (!comm_.iprobe(mpi::kAnySource, kTag, &st)) return false;
+    auto* buf = new std::vector<std::byte>(st.size);
+    comm_.recv(buf->data(), st.size, st.source, st.tag);
+    guard.unlock();
+    if (tracker_ != nullptr) tracker_->on_alloc(st.size);
+    out.src = st.source;
+    out.data = buf->data();
+    out.size = buf->size();
+    rt::MemTracker* tracker = tracker_;
+    out.release = [buf, tracker] {
+      if (tracker != nullptr) tracker->on_free(buf->size());
+      delete buf;
+    };
+    return true;
+  }
+
+  void progress() override {
+    comm_.progress();
+    reap();
+  }
+
+ private:
+  struct Outstanding {
+    std::vector<std::byte> payload;
+    mpi::Request req;
+  };
+
+  static mpi::Personality personality_by_name(const std::string& name) {
+    if (name == "intelmpi") return mpi::intelmpi_like();
+    if (name == "mvapich") return mpi::mvapich_like();
+    if (name == "openmpi") return mpi::openmpi_like();
+    return mpi::default_personality();
+  }
+
+  void reap() {
+    std::unique_lock<rt::Spinlock> guard(out_lock_, std::try_to_lock);
+    if (!guard.owns_lock()) return;
+    while (!outstanding_.empty() &&
+           outstanding_.front().req->complete.load(
+               std::memory_order_acquire)) {
+      if (tracker_ != nullptr)
+        tracker_->on_free(outstanding_.front().payload.size());
+      outstanding_.pop_front();
+    }
+  }
+
+  mpi::Comm comm_;
+  rt::MemTracker* tracker_;
+  rt::Spinlock recv_lock_;
+  rt::Spinlock out_lock_;
+  std::deque<Outstanding> outstanding_;
+};
+
+}  // namespace
+
+GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
+                       GeminiConfig cfg)
+    : cluster_(cluster), g_(g), cfg_(cfg) {
+  assert(g.policy == graph::PartitionPolicy::BlockedEdgeCut &&
+         "Gemini requires a blocked edge-cut partition");
+  switch (cfg_.comm) {
+    case CommKind::Lci:
+      comm_ = std::make_unique<GeminiLciComm>(cluster.fabric(), g.host_id,
+                                              cfg_.tracker);
+      break;
+    case CommKind::MpiProbeMulti:
+      comm_ = std::make_unique<GeminiMpiComm>(
+          cluster.fabric(), g.host_id, cfg_.mpi_personality, cfg_.tracker,
+          cfg_.compute_threads);
+      break;
+  }
+  team_ = std::make_unique<rt::ThreadTeam>(cfg_.compute_threads);
+  chunks_sent_.reserve(static_cast<std::size_t>(g.num_hosts));
+  for (int h = 0; h < g.num_hosts; ++h)
+    chunks_sent_.emplace_back(new std::atomic<std::uint32_t>(0));
+  server_thread_ = std::thread([this] {
+    rt::Backoff backoff;
+    while (!stop_.load(std::memory_order_acquire)) {
+      comm_->progress();
+      backoff.pause();
+    }
+  });
+}
+
+GeminiHost::~GeminiHost() {
+  stop_.store(true, std::memory_order_release);
+  if (server_thread_.joinable()) server_thread_.join();
+}
+
+void GeminiHost::RoundState::arm(std::uint32_t id, int num_hosts) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  round_id = id;
+  total.assign(static_cast<std::size_t>(num_hosts), -1);
+  got.assign(static_cast<std::size_t>(num_hosts), 0);
+  peers_remaining = static_cast<std::size_t>(num_hosts - 1);
+  complete.store(peers_remaining == 0, std::memory_order_release);
+}
+
+void GeminiHost::RoundState::note_chunk(int src,
+                                        const comm::ChunkHeader& header) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  const auto s = static_cast<std::size_t>(src);
+  if (header.num_chunks != 0)  // the tail carries the expected total
+    total[s] = static_cast<std::int32_t>(header.num_chunks);
+  ++got[s];
+  if (total[s] >= 0 && got[s] == total[s]) {
+    assert(peers_remaining > 0);
+    if (--peers_remaining == 0)
+      complete.store(true, std::memory_order_release);
+  }
+}
+
+void GeminiHost::send_with_backpressure(int dst,
+                                        std::vector<std::byte>& payload,
+                                        const std::function<void()>& drain) {
+  if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(payload.size());
+  rt::Backoff backoff;
+  while (!comm_->try_send(dst, payload)) {
+    drain();  // relieve back pressure by consuming incoming records
+    backoff.pause();
+  }
+}
+
+std::vector<double> GeminiHost::run_pagerank(double damping,
+                                             std::uint32_t max_iterations,
+                                             double tolerance) {
+  const graph::VertexId mlo =
+      g_.master_bounds[static_cast<std::size_t>(g_.host_id)];
+  const std::size_t n_masters = g_.num_masters;
+  const double n_global = static_cast<double>(g_.global_nodes);
+
+  const std::size_t n_local = g_.num_local;
+  std::vector<double> rank(n_masters, 1.0 / n_global);
+  std::vector<double> accum(n_masters, 0.0);
+
+  // Per-destination partial sums: pagerank is topology-driven (dense every
+  // round), so contributions are always combined locally and each
+  // destination is signalled once per round (Gemini's aggregated slot).
+  std::vector<double> partial(n_local, 0.0);
+  rt::ConcurrentBitset touched(n_local);
+
+  std::function<void(graph::VertexId, const double&)> apply =
+      [&](graph::VertexId gid, const double& value) {
+        apps::atomic_add(accum[gid - mlo], value);
+      };
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    rt::Timer combine_timer;
+    team_->parallel_chunks(
+        0, n_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::uint32_t outdeg = g_.global_out_degree[i];
+            if (outdeg == 0) continue;
+            const double contrib = rank[i] / static_cast<double>(outdeg);
+            g_.out_edges.for_each_edge(
+                static_cast<graph::VertexId>(i),
+                [&](graph::VertexId dst_lid, graph::Weight) {
+                  apps::atomic_add(partial[dst_lid], contrib);
+                  touched.set(dst_lid);
+                });
+          }
+        });
+    stats_.compute_s += combine_timer.elapsed_s();
+
+    std::atomic<std::size_t> cursor{0};
+    stream_round<double>(
+        [&](std::size_t, const std::function<void(graph::VertexId,
+                                                  const double&)>& emit) {
+          constexpr std::size_t kGrain = 512;
+          for (;;) {
+            const std::size_t lo =
+                cursor.fetch_add(kGrain, std::memory_order_relaxed);
+            if (lo >= n_local) break;
+            const std::size_t hi = std::min(n_local, lo + kGrain);
+            touched.for_each_in_range(lo, hi, [&](std::size_t dst) {
+              emit(g_.l2g[dst], partial[dst]);
+            });
+          }
+        },
+        apply);
+    touched.for_each([&](std::size_t dst) { partial[dst] = 0.0; });
+    touched.clear_all();
+
+    double local_delta = 0.0;
+    for (std::size_t i = 0; i < n_masters; ++i) {
+      const double next = (1.0 - damping) / n_global + damping * accum[i];
+      local_delta += std::abs(next - rank[i]);
+      rank[i] = next;
+      accum[i] = 0.0;
+    }
+    const double global_delta = cluster_.oob_allreduce_sum(local_delta);
+    if (tolerance > 0.0 && global_delta < tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace lcr::gemini

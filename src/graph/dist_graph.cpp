@@ -1,0 +1,15 @@
+#include "graph/dist_graph.hpp"
+
+namespace lcr::graph {
+
+const char* to_string(PartitionPolicy p) {
+  switch (p) {
+    case PartitionPolicy::BlockedEdgeCut: return "blocked-edge-cut";
+    case PartitionPolicy::OutgoingEdgeCut: return "outgoing-edge-cut";
+    case PartitionPolicy::IncomingEdgeCut: return "incoming-edge-cut";
+    case PartitionPolicy::CartesianVertexCut: return "cartesian-vertex-cut";
+  }
+  return "?";
+}
+
+}  // namespace lcr::graph

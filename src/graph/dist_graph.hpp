@@ -1,0 +1,111 @@
+// Distributed graph: one host's partition with master/mirror proxies.
+//
+// Mirrors the representation described in paper Section II: edges are
+// assigned to hosts by a partitioning policy; a host creates proxies for the
+// endpoints of its edges; one proxy per vertex is the master (owning the
+// canonical value), the rest are mirrors. On each host "the master nodes are
+// stored contiguously, followed by mirror nodes" - local ids [0, num_masters)
+// are masters, [num_masters, num_local) are mirrors.
+//
+// For communication, each pair of hosts shares *memoized index lists* sorted
+// by global id (Abelian "minimizes the communication meta-data"):
+//   mirror_to_master[p] - my mirror local-ids whose master lives on p
+//   master_to_mirror[p] - my master local-ids that have a mirror on p
+// Host A's mirror_to_master[B] and host B's master_to_mirror[A] enumerate the
+// same global vertices in the same order, so sync messages only carry
+// (position, value) pairs, never global ids.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lcr::graph {
+
+/// Partitioning policies (paper Section II / IV).
+enum class PartitionPolicy : std::uint8_t {
+  /// Gemini's policy: contiguous vertex blocks balanced by edge count; an
+  /// edge lives with its source's owner.
+  BlockedEdgeCut,
+  /// Abelian outgoing edge-cut: same edge placement, hashed-block masters.
+  OutgoingEdgeCut,
+  /// Incoming edge-cut: an edge lives with its *destination's* owner, so
+  /// push operators always write masters (no reduce needed - broadcast
+  /// only), the mirror-image of the outgoing cut. Exercises the other
+  /// branch of Abelian's partition-aware synchronization.
+  IncomingEdgeCut,
+  /// Abelian's "advanced vertex-cut": 2D cartesian blocking of the adjacency
+  /// matrix (paper ref [27]); both endpoints of an edge may be mirrors.
+  CartesianVertexCut,
+};
+
+const char* to_string(PartitionPolicy p);
+
+class DistGraph {
+ public:
+  int host_id = 0;
+  int num_hosts = 1;
+  PartitionPolicy policy = PartitionPolicy::BlockedEdgeCut;
+
+  /// Total vertices in the global graph.
+  VertexId global_nodes = 0;
+
+  /// Local proxies: masters in [0, num_masters), mirrors after.
+  VertexId num_masters = 0;
+  VertexId num_local = 0;
+
+  /// Local-to-global vertex id map (size num_local).
+  std::vector<VertexId> l2g;
+
+  /// Local out-edges (local src -> local dst) and the transpose.
+  Csr out_edges;
+  Csr in_edges;
+
+  /// Memoized sync lists, indexed by peer host (see file comment).
+  std::vector<std::vector<VertexId>> mirror_to_master;
+  std::vector<std::vector<VertexId>> master_to_mirror;
+
+  /// Master-ownership block boundaries: owner of gid v is the unique h with
+  /// master_bounds[h] <= v < master_bounds[h+1].
+  std::vector<VertexId> master_bounds;
+
+  /// Global out-degrees of local proxies (size num_local), needed by
+  /// pagerank; filled by the partitioner from the global graph.
+  std::vector<std::uint32_t> global_out_degree;
+
+  bool is_master(VertexId local) const noexcept { return local < num_masters; }
+
+  VertexId local_to_global(VertexId local) const { return l2g[local]; }
+
+  /// Owner host of a global vertex.
+  int owner_of(VertexId gid) const {
+    int lo = 0;
+    int hi = num_hosts;
+    while (hi - lo > 1) {
+      const int mid = (lo + hi) / 2;
+      if (master_bounds[static_cast<std::size_t>(mid)] <= gid)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// Local id of a global vertex, or kNoLocal if absent on this host.
+  static constexpr VertexId kNoLocal = ~VertexId{0};
+  VertexId global_to_local(VertexId gid) const {
+    auto it = g2l_.find(gid);
+    return it == g2l_.end() ? kNoLocal : it->second;
+  }
+
+  /// Construction-time access for the partitioner.
+  std::unordered_map<VertexId, VertexId>& g2l_mutable() { return g2l_; }
+  const std::unordered_map<VertexId, VertexId>& g2l() const { return g2l_; }
+
+ private:
+  std::unordered_map<VertexId, VertexId> g2l_;
+};
+
+}  // namespace lcr::graph

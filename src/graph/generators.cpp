@@ -1,0 +1,181 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+
+namespace lcr::graph {
+
+namespace {
+
+/// One R-MAT edge at the given scale with quadrant probabilities.
+Edge rmat_edge(rt::Xoshiro256& rng, unsigned scale, double a, double b,
+               double c) {
+  VertexId src = 0;
+  VertexId dst = 0;
+  for (unsigned bit = 0; bit < scale; ++bit) {
+    const double r = rng.uniform();
+    src <<= 1;
+    dst <<= 1;
+    if (r < a) {
+      // top-left: no bits set
+    } else if (r < a + b) {
+      dst |= 1;
+    } else if (r < a + b + c) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return {src, dst};
+}
+
+std::vector<Weight> gen_weights(rt::Xoshiro256& rng, std::size_t count,
+                                Weight max_weight) {
+  std::vector<Weight> w(count);
+  for (auto& x : w) x = static_cast<Weight>(1 + rng.below(max_weight));
+  return w;
+}
+
+Csr finish(VertexId n, EdgeList edges, const GenOptions& opt,
+           rt::Xoshiro256& rng) {
+  if (opt.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) { return e.first == e.second; }),
+                edges.end());
+  }
+  std::vector<Weight> weights;
+  if (opt.make_weights) weights = gen_weights(rng, edges.size(), opt.max_weight);
+  return Csr::from_edges(n, edges, weights);
+}
+
+/// Zipf-like sample over [0, n): power-law tail with exponent `s` via
+/// inverse-CDF of a shifted Pareto; `spread` scales how much probability
+/// mass the top ranks take (larger spread = flatter head, smaller max
+/// degree). Out-of-range samples fall back to uniform.
+VertexId zipf_sample(rt::Xoshiro256& rng, VertexId n, double s,
+                     double spread) {
+  const double u = rng.uniform() + 1e-12;
+  const double x = spread * (std::pow(u, -1.0 / (s - 1.0)) - 1.0);
+  const auto k = static_cast<std::uint64_t>(x);
+  return static_cast<VertexId>(k >= n ? rng.below(n) : k);
+}
+
+}  // namespace
+
+Csr rmat(unsigned scale, double edge_factor, GenOptions opt) {
+  const VertexId n = VertexId{1} << scale;
+  const auto m = static_cast<EdgeId>(edge_factor * static_cast<double>(n));
+  rt::Xoshiro256 rng(opt.seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i)
+    edges.push_back(rmat_edge(rng, scale, 0.57, 0.19, 0.19));
+  return finish(n, std::move(edges), opt, rng);
+}
+
+Csr kron(unsigned scale, double edge_factor, GenOptions opt) {
+  const VertexId n = VertexId{1} << scale;
+  const auto m = static_cast<EdgeId>(edge_factor * static_cast<double>(n));
+  rt::Xoshiro256 rng(opt.seed ^ 0x6b726f6eULL);
+  // Graph500 Kronecker parameters; ids scrambled with a hash permutation.
+  EdgeList edges;
+  edges.reserve(m);
+  const VertexId mask = n - 1;
+  for (EdgeId i = 0; i < m; ++i) {
+    Edge e = rmat_edge(rng, scale, 0.57, 0.19, 0.19);
+    e.first = static_cast<VertexId>(rt::hash64(e.first) & mask);
+    e.second = static_cast<VertexId>(rt::hash64(e.second) & mask);
+    edges.push_back(e);
+  }
+  return finish(n, std::move(edges), opt, rng);
+}
+
+Csr web(unsigned scale, double edge_factor, GenOptions opt) {
+  const VertexId n = VertexId{1} << scale;
+  const auto m = static_cast<EdgeId>(edge_factor * static_cast<double>(n));
+  rt::Xoshiro256 rng(opt.seed ^ 0x77656257ULL);
+  EdgeList edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    // Sources: power-law but with a flattened head (pages have bounded
+    // out-link counts), so the max out-degree stays moderate.
+    const VertexId src = zipf_sample(rng, n, 2.0, 64.0);
+    // Destinations: heavily concentrated head (a few pages collect most
+    // in-links), giving the clueweb-like max-Din >> max-Dout signature.
+    const VertexId dst = zipf_sample(rng, n, 2.2, 2.0);
+    edges.emplace_back(src, dst);
+  }
+  return finish(n, std::move(edges), opt, rng);
+}
+
+Csr erdos_renyi(VertexId n, EdgeId m, GenOptions opt) {
+  rt::Xoshiro256 rng(opt.seed ^ 0x6572ULL);
+  EdgeList edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i)
+    edges.emplace_back(static_cast<VertexId>(rng.below(n)),
+                       static_cast<VertexId>(rng.below(n)));
+  return finish(n, std::move(edges), opt, rng);
+}
+
+Csr path(VertexId n, bool bidirectional) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+    if (bidirectional) edges.emplace_back(v + 1, v);
+  }
+  return Csr::from_edges(n, edges);
+}
+
+Csr star(VertexId n, bool out_from_center) {
+  EdgeList edges;
+  for (VertexId v = 1; v < n; ++v) {
+    if (out_from_center)
+      edges.emplace_back(0, v);
+    else
+      edges.emplace_back(v, 0);
+  }
+  return Csr::from_edges(n, edges);
+}
+
+Csr complete(VertexId n) {
+  EdgeList edges;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v) edges.emplace_back(u, v);
+  return Csr::from_edges(n, edges);
+}
+
+Csr grid2d(VertexId rows, VertexId cols) {
+  EdgeList edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(id(r, c), id(r, c + 1));
+        edges.emplace_back(id(r, c + 1), id(r, c));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(id(r, c), id(r + 1, c));
+        edges.emplace_back(id(r + 1, c), id(r, c));
+      }
+    }
+  }
+  return Csr::from_edges(rows * cols, edges);
+}
+
+Csr by_name(const std::string& name, unsigned scale, GenOptions opt) {
+  if (name == "rmat") return rmat(scale, 16.0, opt);
+  if (name == "kron") return kron(scale, 32.0, opt);
+  if (name == "web") return web(scale, 16.0, opt);
+  if (name == "er")
+    return erdos_renyi(VertexId{1} << scale,
+                       EdgeId{8} << scale, opt);
+  throw std::invalid_argument("unknown graph generator: " + name);
+}
+
+}  // namespace lcr::graph

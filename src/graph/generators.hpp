@@ -1,0 +1,52 @@
+// Synthetic graph generators.
+//
+// The paper's inputs (Table I) are clueweb12 (a 978M-node web crawl with
+// E/V ~ 16 and an extreme max in-degree), kron30 and rmat28 (scale-free
+// synthetic graphs with E/V ~ 16-32 and multi-million-degree hubs). The web
+// crawl is not redistributable and the synthetic graphs are far beyond one
+// machine, so we generate scaled-down graphs that preserve the
+// degree-distribution *shape* - power-law skew with disproportionate hubs -
+// which is what stresses irregular communication (DESIGN.md, substitution
+// table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace lcr::graph {
+
+struct GenOptions {
+  std::uint64_t seed = 42;
+  bool make_weights = false;    // uniform weights in [1, max_weight]
+  Weight max_weight = 100;
+  bool remove_self_loops = true;
+};
+
+/// R-MAT generator (rmat28 analogue): recursive quadrant sampling with
+/// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05), E/V ~ 16.
+Csr rmat(unsigned scale, double edge_factor = 16.0, GenOptions opt = {});
+
+/// Kronecker generator (kron30 analogue): same recursion with Graph500
+/// parameters and a denser E/V ~ 32; vertex ids are scrambled.
+Csr kron(unsigned scale, double edge_factor = 32.0, GenOptions opt = {});
+
+/// Web-crawl-like generator (clueweb12 analogue): Zipf-distributed in-degrees
+/// with exponent ~ 2.1 produce a very large max in-degree relative to the
+/// max out-degree, at E/V ~ 16.
+Csr web(unsigned scale, double edge_factor = 16.0, GenOptions opt = {});
+
+/// Erdos-Renyi G(n, m)-style uniform random graph (tests).
+Csr erdos_renyi(VertexId n, EdgeId m, GenOptions opt = {});
+
+/// Deterministic small graphs for unit tests.
+Csr path(VertexId n, bool bidirectional = true);
+Csr star(VertexId n, bool out_from_center = true);
+Csr complete(VertexId n);
+Csr grid2d(VertexId rows, VertexId cols);
+
+/// Named lookup used by benches/examples: "rmat", "kron", "web", "er".
+Csr by_name(const std::string& name, unsigned scale, GenOptions opt = {});
+
+}  // namespace lcr::graph

@@ -1,0 +1,128 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lcr::graph {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4C43524230303031ULL;  // "LCRB0001"
+
+struct BinaryHeader {
+  std::uint64_t magic = kMagic;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t has_weights = 0;
+};
+}  // namespace
+
+void save_edge_list(const Csr& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "# lcr edge list |V|=" << g.num_nodes() << " |E|=" << g.num_edges()
+      << "\n";
+  for (VertexId u = 0; u < g.num_nodes(); ++u) {
+    for (EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+      out << u << ' ' << g.edge_target(e);
+      if (g.has_weights()) out << ' ' << g.edge_weight(e);
+      out << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Csr load_edge_list(const std::string& path, VertexId num_nodes_hint) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  EdgeList edges;
+  std::vector<Weight> weights;
+  bool any_weight = false;
+  VertexId max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ls >> u >> v))
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected 'src dst [weight]'");
+    std::uint64_t w = 0;
+    if (ls >> w) {
+      any_weight = true;
+      weights.resize(edges.size(), 1);  // backfill default for earlier rows
+      weights.push_back(static_cast<Weight>(w));
+    } else if (any_weight) {
+      weights.push_back(1);
+    }
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_id = std::max({max_id, static_cast<VertexId>(u),
+                       static_cast<VertexId>(v)});
+  }
+  const VertexId n =
+      std::max<VertexId>(num_nodes_hint, edges.empty() ? 0 : max_id + 1);
+  if (!any_weight) weights.clear();
+  return Csr::from_edges(n, edges, weights);
+}
+
+void save_binary(const Csr& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  BinaryHeader header;
+  header.num_nodes = g.num_nodes();
+  header.num_edges = g.num_edges();
+  header.has_weights = g.has_weights() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() *
+                                         sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() *
+                                         sizeof(VertexId)));
+  if (g.has_weights())
+    out.write(reinterpret_cast<const char*>(g.weights().data()),
+              static_cast<std::streamsize>(g.weights().size() *
+                                           sizeof(Weight)));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Csr load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  BinaryHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kMagic)
+    throw std::runtime_error("not an LCRB file: " + path);
+
+  // Rebuild via the edge-list constructor to reuse its validation.
+  std::vector<EdgeId> offsets(header.num_nodes + 1);
+  std::vector<VertexId> targets(header.num_edges);
+  std::vector<Weight> weights;
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
+  if (header.has_weights != 0) {
+    weights.resize(header.num_edges);
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(Weight)));
+  }
+  if (!in) throw std::runtime_error("truncated LCRB file: " + path);
+
+  EdgeList edges;
+  edges.reserve(header.num_edges);
+  for (VertexId u = 0; u < header.num_nodes; ++u)
+    for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e)
+      edges.emplace_back(u, targets[e]);
+  return Csr::from_edges(static_cast<VertexId>(header.num_nodes), edges,
+                         weights);
+}
+
+}  // namespace lcr::graph

@@ -1,0 +1,29 @@
+// Graph file I/O: plain edge-list text and a compact binary format.
+//
+// Real deployments load graphs like clueweb12 from disk; this module gives
+// the library the same workflow at reproduction scale. Two formats:
+//   * text edge list - one "src dst [weight]" per line, '#' comments;
+//     interoperable with SNAP / common graph datasets.
+//   * LCRB binary    - header + CSR arrays, loads without re-sorting.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace lcr::graph {
+
+/// Writes g as a text edge list (with weights if present).
+void save_edge_list(const Csr& g, const std::string& path);
+
+/// Parses a text edge list. Node count is 1 + max id seen unless
+/// `num_nodes_hint` is larger. Throws std::runtime_error on parse errors.
+Csr load_edge_list(const std::string& path, VertexId num_nodes_hint = 0);
+
+/// Writes g in the LCRB binary format.
+void save_binary(const Csr& g, const std::string& path);
+
+/// Loads an LCRB binary file. Throws std::runtime_error on bad magic/size.
+Csr load_binary(const std::string& path);
+
+}  // namespace lcr::graph

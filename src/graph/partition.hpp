@@ -1,0 +1,27 @@
+// Graph partitioners producing per-host DistGraph partitions.
+//
+// Partitioning runs centrally (graph loading/partitioning time is excluded
+// from the paper's measurements), then each simulated host receives only its
+// own DistGraph, exactly as if it had been distributed.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dist_graph.hpp"
+
+namespace lcr::graph {
+
+/// Partition `g` across `num_hosts` hosts under `policy`.
+std::vector<DistGraph> partition(const Csr& g, int num_hosts,
+                                 PartitionPolicy policy);
+
+/// Chooses the pr x pc host grid for the cartesian vertex-cut: the
+/// factorization of p closest to square.
+std::pair<int, int> cvc_grid(int num_hosts);
+
+/// Returns a symmetrized copy of g (u->v implies v->u); used by connected
+/// components, which is defined on undirected graphs.
+Csr symmetrize(const Csr& g);
+
+}  // namespace lcr::graph

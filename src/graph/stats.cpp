@@ -1,0 +1,36 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace lcr::graph {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.avg_degree = s.num_nodes == 0
+                     ? 0.0
+                     : static_cast<double>(s.num_edges) /
+                           static_cast<double>(s.num_nodes);
+  std::vector<std::size_t> in_deg(s.num_nodes, 0);
+  for (VertexId v = 0; v < s.num_nodes; ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.degree(v));
+    for (EdgeId e = g.edge_begin(v); e < g.edge_end(v); ++e)
+      ++in_deg[g.edge_target(e)];
+  }
+  if (!in_deg.empty())
+    s.max_in_degree = *std::max_element(in_deg.begin(), in_deg.end());
+  return s;
+}
+
+std::string format_stats(const std::string& name, const GraphStats& s) {
+  std::ostringstream os;
+  os << name << ": |V|=" << s.num_nodes << " |E|=" << s.num_edges
+     << " |E|/|V|=" << s.avg_degree << " maxDout=" << s.max_out_degree
+     << " maxDin=" << s.max_in_degree;
+  return os.str();
+}
+
+}  // namespace lcr::graph

@@ -1,0 +1,24 @@
+// Graph degree statistics (paper Table I).
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace lcr::graph {
+
+struct GraphStats {
+  VertexId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;       // |E| / |V|
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+};
+
+/// Computes Table-I-style properties of a graph.
+GraphStats compute_stats(const Csr& g);
+
+/// Formats like the paper's Table I row set.
+std::string format_stats(const std::string& name, const GraphStats& s);
+
+}  // namespace lcr::graph

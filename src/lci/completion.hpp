@@ -1,0 +1,52 @@
+// Counter-based completion objects ("synchronizers").
+//
+// The request status flag (request.hpp) is LCI's per-communication
+// completion primitive. When an application issues many communications and
+// only cares that *all* of them finished (an Abelian host sending one chunk
+// per peer, for instance), checking N flags costs N loads per poll. A
+// CompletionCounter aggregates them: each request signals the shared counter
+// when the server retires it, and the application polls a single atomic -
+// still no library call, keeping LCI's "completion is a flag check" model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lcr::lci {
+
+class CompletionCounter {
+ public:
+  /// Declare that `n` more requests will signal this counter.
+  void expect(std::uint64_t n = 1) noexcept {
+    expected_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Signal one completion (called by the runtime when a request retires).
+  void signal() noexcept {
+    done_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Have all expected requests completed?
+  bool complete() const noexcept {
+    return done_.load(std::memory_order_acquire) >=
+           expected_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t expected() const noexcept {
+    return expected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  void reset() noexcept {
+    expected_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> expected_{0};
+  std::atomic<std::uint64_t> done_{0};
+};
+
+}  // namespace lcr::lci

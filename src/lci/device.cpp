@@ -1,0 +1,71 @@
+#include "lci/device.hpp"
+
+namespace lcr::lci {
+
+Device::Device(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg)
+    : fabric_(fabric),
+      rank_(rank),
+      endpoint_(fabric.endpoint(rank)),
+      eager_limit_(fabric.config().mtu),
+      rx_count_(cfg.rx_packets),
+      tx_pool_(cfg.tx_packets, fabric.config().mtu, cfg.pool_caches),
+      rx_pool_(cfg.rx_packets, fabric.config().mtu, cfg.pool_caches) {
+  // Hand the whole receive window to the NIC: this is the "fixed number of
+  // buffers for receiving" of the paper. The packets come back to us through
+  // lc_progress and are re-posted via repost_rx when the upper layer is done.
+  for (std::size_t i = 0; i < rx_count_; ++i) {
+    Packet* p = rx_pool_.alloc();
+    fabric::RxSlot slot{p->data, p->capacity, p->index};
+    endpoint_.post_rx(slot);
+  }
+}
+
+Device::~Device() {
+  // Reclaim the receive window from the NIC: the pool slabs die with us.
+  endpoint_.detach();
+}
+
+fabric::PostResult Device::lc_send(fabric::Rank dst, const void* payload,
+                                   fabric::MsgMeta meta) {
+  return fabric_.post_send(rank_, dst, payload, meta);
+}
+
+fabric::PostResult Device::lc_put(fabric::Rank dst, fabric::RKey rkey,
+                                  const void* payload, std::size_t size,
+                                  std::uint64_t imm) {
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(PacketType::RDMA);
+  meta.imm = imm;
+  return fabric_.post_put(rank_, dst, rkey, /*offset=*/0, payload, size,
+                          /*notify=*/true, meta);
+}
+
+fabric::PostResult Device::lc_put_ex(fabric::Rank dst, fabric::RKey rkey,
+                                     std::size_t offset, const void* payload,
+                                     std::size_t size, bool notify,
+                                     fabric::MsgMeta meta) {
+  return fabric_.post_put(rank_, dst, rkey, offset, payload, size, notify,
+                          meta);
+}
+
+std::optional<ProgressEvent> Device::lc_progress() {
+  std::optional<fabric::Cqe> cqe = endpoint_.poll_cq();
+  if (!cqe) return std::nullopt;
+
+  ProgressEvent ev;
+  ev.meta = cqe->meta;
+  ev.type = static_cast<PacketType>(cqe->meta.kind);
+  if (cqe->kind == fabric::Cqe::Kind::Recv) {
+    Packet* p = rx_pool_.packet_at(cqe->rx_context);
+    p->meta = cqe->meta;
+    ev.packet = p;
+  }
+  return ev;
+}
+
+void Device::repost_rx(Packet* p) {
+  fabric::RxSlot slot{p->data, p->capacity, p->index};
+  endpoint_.post_rx(slot);
+}
+
+}  // namespace lcr::lci

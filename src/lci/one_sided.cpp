@@ -1,0 +1,65 @@
+#include "lci/one_sided.hpp"
+
+#include <mutex>
+
+namespace lcr::lci {
+
+OneSided::OneSided(fabric::Fabric& fabric, fabric::Rank rank,
+                   DeviceConfig cfg)
+    : device_(fabric, rank, cfg) {}
+
+RemoteBuffer OneSided::expose(void* base, std::size_t size) {
+  RemoteBuffer rb;
+  rb.rank = device_.rank();
+  rb.rkey = device_.register_memory(base, size);
+  rb.size = size;
+  return rb;
+}
+
+void OneSided::unexpose(const RemoteBuffer& rb) {
+  device_.deregister_memory(rb.rkey);
+}
+
+void OneSided::register_signal(std::uint64_t id, CompletionCounter* counter) {
+  std::lock_guard<rt::Spinlock> guard(signal_lock_);
+  signals_.emplace(id, counter);
+}
+
+void OneSided::deregister_signal(std::uint64_t id) {
+  std::lock_guard<rt::Spinlock> guard(signal_lock_);
+  signals_.erase(id);
+}
+
+bool OneSided::put(const RemoteBuffer& dst, std::size_t offset,
+                   const void* data, std::size_t size) {
+  return device_.lc_put_ex(dst.rank, dst.rkey, offset, data, size,
+                           /*notify=*/false, {}) == fabric::PostResult::Ok;
+}
+
+bool OneSided::put_signal(const RemoteBuffer& dst, std::size_t offset,
+                          const void* data, std::size_t size,
+                          std::uint64_t signal_id) {
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(PacketType::SIGNAL);
+  meta.imm = signal_id;
+  return device_.lc_put_ex(dst.rank, dst.rkey, offset, data, size,
+                           /*notify=*/true, meta) == fabric::PostResult::Ok;
+}
+
+bool OneSided::progress() {
+  std::optional<ProgressEvent> ev = device_.lc_progress();
+  if (!ev) return false;
+  if (ev->type == PacketType::SIGNAL) {
+    CompletionCounter* counter = nullptr;
+    {
+      std::lock_guard<rt::Spinlock> guard(signal_lock_);
+      auto it = signals_.find(ev->meta.imm);
+      if (it != signals_.end()) counter = it->second;
+    }
+    if (counter != nullptr) counter->signal();
+  }
+  // Other packet kinds are impossible on a pure one-sided endpoint.
+  return true;
+}
+
+}  // namespace lcr::lci

@@ -1,0 +1,68 @@
+// LCI one-sided interface: RDMA put with remote signal.
+//
+// The third LCI interface style (cf. real LCI's lc_putls): the target
+// exposes a buffer once; origins write into it directly and optionally
+// bump a named remote CompletionCounter, so the target discovers completed
+// transfers with a single atomic load - no matching, no per-message receive
+// calls at all. This is the lowest-overhead path for the "memoized shared
+// list" communication Abelian uses, and the substrate the MPI-RMA layer
+// competes with.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "lci/completion.hpp"
+#include "lci/device.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::lci {
+
+/// A remotely-writable region descriptor, exchanged out of band (the engine
+/// exchanges them at setup, like rkeys in verbs).
+struct RemoteBuffer {
+  fabric::Rank rank = 0;
+  fabric::RKey rkey = fabric::kInvalidRKey;
+  std::size_t size = 0;
+};
+
+class OneSided {
+ public:
+  OneSided(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg = {});
+
+  OneSided(const OneSided&) = delete;
+  OneSided& operator=(const OneSided&) = delete;
+
+  fabric::Rank rank() const noexcept { return device_.rank(); }
+
+  /// Exposes `size` bytes at `base` for remote puts; the returned descriptor
+  /// is what origins pass to put().
+  RemoteBuffer expose(void* base, std::size_t size);
+  void unexpose(const RemoteBuffer& rb);
+
+  /// Registers a named completion counter that remote put_signal()s with
+  /// this id will bump.
+  void register_signal(std::uint64_t id, CompletionCounter* counter);
+  void deregister_signal(std::uint64_t id);
+
+  /// One-sided write into the remote buffer; no remote notification.
+  /// false = throttled/full, retry after progress.
+  bool put(const RemoteBuffer& dst, std::size_t offset, const void* data,
+           std::size_t size);
+
+  /// One-sided write + bump the remote counter registered under signal_id.
+  bool put_signal(const RemoteBuffer& dst, std::size_t offset,
+                  const void* data, std::size_t size, std::uint64_t signal_id);
+
+  /// Server step: only needed on hosts that RECEIVE signals.
+  bool progress();
+
+  Device& device() noexcept { return device_; }
+
+ private:
+  Device device_;
+  rt::Spinlock signal_lock_;
+  std::unordered_map<std::uint64_t, CompletionCounter*> signals_;
+};
+
+}  // namespace lcr::lci

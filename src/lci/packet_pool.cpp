@@ -1,0 +1,68 @@
+#include "lci/packet.hpp"
+
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace lcr::lci {
+
+PacketPool::PacketPool(std::size_t count, std::size_t payload_size,
+                       std::size_t num_caches)
+    : payload_size_(payload_size),
+      slab_(new std::byte[count * payload_size]),
+      packets_(count),
+      global_(count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    packets_[i].data = slab_.get() + i * payload_size;
+    packets_[i].capacity = payload_size;
+    packets_[i].index = static_cast<std::uint32_t>(i);
+    global_.push(&packets_[i]);
+  }
+  caches_.reserve(num_caches);
+  for (std::size_t c = 0; c < num_caches; ++c) {
+    caches_.emplace_back(new Cache);
+    caches_.back()->items.reserve(kCacheCap);
+  }
+}
+
+PacketPool::Cache* PacketPool::my_cache() {
+  if (caches_.empty()) return nullptr;
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return caches_[h % caches_.size()].get();
+}
+
+Packet* PacketPool::alloc() {
+  if (Cache* cache = my_cache(); cache != nullptr) {
+    std::unique_lock<rt::Spinlock> guard(cache->lock, std::try_to_lock);
+    if (guard.owns_lock() && !cache->items.empty()) {
+      Packet* p = cache->items.back();
+      cache->items.pop_back();
+      return p;
+    }
+  }
+  if (auto p = global_.try_pop()) return *p;
+  return nullptr;  // pool exhausted: caller retries later (non-fatal)
+}
+
+void PacketPool::free(Packet* p) {
+  if (Cache* cache = my_cache(); cache != nullptr) {
+    std::unique_lock<rt::Spinlock> guard(cache->lock, std::try_to_lock);
+    if (guard.owns_lock() && cache->items.size() < kCacheCap) {
+      cache->items.push_back(p);
+      return;
+    }
+  }
+  global_.push(p);  // cannot block: pool capacity == packet count
+}
+
+std::size_t PacketPool::approx_free() const {
+  std::size_t n = global_.approx_size();
+  for (const auto& cache : caches_) {
+    std::lock_guard<rt::Spinlock> guard(cache->lock);
+    n += cache->items.size();
+  }
+  return n;
+}
+
+}  // namespace lcr::lci

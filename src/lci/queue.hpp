@@ -1,0 +1,109 @@
+// The LCI Queue interface (paper Section III-D, Algorithms 1-3).
+//
+// Queue is the interface LCI exposes to Abelian-style irregular communication:
+//   * send_enq  - Algorithm 1: allocate a packet; eager-copy-and-send for
+//     small messages (request completes immediately), RTS handshake for large
+//     ones (request completes when the server has lc_put the data). Returns
+//     false - a *non-fatal* failure - when resources are exhausted; the
+//     caller retries later. This is the back-pressure mechanism MPI lacks.
+//   * recv_deq  - Algorithm 2: dequeue the next arrived packet (any source,
+//     any tag - the *first-packet policy*; there is no tag matching and no
+//     ordering enforcement). EGR packets complete immediately with a
+//     zero-copy view into the packet; RTS packets allocate the target buffer,
+//     answer with an RTR, and complete when the RDMA notification arrives.
+//   * progress  - Algorithm 3: the communication server's step. Executes the
+//     per-packet-type callbacks: queue EGR/RTS for recv_deq, serve RTR by
+//     issuing the lc_put, retire requests on RDMA notifications.
+//
+// Thread-safety: send_enq and recv_deq may be called concurrently from many
+// threads (the packet pool and queue Q are concurrent); progress is intended
+// for a single communication-server thread (it drains the NIC).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "lci/device.hpp"
+#include "lci/request.hpp"
+#include "runtime/mem_tracker.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::lci {
+
+struct QueueConfig {
+  DeviceConfig device;
+  /// Tracker for rendezvous receive-buffer allocations (Fig 5 accounting).
+  rt::MemTracker* tracker = nullptr;
+};
+
+struct QueueStats {
+  std::atomic<std::uint64_t> eager_sends{0};
+  std::atomic<std::uint64_t> rdv_sends{0};
+  std::atomic<std::uint64_t> send_retries{0};  // pool exhausted / fabric soft-fail
+  std::atomic<std::uint64_t> recvs{0};
+  std::atomic<std::uint64_t> progress_events{0};
+};
+
+class Queue {
+ public:
+  Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg);
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  fabric::Rank rank() const noexcept { return device_.rank(); }
+  std::size_t eager_limit() const noexcept { return device_.eager_limit(); }
+  Device& device() noexcept { return device_; }
+  QueueStats& stats() noexcept { return stats_; }
+
+  /// Algorithm 1. Returns false when resources are exhausted (retry later).
+  /// `req` must stay alive and un-moved until req.done().
+  bool send_enq(const void* buf, std::size_t size, fabric::Rank dst,
+                std::uint32_t tag, Request& req);
+
+  /// Algorithm 2. Returns false when no packet is pending. On true, `req`
+  /// describes the incoming message; data at req.buffer is valid (EGR) or
+  /// will be valid once req.done() (rendezvous). Call release(req) after
+  /// consuming the data.
+  bool recv_deq(Request& req);
+
+  /// Releases receive-side resources: recycles the pool packet back to the
+  /// NIC receive window, or frees a rendezvous buffer.
+  void release(Request& req);
+
+  /// Algorithm 3, one step. Returns true if an event was processed.
+  bool progress();
+
+  /// Drain everything currently deliverable.
+  void progress_all() {
+    while (progress()) {
+    }
+  }
+
+  /// Convenience blocking helpers for tests and examples. They internally
+  /// call progress(), so they must not be mixed with a concurrent server
+  /// thread unless `spin_only` semantics are acceptable.
+  void send_blocking(const void* buf, std::size_t size, fabric::Rank dst,
+                     std::uint32_t tag);
+  void recv_blocking(Request& req);
+
+ private:
+  void serve_rtr(const RtrPayload& rtr, fabric::Rank peer);
+  void retry_pending_puts();
+
+  Device device_;
+  rt::MpmcQueue<Packet*> incoming_;  // the global concurrent queue Q
+  rt::MemTracker* tracker_;
+  QueueStats stats_;
+
+  struct PendingPut {
+    fabric::Rank peer;
+    RtrPayload rtr;
+  };
+  rt::Spinlock pending_lock_;
+  std::deque<PendingPut> pending_puts_;  // soft-failed lc_puts to retry
+};
+
+}  // namespace lcr::lci

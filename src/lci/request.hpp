@@ -1,0 +1,70 @@
+// LCI requests: single-flag completion objects.
+//
+// "In comparison to MPI functions such as MPI_TEST or MPI_WAIT, our mechanism
+// is more lightweight: there is no need for a function call; the user
+// maintains a list of requests and checks the status flag fields."
+// (paper Section III-D, Communication Completion)
+//
+// Requests are caller-owned plain structs; the progress server completes them
+// with a single atomic store, and the caller observes completion with a
+// single atomic load - no library call, no lock, no network poll.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "fabric/packet.hpp"
+
+namespace lcr::lci {
+
+struct Packet;
+class CompletionCounter;
+
+enum class ReqStatus : std::uint8_t {
+  Invalid = 0,
+  Pending = 1,
+  Done = 2,
+};
+
+struct Request {
+  /// The single completion flag. Server stores Done; caller loads.
+  std::atomic<ReqStatus> status{ReqStatus::Invalid};
+
+  /// Peer rank and tag of the communication.
+  fabric::Rank peer = 0;
+  std::uint32_t tag = 0;
+
+  /// User buffer and size. For an eager receive this points INTO the pool
+  /// packet payload (zero-copy view); release via Queue::release().
+  void* buffer = nullptr;
+  std::size_t size = 0;
+
+  /// Receive-side bookkeeping.
+  Packet* packet = nullptr;              // pool packet to recycle on release
+  fabric::RKey rkey = fabric::kInvalidRKey;  // rendezvous target registration
+  bool owns_buffer = false;              // rendezvous recv allocated buffer
+
+  /// Optional aggregate completion object, signalled (once) when the
+  /// request reaches Done. Set before initiating the communication.
+  CompletionCounter* signal = nullptr;
+
+  bool done() const noexcept {
+    return status.load(std::memory_order_acquire) == ReqStatus::Done;
+  }
+
+  void reset() noexcept {
+    status.store(ReqStatus::Invalid, std::memory_order_relaxed);
+    peer = 0;
+    tag = 0;
+    buffer = nullptr;
+    size = 0;
+    packet = nullptr;
+    rkey = fabric::kInvalidRKey;
+    owns_buffer = false;
+    // `signal` is deliberately preserved: reset() is called by the queue on
+    // initiation, after the caller attached the counter.
+  }
+};
+
+}  // namespace lcr::lci

@@ -1,0 +1,32 @@
+#include "lci/server.hpp"
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::lci {
+
+void ProgressServer::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ProgressServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void ProgressServer::loop() {
+  rt::Backoff backoff;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (queue_.progress())
+      backoff.reset();
+    else
+      backoff.pause();
+  }
+  // Final drain so no completion is stranded at shutdown.
+  queue_.progress_all();
+}
+
+}  // namespace lcr::lci

@@ -1,0 +1,206 @@
+#include "lci/two_sided.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "lci/completion.hpp"
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::lci {
+
+namespace {
+inline void mark_done(Request& req) {
+  req.status.store(ReqStatus::Done, std::memory_order_release);
+  if (req.signal != nullptr) req.signal->signal();
+}
+}  // namespace
+
+TwoSided::TwoSided(fabric::Fabric& fabric, fabric::Rank rank,
+                   DeviceConfig cfg)
+    : device_(fabric, rank, cfg) {}
+
+bool TwoSided::send(const void* buf, std::size_t size, fabric::Rank dst,
+                    std::uint32_t tag, Request& req) {
+  Packet* p = device_.tx_alloc();
+  if (p == nullptr) return false;
+
+  req.reset();
+  req.peer = dst;
+  req.tag = tag;
+  req.buffer = const_cast<void*>(buf);
+  req.size = size;
+
+  if (size <= device_.eager_limit()) {
+    std::memcpy(p->data, buf, size);
+    fabric::MsgMeta meta;
+    meta.kind = static_cast<std::uint8_t>(PacketType::EGR);
+    meta.tag = tag;
+    meta.size = static_cast<std::uint32_t>(size);
+    const fabric::PostResult r = device_.lc_send(dst, p->data, meta);
+    device_.tx_free(p);
+    if (r != fabric::PostResult::Ok) return false;
+    mark_done(req);
+    return true;
+  }
+
+  req.status.store(ReqStatus::Pending, std::memory_order_release);
+  auto* rts = reinterpret_cast<RtsPayload*>(p->data);
+  rts->msg_size = size;
+  rts->send_req = reinterpret_cast<std::uint64_t>(&req);
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(PacketType::RTS);
+  meta.tag = tag;
+  meta.size = sizeof(RtsPayload);
+  const fabric::PostResult r = device_.lc_send(dst, p->data, meta);
+  device_.tx_free(p);
+  if (r != fabric::PostResult::Ok) {
+    req.status.store(ReqStatus::Invalid, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void TwoSided::deliver_eager(Request& req, Packet* p) {
+  assert(p->meta.size <= req.size && "recv buffer too small");
+  std::memcpy(req.buffer, p->data, p->meta.size);
+  req.size = p->meta.size;
+  device_.repost_rx(p);
+  mark_done(req);
+}
+
+void TwoSided::answer_rts(Request& req, Packet* p) {
+  RtsPayload rts;
+  std::memcpy(&rts, p->data, sizeof(rts));
+  assert(static_cast<std::size_t>(rts.msg_size) <= req.size &&
+         "recv buffer too small for rendezvous");
+  req.size = static_cast<std::size_t>(rts.msg_size);
+  // Zero-copy: expose the POSTED USER BUFFER as the put target.
+  req.rkey = device_.register_memory(req.buffer, req.size);
+  req.status.store(ReqStatus::Pending, std::memory_order_release);
+
+  RtrPayload rtr;
+  rtr.send_req = rts.send_req;
+  rtr.recv_req = reinterpret_cast<std::uint64_t>(&req);
+  rtr.rkey = req.rkey;
+  rtr.msg_size = rts.msg_size;
+  std::memcpy(p->data, &rtr, sizeof(rtr));
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(PacketType::RTR);
+  meta.tag = req.tag;
+  meta.size = sizeof(RtrPayload);
+  rt::Backoff backoff;
+  while (device_.lc_send(req.peer, p->data, meta) != fabric::PostResult::Ok)
+    backoff.pause();
+  device_.repost_rx(p);
+}
+
+void TwoSided::recv(void* buf, std::size_t cap, fabric::Rank src,
+                    std::uint32_t tag, Request& req) {
+  req.reset();
+  req.peer = src;
+  req.tag = tag;
+  req.buffer = buf;
+  req.size = cap;
+  req.status.store(ReqStatus::Pending, std::memory_order_release);
+
+  // O(1) exact-key match against the unexpected table; else post.
+  Packet* ready = nullptr;
+  {
+    std::lock_guard<rt::Spinlock> guard(match_lock_);
+    const Key key{src, tag};
+    auto it = unexpected_.find(key);
+    if (it != unexpected_.end() && !it->second.empty()) {
+      ready = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) unexpected_.erase(it);
+    } else {
+      assert(posted_.find(key) == posted_.end() &&
+             "one outstanding recv per (src, tag)");
+      posted_.emplace(key, &req);
+      return;
+    }
+  }
+  if (static_cast<PacketType>(ready->meta.kind) == PacketType::EGR)
+    deliver_eager(req, ready);
+  else
+    answer_rts(req, ready);
+}
+
+bool TwoSided::progress() {
+  // Retry rendezvous puts that soft-failed.
+  {
+    std::lock_guard<rt::Spinlock> guard(pending_lock_);
+    std::size_t n = pending_puts_.size();
+    while (n-- > 0) {
+      PendingPut pp = pending_puts_.front();
+      pending_puts_.pop_front();
+      auto* sreq = reinterpret_cast<Request*>(pp.rtr.send_req);
+      if (device_.lc_put(pp.peer, pp.rtr.rkey, sreq->buffer,
+                         static_cast<std::size_t>(pp.rtr.msg_size),
+                         pp.rtr.recv_req) == fabric::PostResult::Ok)
+        mark_done(*sreq);
+      else
+        pending_puts_.push_back(pp);
+    }
+  }
+
+  std::optional<ProgressEvent> ev = device_.lc_progress();
+  if (!ev) return false;
+
+  switch (ev->type) {
+    case PacketType::EGR:
+    case PacketType::RTS: {
+      Packet* p = ev->packet;
+      Request* match = nullptr;
+      {
+        std::lock_guard<rt::Spinlock> guard(match_lock_);
+        const Key key{p->meta.src, p->meta.tag};
+        auto it = posted_.find(key);
+        if (it != posted_.end()) {
+          match = it->second;
+          posted_.erase(it);
+        } else {
+          unexpected_[key].push_back(p);
+        }
+      }
+      if (match != nullptr) {
+        if (ev->type == PacketType::EGR)
+          deliver_eager(*match, p);
+        else
+          answer_rts(*match, p);
+      }
+      break;
+    }
+    case PacketType::RTR: {
+      RtrPayload rtr;
+      std::memcpy(&rtr, ev->packet->data, sizeof(rtr));
+      const fabric::Rank peer = ev->meta.src;
+      device_.repost_rx(ev->packet);
+      auto* sreq = reinterpret_cast<Request*>(rtr.send_req);
+      if (device_.lc_put(peer, rtr.rkey, sreq->buffer,
+                         static_cast<std::size_t>(rtr.msg_size),
+                         rtr.recv_req) == fabric::PostResult::Ok) {
+        mark_done(*sreq);
+      } else {
+        std::lock_guard<rt::Spinlock> guard(pending_lock_);
+        pending_puts_.push_back(PendingPut{peer, rtr});
+      }
+      break;
+    }
+    case PacketType::RDMA: {
+      auto* rreq = reinterpret_cast<Request*>(ev->meta.imm);
+      if (rreq->rkey != fabric::kInvalidRKey) {
+        device_.deregister_memory(rreq->rkey);
+        rreq->rkey = fabric::kInvalidRKey;
+      }
+      mark_done(*rreq);
+      break;
+    }
+    case PacketType::SIGNAL:
+      break;  // one-sided signals are not routed through TwoSided endpoints
+  }
+  return true;
+}
+
+}  // namespace lcr::lci

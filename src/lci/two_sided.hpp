@@ -1,0 +1,88 @@
+// LCI two-sided interface with tag matching.
+//
+// Queue (queue.hpp) is the interface the paper presents for Abelian's
+// irregular pattern; the LCI design also supports classic two-sided
+// matching for applications that want (source, tag) selection. The crucial
+// difference from MPI: LCI has *no wildcards and no ordering guarantee*, so
+// matching is an O(1) hash-table lookup on the exact (source, tag) key
+// instead of MPI's linear scan of sequential queues (paper ref [17]) - and
+// rendezvous data lands directly in the posted user buffer (true zero-copy
+// receive), since the match happens before the RTR is answered.
+//
+// Thread-safety: send/recv may be called from any thread; progress is the
+// communication server's (single thread).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "lci/device.hpp"
+#include "lci/request.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::lci {
+
+class TwoSided {
+ public:
+  TwoSided(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg = {});
+
+  TwoSided(const TwoSided&) = delete;
+  TwoSided& operator=(const TwoSided&) = delete;
+
+  fabric::Rank rank() const noexcept { return device_.rank(); }
+  std::size_t eager_limit() const noexcept { return device_.eager_limit(); }
+
+  /// Non-blocking send (eager or rendezvous); false = resources exhausted,
+  /// retry. `req` must stay alive and un-moved until req.done().
+  bool send(const void* buf, std::size_t size, fabric::Rank dst,
+            std::uint32_t tag, Request& req);
+
+  /// Posts a receive for exactly (src, tag) - no wildcards. The incoming
+  /// message is delivered into `buf` (capacity `cap`); req.size carries the
+  /// actual size once done. At most one receive may be outstanding per
+  /// (src, tag) key.
+  void recv(void* buf, std::size_t cap, fabric::Rank src, std::uint32_t tag,
+            Request& req);
+
+  /// Communication server step; single-threaded.
+  bool progress();
+  void progress_all() {
+    while (progress()) {
+    }
+  }
+
+  Device& device() noexcept { return device_; }
+
+ private:
+  struct Key {
+    fabric::Rank src;
+    std::uint32_t tag;
+    bool operator==(const Key& o) const noexcept {
+      return src == o.src && tag == o.tag;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (static_cast<std::size_t>(k.src) << 32) ^ k.tag;
+    }
+  };
+
+  void deliver_eager(Request& req, Packet* p);
+  void answer_rts(Request& req, Packet* p);
+
+  Device device_;
+
+  rt::Spinlock match_lock_;
+  std::unordered_map<Key, Request*, KeyHash> posted_;   // expected receives
+  std::unordered_map<Key, std::deque<Packet*>, KeyHash> unexpected_;
+
+  struct PendingPut {
+    fabric::Rank peer;
+    RtrPayload rtr;
+  };
+  rt::Spinlock pending_lock_;
+  std::deque<PendingPut> pending_puts_;
+};
+
+}  // namespace lcr::lci

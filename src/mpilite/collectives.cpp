@@ -1,0 +1,20 @@
+#include "mpilite/collectives.hpp"
+
+namespace lcr::mpi {
+
+void barrier(Comm& comm) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  char token = 0;
+  // Dissemination barrier: log2(p) rounds of shifted exchanges.
+  for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
+    const int to = (me + dist) % p;
+    const int from = (me - dist % p + p) % p;
+    Request s = comm.isend(&token, sizeof(token), to, kCtrlTagBase + round);
+    char in = 0;
+    comm.recv(&in, sizeof(in), from, kCtrlTagBase + round);
+    comm.wait(s);
+  }
+}
+
+}  // namespace lcr::mpi

@@ -1,0 +1,103 @@
+// Small collectives over mpilite two-sided messaging.
+//
+// Used for setup (window rkey exchange, engine metadata) and by tests. Tags
+// live in a reserved control range so they never collide with data-plane
+// tags (backends must not wildcard-probe the control range).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpilite/comm.hpp"
+
+namespace lcr::mpi {
+
+/// First tag reserved for mpilite-internal collectives.
+inline constexpr int kCtrlTagBase = 0x40000000;
+
+/// Dissemination barrier over the communicator.
+void barrier(Comm& comm);
+
+/// Gathers one POD value from every rank; result indexed by rank.
+template <typename T>
+std::vector<T> allgather(Comm& comm, const T& mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int me = comm.rank();
+  std::vector<T> result(static_cast<std::size_t>(p));
+  result[static_cast<std::size_t>(me)] = mine;
+  // Simple all-to-all exchange; collectives are setup-path only.
+  std::vector<Request> sends;
+  sends.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    if (r != me)
+      sends.push_back(comm.isend(&mine, sizeof(T), r, kCtrlTagBase + 16));
+  for (int r = 0; r < p; ++r)
+    if (r != me)
+      comm.recv(&result[static_cast<std::size_t>(r)], sizeof(T), r,
+                kCtrlTagBase + 16);
+  for (auto& s : sends) comm.wait(s);
+  return result;
+}
+
+/// Broadcast one POD value from `root` to every rank.
+template <typename T>
+T bcast(Comm& comm, T value, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int me = comm.rank();
+  if (me == root) {
+    std::vector<Request> sends;
+    for (int r = 0; r < p; ++r)
+      if (r != root)
+        sends.push_back(comm.isend(&value, sizeof(T), r, kCtrlTagBase + 19));
+    for (auto& s : sends) comm.wait(s);
+    return value;
+  }
+  T result{};
+  comm.recv(&result, sizeof(T), root, kCtrlTagBase + 19);
+  return result;
+}
+
+/// Reduce one POD value to `root` with a binary op; other ranks get T{}.
+template <typename T, typename Op>
+T reduce(Comm& comm, T value, Op op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int me = comm.rank();
+  if (me == root) {
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      T other{};
+      comm.recv(&other, sizeof(T), r, kCtrlTagBase + 20);
+      value = op(value, other);
+    }
+    return value;
+  }
+  comm.send(&value, sizeof(T), root, kCtrlTagBase + 20);
+  return T{};
+}
+
+/// All-reduce of one POD value with a binary op (gather-to-0 + broadcast).
+template <typename T, typename Op>
+T allreduce(Comm& comm, T value, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int me = comm.rank();
+  if (me == 0) {
+    for (int r = 1; r < p; ++r) {
+      T other{};
+      comm.recv(&other, sizeof(T), r, kCtrlTagBase + 17);
+      value = op(value, other);
+    }
+    for (int r = 1; r < p; ++r)
+      comm.send(&value, sizeof(T), r, kCtrlTagBase + 18);
+    return value;
+  }
+  comm.send(&value, sizeof(T), 0, kCtrlTagBase + 17);
+  T result{};
+  comm.recv(&result, sizeof(T), 0, kCtrlTagBase + 18);
+  return result;
+}
+
+}  // namespace lcr::mpi

@@ -1,0 +1,44 @@
+// Sequential matching-queue traversal - the structural cost of MPI matching.
+//
+// MPI's wildcard receives (MPI_ANY_SOURCE / MPI_ANY_TAG) and FIFO ordering
+// force both the unexpected-message queue and the posted-receive queue to be
+// scanned linearly from the front (paper ref [17]). Each element inspected
+// additionally pays the personality's per-element cost, which is how vendor
+// implementations differ.
+#include "mpilite/comm.hpp"
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::mpi {
+
+std::list<Comm::UmqEntry>::iterator Comm::find_in_umq_locked(int src,
+                                                             int tag) {
+  std::uint64_t scanned = 0;
+  auto it = umq_.begin();
+  for (; it != umq_.end(); ++it) {
+    ++scanned;
+    if (personality_.match_cost_ns > 0)
+      rt::spin_for_ns(personality_.match_cost_ns);
+    if (match_filters(src, tag, it->src, it->tag)) break;
+  }
+  stats_.umq_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  return it;
+}
+
+Request Comm::match_prq_locked(int src, int tag) {
+  std::uint64_t scanned = 0;
+  for (auto it = prq_.begin(); it != prq_.end(); ++it) {
+    ++scanned;
+    if (personality_.match_cost_ns > 0)
+      rt::spin_for_ns(personality_.match_cost_ns);
+    if (match_filters((*it)->src_filter, (*it)->tag_filter, src, tag)) {
+      Request req = *it;
+      prq_.erase(it);
+      stats_.prq_scanned.fetch_add(scanned, std::memory_order_relaxed);
+      return req;
+    }
+  }
+  stats_.prq_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  return nullptr;
+}
+
+}  // namespace lcr::mpi

@@ -1,0 +1,56 @@
+// Common types for the mpilite baseline (an MPI subset over the fabric).
+//
+// mpilite exists so the paper's two baseline communication layers (MPI-Probe
+// and MPI-RMA) can be reproduced without a vendor MPI: it implements the MPI
+// *semantics* the paper identifies as expensive - strict per-(source, tag)
+// ordering, wildcard receives matched against sequential queues, probe-then-
+// receive, unbounded internal buffering of unexpected messages, and global
+// serialization under MPI_THREAD_MULTIPLE.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lcr::mpi {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Matches MPI_THREAD_FUNNELED / MPI_THREAD_MULTIPLE. FUNNELED callers
+/// promise all mpilite calls come from one thread; MULTIPLE takes a global
+/// lock on every call (the documented performance cliff, paper refs [16],
+/// [18], [22]).
+enum class ThreadLevel : std::uint8_t { Funneled, Multiple };
+
+/// Result of a matched or probed message, mirroring MPI_Status.
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t size = 0;  // bytes (MPI_Get_count analogue)
+};
+
+/// The MPI standard does not require implementations to survive resource
+/// exhaustion; "the program crashes when these happen" (paper Section III-D).
+/// mpilite surfaces that behaviour as an exception so tests can observe it.
+class FatalMpiError : public std::runtime_error {
+ public:
+  explicit FatalMpiError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Internal wire protocol message kinds (fabric MsgMeta::kind).
+enum class WireKind : std::uint8_t {
+  Eager = 32,    ///< short message, payload inline
+  Rts = 33,      ///< rendezvous request {size, send handle}
+  Rtr = 34,      ///< rendezvous reply {send handle, rkey, recv handle}
+  Fin = 35,      ///< put-completion immediate for a rendezvous recv
+  RmaPut = 36,   ///< RMA put notification (imm = window id)
+  RmaSync = 37,  ///< RMA epoch sync {imm = #puts, imm2 = window id}
+  RmaPost = 38,  ///< RMA exposure-epoch grant {imm2 = window id}
+  RmaGet = 39,     ///< RMA get request {imm2 = window id, payload = GetWire}
+  RmaGetDone = 40, ///< put-completion immediate answering an RMA get
+};
+
+}  // namespace lcr::mpi

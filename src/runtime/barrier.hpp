@@ -1,0 +1,37 @@
+// Sense-reversing centralized barrier for a fixed set of threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::rt {
+
+/// Classic sense-reversing barrier. Reusable across phases. All `n`
+/// participants must call arrive_and_wait(); the last one flips the sense.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t n) : n_(n), remaining_(n) {}
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(n_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != my_sense)
+        backoff.pause();
+    }
+  }
+
+  std::size_t participants() const noexcept { return n_; }
+
+ private:
+  const std::size_t n_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace lcr::rt

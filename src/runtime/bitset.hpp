@@ -1,0 +1,100 @@
+// Concurrent dynamic bitset.
+//
+// Used for "dirty" label tracking (which proxies were updated this round and
+// therefore must be synchronized) and for active-vertex frontiers. Set
+// operations are thread-safe; iteration and clearing happen in quiescent
+// phases, matching the BSP structure of the engines.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcr::rt {
+
+class ConcurrentBitset {
+ public:
+  ConcurrentBitset() = default;
+  explicit ConcurrentBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+
+  /// Thread-safe set. Returns true if the bit transitioned 0 -> 1.
+  bool set(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Thread-safe clear of one bit.
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6].fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+  }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >>
+            (i & 63)) & 1ULL;
+  }
+
+  /// Clears all bits. Not thread-safe against concurrent set().
+  void clear_all() noexcept {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Population count. Not thread-safe against concurrent set().
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : words_)
+      total += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    return total;
+  }
+
+  bool any() const noexcept {
+    for (const auto& w : words_)
+      if (w.load(std::memory_order_relaxed) != 0) return true;
+    return false;
+  }
+
+  /// Calls fn(i) for every set bit. Not thread-safe against concurrent set().
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for every set bit in [lo, hi).
+  template <typename Fn>
+  void for_each_in_range(std::size_t lo, std::size_t hi, Fn&& fn) const {
+    if (lo >= hi) return;
+    for (std::size_t wi = lo >> 6; wi <= (hi - 1) >> 6 && wi < words_.size();
+         ++wi) {
+      std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        const std::size_t i = wi * 64 + static_cast<std::size_t>(b);
+        if (i >= lo && i < hi) fn(i);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace lcr::rt

@@ -1,0 +1,17 @@
+#include "runtime/cpu_relax.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace lcr::rt {
+
+void thread_yield() noexcept { std::this_thread::yield(); }
+
+void spin_for_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) cpu_pause();
+}
+
+}  // namespace lcr::rt

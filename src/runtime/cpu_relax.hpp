@@ -1,0 +1,51 @@
+// Low-level CPU pause / calibrated busy-wait helpers.
+//
+// All spin loops in the repository funnel through these helpers so that on an
+// oversubscribed machine (the simulated cluster runs every "host" as a thread
+// on one box) a spinning thread eventually yields the core instead of starving
+// the thread it is waiting on.
+#pragma once
+
+#include <cstdint>
+
+namespace lcr::rt {
+
+/// Hint to the CPU that we are in a spin-wait loop (PAUSE on x86).
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Yield the OS thread. Used by spin loops after a bounded number of pauses.
+void thread_yield() noexcept;
+
+/// Busy-wait for approximately `ns` nanoseconds.
+///
+/// Used by the mpilite "personality" layer to model per-operation software
+/// costs of different MPI implementations (matching-queue element traversal,
+/// probe overhead, lock acquisition). Spinning - rather than sleeping - is
+/// deliberate: real MPI overhead burns CPU in exactly this way.
+void spin_for_ns(std::uint64_t ns) noexcept;
+
+/// Adaptive backoff for spin loops: pause a few times, then yield.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (count_ < kPauseLimit) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_pause();
+      ++count_;
+    } else {
+      thread_yield();
+    }
+  }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr int kPauseLimit = 6;
+  int count_ = 0;
+};
+
+}  // namespace lcr::rt

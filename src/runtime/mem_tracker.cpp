@@ -1,0 +1,28 @@
+#include "runtime/mem_tracker.hpp"
+
+namespace lcr::rt {
+
+void MemTracker::on_alloc(std::size_t bytes) noexcept {
+  const std::uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  total_.fetch_add(bytes, std::memory_order_relaxed);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free peak update.
+  std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemTracker::on_free(std::size_t bytes) noexcept {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemTracker::reset() noexcept {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  allocs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lcr::rt

@@ -1,0 +1,79 @@
+// Communication-buffer memory accounting.
+//
+// The paper (Fig. 5) instruments Abelian to "count the size of allocation and
+// deallocation of the buffers"; the memory footprint of a host is the maximum
+// working-set size during execution. MemTracker reproduces exactly that:
+// every communication-layer buffer allocation/free is reported here, and the
+// peak is what the Fig-5 bench prints.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lcr::rt {
+
+class MemTracker {
+ public:
+  /// Record an allocation of `bytes` for communication buffers.
+  void on_alloc(std::size_t bytes) noexcept;
+
+  /// Record a deallocation of `bytes`.
+  void on_free(std::size_t bytes) noexcept;
+
+  /// Current working-set size in bytes.
+  std::uint64_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Peak working-set size in bytes (the paper's "memory footprint").
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes ever allocated (allocation churn; shows LCI's recycling).
+  std::uint64_t total_allocated() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t alloc_count() const noexcept {
+    return allocs_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+};
+
+/// RAII helper tying a buffer's lifetime to a tracker.
+class TrackedAlloc {
+ public:
+  TrackedAlloc(MemTracker& tracker, std::size_t bytes)
+      : tracker_(&tracker), bytes_(bytes) {
+    tracker_->on_alloc(bytes_);
+  }
+  ~TrackedAlloc() { release(); }
+  TrackedAlloc(const TrackedAlloc&) = delete;
+  TrackedAlloc& operator=(const TrackedAlloc&) = delete;
+  TrackedAlloc(TrackedAlloc&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+  }
+
+  void release() noexcept {
+    if (tracker_ != nullptr) {
+      tracker_->on_free(bytes_);
+      tracker_ = nullptr;
+    }
+  }
+
+ private:
+  MemTracker* tracker_;
+  std::size_t bytes_;
+};
+
+}  // namespace lcr::rt

@@ -1,0 +1,116 @@
+// Bounded lock-free multi-producer multi-consumer queue.
+//
+// This is the fetch-and-add MPMC ring the paper cites ([26], Morrison &
+// Afek-style fast path realized as the classic Vyukov bounded queue): each
+// cell carries a sequence number; producers and consumers claim slots with a
+// single fetch_add on their ticket counter and then synchronize on the cell
+// sequence. LCI uses it for the global incoming-packet queue Q and the packet
+// pool free list.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::rt {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two.
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i <= mask_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Non-blocking push. Returns false when the queue is full.
+  bool try_push(T value) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop. Returns nullopt when the queue is empty.
+  std::optional<T> try_pop() {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> result(std::move(cell->value));
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return result;
+  }
+
+  /// Blocking push with backoff; only used on paths where the caller owns
+  /// flow control (e.g. returning a packet to the pool, which cannot be full).
+  void push(T value) {
+    Backoff backoff;
+    while (!try_push(std::move(value))) backoff.pause();
+  }
+
+  /// Approximate size; only meaningful when producers/consumers are quiescent.
+  std::size_t approx_size() const noexcept {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    return h >= t ? h - t : 0;
+  }
+
+  bool approx_empty() const noexcept { return approx_size() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace lcr::rt

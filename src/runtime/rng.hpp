@@ -1,0 +1,68 @@
+// Deterministic, seedable random number generation (splitmix64 + xoshiro256**)
+// used by graph generators and tests. Determinism matters: every experiment
+// in EXPERIMENTS.md must be re-runnable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace lcr::rt {
+
+/// splitmix64: used for seeding and cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot stateless hash of a 64-bit value.
+inline std::uint64_t hash64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // bias is negligible for graph generation (bound << 2^64).
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lcr::rt

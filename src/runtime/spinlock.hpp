@@ -1,0 +1,37 @@
+// Test-and-test-and-set spinlock with adaptive backoff.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::rt {
+
+/// A small, fair-enough TTAS spinlock. Satisfies Lockable so it can be used
+/// with std::lock_guard / std::unique_lock.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace lcr::rt

@@ -1,0 +1,57 @@
+// Bounded single-producer single-consumer ring buffer.
+//
+// Used for per-peer ordered channels (e.g. one compute thread feeding the
+// dedicated communication thread).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+namespace lcr::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;
+    buf_ = std::make_unique<T[]>(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool try_push(T value) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (((h + 1) & mask_) == (t & mask_)) return false;  // full
+    buf_[h & mask_] = std::move(value);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return std::nullopt;  // empty
+    std::optional<T> v(std::move(buf_[t & mask_]));
+    tail_.store(t + 1, std::memory_order_release);
+    return v;
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::unique_ptr<T[]> buf_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace lcr::rt

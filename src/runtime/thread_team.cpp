@@ -1,0 +1,76 @@
+#include "runtime/thread_team.hpp"
+
+#include <algorithm>
+
+namespace lcr::rt {
+
+ThreadTeam::ThreadTeam(std::size_t num_threads)
+    : num_threads_(std::max<std::size_t>(1, num_threads)),
+      start_barrier_(num_threads_),
+      end_barrier_(num_threads_) {
+  threads_.reserve(num_threads_ - 1);
+  for (std::size_t t = 1; t < num_threads_; ++t)
+    threads_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  if (num_threads_ > 1) {
+    shutdown_.store(true, std::memory_order_release);
+    job_ = nullptr;
+    start_barrier_.arrive_and_wait();  // release workers to observe shutdown
+  }
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadTeam::worker_loop(std::size_t tid) {
+  for (;;) {
+    start_barrier_.arrive_and_wait();
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (job_ != nullptr) (*job_)(tid);
+    end_barrier_.arrive_and_wait();
+  }
+}
+
+void ThreadTeam::run(const std::function<void(std::size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  job_ = &fn;
+  start_barrier_.arrive_and_wait();
+  fn(0);
+  end_barrier_.arrive_and_wait();
+  job_ = nullptr;
+}
+
+void ThreadTeam::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  std::atomic<std::size_t> next{begin};
+  run([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(lo + grain, end);
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+}
+
+void ThreadTeam::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  std::atomic<std::size_t> next{begin};
+  run([&](std::size_t tid) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      body(lo, std::min(lo + grain, end), tid);
+    }
+  });
+}
+
+}  // namespace lcr::rt

@@ -1,0 +1,59 @@
+// Persistent compute-thread team with fork/join parallel_for.
+//
+// Each simulated host owns one ThreadTeam for its compute threads (the
+// "compute threads" of paper Fig. 2). The team is created once and reused
+// every round; work is distributed in blocked or dynamic (chunk-stealing via
+// a shared atomic counter) fashion.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+
+namespace lcr::rt {
+
+class ThreadTeam {
+ public:
+  /// Creates a team of `num_threads` workers (>= 1). Thread 0 is the calling
+  /// thread; only num_threads-1 OS threads are spawned.
+  explicit ThreadTeam(std::size_t num_threads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  std::size_t size() const noexcept { return num_threads_; }
+
+  /// Runs fn(thread_id) on every team member, including the caller as thread
+  /// 0, and joins. Must be called from the thread that constructed the team.
+  void run(const std::function<void(std::size_t)>& fn);
+
+  /// Parallel loop over [begin, end) with dynamic chunking. `body` receives
+  /// (index). Grain is the chunk size claimed per fetch_add.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 256);
+
+  /// Parallel loop handing each worker whole chunks: body(chunk_begin,
+  /// chunk_end, thread_id). Cheaper than per-index dispatch for tight loops.
+  void parallel_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+      std::size_t grain = 1024);
+
+ private:
+  void worker_loop(std::size_t tid);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> threads_;
+  SenseBarrier start_barrier_;
+  SenseBarrier end_barrier_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lcr::rt

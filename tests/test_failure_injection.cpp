@@ -1,0 +1,113 @@
+// Failure injection: resource exhaustion and constrained fabrics must not
+// break correctness - LCI retries, MPI backlogs, RMA epochs throttle.
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "bench_support/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace lcr {
+namespace {
+
+class ConstrainedFabric : public ::testing::TestWithParam<comm::BackendKind> {
+};
+
+/// Tiny receive windows: senders constantly hit NoRxBuffer; results must
+/// still be exact.
+TEST_P(ConstrainedFabric, TinyRxWindowsStillCorrect) {
+  graph::Csr g = graph::rmat(7, 8.0);
+  fabric::FabricConfig fcfg = fabric::test_config();
+  fcfg.default_rx_buffers = 8;
+
+  bench::RunSpec spec;
+  spec.app = "bfs";
+  spec.backend = GetParam();
+  spec.hosts = 4;
+  spec.policy = graph::PartitionPolicy::CartesianVertexCut;
+  spec.source = bench::choose_source(g);
+  spec.fabric = fcfg;
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+}
+
+/// Injection-rate throttling: senders hit Throttled; retried transparently.
+TEST_P(ConstrainedFabric, ThrottledInjectionStillCorrect) {
+  graph::Csr g = graph::erdos_renyi(128, 1024);
+  fabric::FabricConfig fcfg = fabric::test_config();
+  fcfg.injection_rate_pps = 200000.0;  // 200 packets/ms: slow but moving
+  fcfg.injection_burst = 32;
+
+  bench::RunSpec spec;
+  spec.app = "cc";
+  spec.backend = GetParam();
+  spec.hosts = 3;
+  spec.policy = graph::PartitionPolicy::OutgoingEdgeCut;
+  spec.fabric = fcfg;
+  graph::Csr sg = graph::symmetrize(g);
+  const auto result = bench::run_app(sg, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_cc(sg));
+}
+
+/// Nonzero wire latency delays delivery; phase completion must still hold.
+TEST_P(ConstrainedFabric, WireLatencyStillCorrect) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  fabric::FabricConfig fcfg = fabric::test_config();
+  fcfg.wire_latency = std::chrono::microseconds(50);
+
+  bench::RunSpec spec;
+  spec.app = "sssp";
+  spec.backend = GetParam();
+  spec.hosts = 3;
+  spec.policy = graph::PartitionPolicy::CartesianVertexCut;
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr wg = graph::rmat(6, 8.0, opt);
+  spec.source = bench::choose_source(wg);
+  spec.fabric = fcfg;
+  const auto result = bench::run_app(wg, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_sssp(wg, spec.source));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ConstrainedFabric,
+                         ::testing::Values(comm::BackendKind::Lci,
+                                           comm::BackendKind::MpiProbe,
+                                           comm::BackendKind::MpiRma),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case comm::BackendKind::Lci: return "lci";
+                             case comm::BackendKind::MpiProbe:
+                               return "mpi_probe";
+                             default: return "mpi_rma";
+                           }
+                         });
+
+/// Single compute thread per host (comm thread still separate).
+TEST(FailureModes, SingleComputeThreadWorks) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  bench::RunSpec spec;
+  spec.app = "bfs";
+  spec.hosts = 2;
+  spec.threads = 1;
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+}
+
+/// Gemini under a constrained fabric.
+TEST(FailureModes, GeminiTinyRxWindowStillCorrect) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  fabric::FabricConfig fcfg = fabric::test_config();
+  fcfg.default_rx_buffers = 8;
+  bench::RunSpec spec;
+  spec.app = "bfs";
+  spec.engine = "gemini";
+  spec.hosts = 3;
+  spec.source = bench::choose_source(g);
+  spec.fabric = fcfg;
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+}
+
+}  // namespace
+}  // namespace lcr

@@ -1,0 +1,126 @@
+// k-core decomposition: distributed vs sequential peeling, across backends,
+// policies, host counts and k values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/kcore.hpp"
+#include "bench_support/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace lcr {
+namespace {
+
+struct KcoreCase {
+  comm::BackendKind backend;
+  graph::PartitionPolicy policy;
+  int hosts;
+  std::uint32_t k;
+};
+
+std::string case_name(const ::testing::TestParamInfo<KcoreCase>& info) {
+  std::ostringstream os;
+  switch (info.param.backend) {
+    case comm::BackendKind::Lci: os << "lci"; break;
+    case comm::BackendKind::MpiProbe: os << "probe"; break;
+    case comm::BackendKind::MpiRma: os << "rma"; break;
+  }
+  os << (info.param.policy == graph::PartitionPolicy::CartesianVertexCut
+             ? "_cvc"
+             : "_oec")
+     << "_h" << info.param.hosts << "_k" << info.param.k;
+  return os.str();
+}
+
+class KcoreSweep : public ::testing::TestWithParam<KcoreCase> {};
+
+TEST_P(KcoreSweep, MatchesSequentialPeeling) {
+  const KcoreCase& c = GetParam();
+  graph::Csr g = graph::symmetrize(graph::rmat(8, 8.0));
+
+  bench::RunSpec spec;
+  spec.app = "kcore";
+  spec.backend = c.backend;
+  spec.policy = c.policy;
+  spec.hosts = c.hosts;
+  spec.kcore_k = c.k;
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_kcore(g, c.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KcoreSweep,
+    ::testing::Values(
+        KcoreCase{comm::BackendKind::Lci,
+                  graph::PartitionPolicy::CartesianVertexCut, 4, 4},
+        KcoreCase{comm::BackendKind::MpiProbe,
+                  graph::PartitionPolicy::CartesianVertexCut, 4, 4},
+        KcoreCase{comm::BackendKind::MpiRma,
+                  graph::PartitionPolicy::CartesianVertexCut, 4, 4},
+        KcoreCase{comm::BackendKind::Lci,
+                  graph::PartitionPolicy::OutgoingEdgeCut, 3, 8},
+        KcoreCase{comm::BackendKind::Lci,
+                  graph::PartitionPolicy::CartesianVertexCut, 2, 16},
+        KcoreCase{comm::BackendKind::MpiRma,
+                  graph::PartitionPolicy::OutgoingEdgeCut, 4, 2},
+        KcoreCase{comm::BackendKind::Lci,
+                  graph::PartitionPolicy::CartesianVertexCut, 1, 6}),
+    case_name);
+
+TEST(KcoreEdgeCases, KZeroKeepsEverything) {
+  graph::Csr g = graph::symmetrize(graph::rmat(6, 4.0));
+  bench::RunSpec spec;
+  spec.app = "kcore";
+  spec.hosts = 2;
+  spec.kcore_k = 0;
+  const auto result = bench::run_app(g, spec);
+  for (auto v : result.labels_u32) EXPECT_EQ(v, 1u);
+}
+
+TEST(KcoreEdgeCases, HugeKRemovesEverything) {
+  graph::Csr g = graph::symmetrize(graph::rmat(6, 4.0));
+  bench::RunSpec spec;
+  spec.app = "kcore";
+  spec.hosts = 2;
+  spec.kcore_k = 1u << 20;
+  const auto result = bench::run_app(g, spec);
+  for (auto v : result.labels_u32) EXPECT_EQ(v, 0u);
+}
+
+TEST(KcoreEdgeCases, StarCollapsesAtK2) {
+  // A star has no 2-core at all.
+  graph::Csr g = graph::symmetrize(graph::star(16));
+  const auto expected = apps::reference_kcore(g, 2);
+  for (auto v : expected) ASSERT_EQ(v, 0u);
+  bench::RunSpec spec;
+  spec.app = "kcore";
+  spec.hosts = 3;
+  spec.kcore_k = 2;
+  spec.policy = graph::PartitionPolicy::CartesianVertexCut;
+  EXPECT_EQ(bench::run_app(g, spec).labels_u32, expected);
+}
+
+TEST(KcoreEdgeCases, CliquePlusTailKeepsClique) {
+  // K5 with a path hanging off it: the 4-core is exactly the clique.
+  graph::EdgeList edges;
+  for (graph::VertexId u = 0; u < 5; ++u)
+    for (graph::VertexId v = 0; v < 5; ++v)
+      if (u != v) edges.emplace_back(u, v);
+  for (graph::VertexId v = 5; v < 10; ++v) {
+    edges.emplace_back(v - 1, v);
+    edges.emplace_back(v, v - 1);
+  }
+  graph::Csr g = graph::Csr::from_edges(10, edges);
+  bench::RunSpec spec;
+  spec.app = "kcore";
+  spec.hosts = 2;
+  spec.kcore_k = 4;
+  const auto result = bench::run_app(g, spec);
+  for (graph::VertexId v = 0; v < 5; ++v) EXPECT_EQ(result.labels_u32[v], 1u);
+  for (graph::VertexId v = 5; v < 10; ++v)
+    EXPECT_EQ(result.labels_u32[v], 0u);
+}
+
+}  // namespace
+}  // namespace lcr

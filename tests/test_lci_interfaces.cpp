@@ -1,0 +1,187 @@
+// Tests for the additional LCI interface styles: two-sided tag matching
+// (hash-based, no wildcards, zero-copy rendezvous into the posted buffer)
+// and one-sided put-with-signal.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "lci/one_sided.hpp"
+#include "lci/two_sided.hpp"
+
+namespace lcr {
+namespace {
+
+struct TwoSidedTest : ::testing::Test {
+  TwoSidedTest() : fab(2, fabric::test_config()), t0(fab, 0), t1(fab, 1) {}
+  void progress_both() {
+    t0.progress_all();
+    t1.progress_all();
+  }
+  fabric::Fabric fab;
+  lci::TwoSided t0;
+  lci::TwoSided t1;
+};
+
+TEST_F(TwoSidedTest, EagerMatchPosted) {
+  std::uint32_t out = 0;
+  lci::Request rreq;
+  t1.recv(&out, sizeof(out), 0, 5, rreq);  // posted first
+  EXPECT_FALSE(rreq.done());
+
+  const std::uint32_t v = 321;
+  lci::Request sreq;
+  ASSERT_TRUE(t0.send(&v, sizeof(v), 1, 5, sreq));
+  for (int i = 0; i < 100 && !rreq.done(); ++i) progress_both();
+  ASSERT_TRUE(rreq.done());
+  EXPECT_EQ(out, 321u);
+  EXPECT_EQ(rreq.size, sizeof(v));
+}
+
+TEST_F(TwoSidedTest, EagerMatchUnexpected) {
+  const std::uint32_t v = 99;
+  lci::Request sreq;
+  ASSERT_TRUE(t0.send(&v, sizeof(v), 1, 8, sreq));
+  t1.progress_all();  // message lands in the unexpected table
+
+  std::uint32_t out = 0;
+  lci::Request rreq;
+  t1.recv(&out, sizeof(out), 0, 8, rreq);  // exact-key hash hit
+  EXPECT_TRUE(rreq.done());
+  EXPECT_EQ(out, 99u);
+}
+
+TEST_F(TwoSidedTest, TagsAreSelective) {
+  const std::uint32_t a = 1, b = 2;
+  lci::Request s1, s2;
+  ASSERT_TRUE(t0.send(&a, sizeof(a), 1, 10, s1));
+  ASSERT_TRUE(t0.send(&b, sizeof(b), 1, 20, s2));
+  t1.progress_all();
+
+  std::uint32_t out = 0;
+  lci::Request r20, r10;
+  t1.recv(&out, sizeof(out), 0, 20, r20);  // select tag 20 first
+  EXPECT_TRUE(r20.done());
+  EXPECT_EQ(out, 2u);
+  t1.recv(&out, sizeof(out), 0, 10, r10);
+  EXPECT_TRUE(r10.done());
+  EXPECT_EQ(out, 1u);
+}
+
+TEST_F(TwoSidedTest, RendezvousZeroCopyIntoPostedBuffer) {
+  std::vector<char> big(t0.eager_limit() * 2 + 11);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<char>(i * 7);
+  std::vector<char> out(big.size() + 64, 0);
+
+  lci::Request rreq;
+  t1.recv(out.data(), out.size(), 0, 4, rreq);  // posted before the RTS
+  lci::Request sreq;
+  ASSERT_TRUE(t0.send(big.data(), big.size(), 1, 4, sreq));
+  for (int i = 0; i < 300 && !(sreq.done() && rreq.done()); ++i)
+    progress_both();
+  ASSERT_TRUE(sreq.done());
+  ASSERT_TRUE(rreq.done());
+  EXPECT_EQ(rreq.size, big.size());
+  EXPECT_EQ(std::memcmp(out.data(), big.data(), big.size()), 0);
+}
+
+TEST_F(TwoSidedTest, RendezvousUnexpectedRts) {
+  std::vector<char> big(t0.eager_limit() + 100, 'q');
+  lci::Request sreq;
+  ASSERT_TRUE(t0.send(big.data(), big.size(), 1, 6, sreq));
+  t1.progress_all();  // RTS queued unexpected
+
+  std::vector<char> out(big.size());
+  lci::Request rreq;
+  t1.recv(out.data(), out.size(), 0, 6, rreq);
+  for (int i = 0; i < 300 && !rreq.done(); ++i) progress_both();
+  ASSERT_TRUE(rreq.done());
+  EXPECT_EQ(out, big);
+}
+
+TEST_F(TwoSidedTest, CompletionCounterWorks) {
+  lci::CompletionCounter counter;
+  counter.expect(2);
+  const std::uint32_t v = 5;
+  lci::Request s1, s2;
+  s1.signal = &counter;
+  s2.signal = &counter;
+  ASSERT_TRUE(t0.send(&v, sizeof(v), 1, 1, s1));
+  ASSERT_TRUE(t0.send(&v, sizeof(v), 1, 2, s2));
+  EXPECT_TRUE(counter.complete());  // both eager
+  // drain
+  std::uint32_t out = 0;
+  lci::Request r1, r2;
+  t1.progress_all();
+  t1.recv(&out, sizeof(out), 0, 1, r1);
+  t1.recv(&out, sizeof(out), 0, 2, r2);
+}
+
+struct OneSidedTest : ::testing::Test {
+  OneSidedTest() : fab(2, fabric::test_config()), o0(fab, 0), o1(fab, 1) {}
+  fabric::Fabric fab;
+  lci::OneSided o0;
+  lci::OneSided o1;
+};
+
+TEST_F(OneSidedTest, SilentPutWritesRemoteMemory) {
+  std::vector<std::uint32_t> region(16, 0);
+  const lci::RemoteBuffer rb =
+      o1.expose(region.data(), region.size() * sizeof(uint32_t));
+  const std::uint32_t vals[2] = {7, 9};
+  ASSERT_TRUE(o0.put(rb, 4 * sizeof(uint32_t), vals, sizeof(vals)));
+  EXPECT_EQ(region[4], 7u);
+  EXPECT_EQ(region[5], 9u);
+  o1.unexpose(rb);
+}
+
+TEST_F(OneSidedTest, PutSignalBumpsRemoteCounter) {
+  std::vector<std::uint32_t> region(8, 0);
+  const lci::RemoteBuffer rb =
+      o1.expose(region.data(), region.size() * sizeof(uint32_t));
+  lci::CompletionCounter arrived;
+  arrived.expect(3);
+  o1.register_signal(42, &arrived);
+
+  const std::uint32_t v = 1;
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(
+        o0.put_signal(rb, i * sizeof(uint32_t), &v, sizeof(v), 42));
+
+  // The target discovers all transfers with one atomic per poll.
+  for (int spin = 0; spin < 100 && !arrived.complete(); ++spin)
+    o1.progress();
+  EXPECT_TRUE(arrived.complete());
+  EXPECT_EQ(region[0], 1u);
+  EXPECT_EQ(region[1], 1u);
+  EXPECT_EQ(region[2], 1u);
+  o1.deregister_signal(42);
+  o1.unexpose(rb);
+}
+
+TEST_F(OneSidedTest, UnknownSignalIsIgnored) {
+  std::vector<std::uint32_t> region(4, 0);
+  const lci::RemoteBuffer rb =
+      o1.expose(region.data(), region.size() * sizeof(uint32_t));
+  const std::uint32_t v = 3;
+  ASSERT_TRUE(o0.put_signal(rb, 0, &v, sizeof(v), 777));  // nobody listening
+  for (int spin = 0; spin < 10; ++spin) o1.progress();
+  EXPECT_EQ(region[0], 3u);  // data still arrived
+  o1.unexpose(rb);
+}
+
+TEST_F(OneSidedTest, OutOfBoundsPutFails) {
+  std::vector<std::uint32_t> region(4, 0);
+  const lci::RemoteBuffer rb =
+      o1.expose(region.data(), region.size() * sizeof(uint32_t));
+  std::vector<std::uint32_t> too_big(8, 1);
+  EXPECT_FALSE(o0.put(rb, 0, too_big.data(),
+                      too_big.size() * sizeof(uint32_t)));
+  o1.unexpose(rb);
+}
+
+}  // namespace
+}  // namespace lcr

@@ -1,0 +1,197 @@
+// Tests for partitioners and the distributed-graph invariants the sync
+// machinery relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace lcr {
+namespace {
+
+using graph::PartitionPolicy;
+
+struct PartitionCase {
+  PartitionPolicy policy;
+  int hosts;
+};
+
+class PartitionInvariants
+    : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionInvariants, HoldOnRmat) {
+  const auto [policy, hosts] = GetParam();
+  graph::Csr g = graph::rmat(9, 8.0);
+  auto parts = graph::partition(g, hosts, policy);
+  ASSERT_EQ(parts.size(), static_cast<std::size_t>(hosts));
+
+  // 1. Every vertex is mastered by exactly one host, and master blocks are
+  //    contiguous and complete.
+  std::vector<int> master_count(g.num_nodes(), 0);
+  for (const auto& part : parts)
+    for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
+      ++master_count[part.l2g[lid]];
+  for (graph::VertexId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(master_count[v], 1) << "vertex " << v;
+
+  // 2. Edges are partitioned: the local edge counts sum to |E| and each
+  //    local edge maps to a global edge.
+  graph::EdgeId total_edges = 0;
+  for (const auto& part : parts) total_edges += part.out_edges.num_edges();
+  EXPECT_EQ(total_edges, g.num_edges());
+
+  // 3. Local ids: masters first (sorted by gid), then mirrors (sorted).
+  for (const auto& part : parts) {
+    for (graph::VertexId lid = 1; lid < part.num_masters; ++lid)
+      EXPECT_LT(part.l2g[lid - 1], part.l2g[lid]);
+    for (graph::VertexId lid = part.num_masters + 1; lid < part.num_local;
+         ++lid)
+      EXPECT_LT(part.l2g[lid - 1], part.l2g[lid]);
+    // owner_of agrees with the master block.
+    for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
+      EXPECT_EQ(part.owner_of(part.l2g[lid]), part.host_id);
+    for (graph::VertexId lid = part.num_masters; lid < part.num_local; ++lid)
+      EXPECT_NE(part.owner_of(part.l2g[lid]), part.host_id);
+  }
+
+  // 4. Memoized sync lists agree pairwise: host A's mirror_to_master[B]
+  //    lists the same global vertices, in the same order, as host B's
+  //    master_to_mirror[A].
+  for (int a = 0; a < hosts; ++a) {
+    for (int b = 0; b < hosts; ++b) {
+      const auto& m2m = parts[a].mirror_to_master[static_cast<std::size_t>(b)];
+      const auto& rev = parts[b].master_to_mirror[static_cast<std::size_t>(a)];
+      ASSERT_EQ(m2m.size(), rev.size()) << "pair " << a << "," << b;
+      for (std::size_t i = 0; i < m2m.size(); ++i)
+        EXPECT_EQ(parts[a].l2g[m2m[i]], parts[b].l2g[rev[i]]);
+    }
+  }
+
+  // 5. Mirror lists cover exactly the mirrors.
+  for (const auto& part : parts) {
+    std::size_t listed = 0;
+    for (const auto& list : part.mirror_to_master) listed += list.size();
+    EXPECT_EQ(listed, part.num_local - part.num_masters);
+  }
+
+  // 6. Global out-degrees recorded per proxy match the global graph.
+  for (const auto& part : parts)
+    for (graph::VertexId lid = 0; lid < part.num_local; ++lid)
+      EXPECT_EQ(part.global_out_degree[lid], g.degree(part.l2g[lid]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndHosts, PartitionInvariants,
+    ::testing::Values(
+        PartitionCase{PartitionPolicy::BlockedEdgeCut, 1},
+        PartitionCase{PartitionPolicy::BlockedEdgeCut, 2},
+        PartitionCase{PartitionPolicy::BlockedEdgeCut, 4},
+        PartitionCase{PartitionPolicy::BlockedEdgeCut, 7},
+        PartitionCase{PartitionPolicy::OutgoingEdgeCut, 3},
+        PartitionCase{PartitionPolicy::OutgoingEdgeCut, 4},
+        PartitionCase{PartitionPolicy::IncomingEdgeCut, 2},
+        PartitionCase{PartitionPolicy::IncomingEdgeCut, 4},
+        PartitionCase{PartitionPolicy::IncomingEdgeCut, 5},
+        PartitionCase{PartitionPolicy::CartesianVertexCut, 2},
+        PartitionCase{PartitionPolicy::CartesianVertexCut, 4},
+        PartitionCase{PartitionPolicy::CartesianVertexCut, 6},
+        PartitionCase{PartitionPolicy::CartesianVertexCut, 8}));
+
+TEST(Partition, EdgeCutKeepsOutEdgesWithSource) {
+  graph::Csr g = graph::rmat(8, 8.0);
+  auto parts = graph::partition(g, 4, PartitionPolicy::BlockedEdgeCut);
+  for (const auto& part : parts) {
+    // Under an edge cut, every local edge's source is a master.
+    for (graph::VertexId src = 0; src < part.num_local; ++src) {
+      if (part.out_edges.degree(src) > 0) {
+        EXPECT_TRUE(part.is_master(src))
+            << "host " << part.host_id << " local " << src;
+      }
+    }
+  }
+}
+
+TEST(Partition, IncomingEdgeCutKeepsInEdgesWithDestination) {
+  graph::Csr g = graph::rmat(8, 8.0);
+  auto parts = graph::partition(g, 4, PartitionPolicy::IncomingEdgeCut);
+  for (const auto& part : parts) {
+    // Every local edge's destination is a master: pushes never write
+    // mirrors under this policy (the broadcast-only sync plan).
+    for (graph::VertexId src = 0; src < part.num_local; ++src)
+      part.out_edges.for_each_edge(src,
+                                   [&](graph::VertexId dst, graph::Weight) {
+                                     EXPECT_TRUE(part.is_master(dst));
+                                   });
+  }
+}
+
+TEST(Partition, CvcSpreadsOutEdgesAcrossHosts) {
+  graph::Csr g = graph::kron(9, 16.0);
+  auto parts = graph::partition(g, 4, PartitionPolicy::CartesianVertexCut);
+  // Under a vertex cut some host must have out-edges rooted at a mirror.
+  bool mirror_with_edges = false;
+  for (const auto& part : parts)
+    for (graph::VertexId v = part.num_masters; v < part.num_local; ++v)
+      if (part.out_edges.degree(v) > 0) mirror_with_edges = true;
+  EXPECT_TRUE(mirror_with_edges);
+}
+
+TEST(Partition, CvcGridFactorization) {
+  EXPECT_EQ(graph::cvc_grid(4), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(graph::cvc_grid(8), (std::pair<int, int>{2, 4}));
+  EXPECT_EQ(graph::cvc_grid(6), (std::pair<int, int>{2, 3}));
+  EXPECT_EQ(graph::cvc_grid(7), (std::pair<int, int>{1, 7}));
+  EXPECT_EQ(graph::cvc_grid(16), (std::pair<int, int>{4, 4}));
+}
+
+TEST(Partition, SingleHostHasNoMirrors) {
+  graph::Csr g = graph::rmat(8, 8.0);
+  auto parts = graph::partition(g, 1, PartitionPolicy::CartesianVertexCut);
+  EXPECT_EQ(parts[0].num_masters, parts[0].num_local);
+  EXPECT_EQ(parts[0].num_masters, g.num_nodes());
+}
+
+TEST(Partition, EdgeBalanceIsReasonable) {
+  graph::Csr g = graph::erdos_renyi(1u << 10, 1u << 14);
+  auto parts = graph::partition(g, 4, PartitionPolicy::BlockedEdgeCut);
+  const double ideal = static_cast<double>(g.num_edges()) / 4.0;
+  for (const auto& part : parts) {
+    EXPECT_LT(static_cast<double>(part.out_edges.num_edges()), 2.0 * ideal);
+    EXPECT_GT(static_cast<double>(part.out_edges.num_edges()), 0.3 * ideal);
+  }
+}
+
+TEST(Partition, SymmetrizeDoublesEdges) {
+  graph::Csr g = graph::star(8, true);
+  graph::Csr s = graph::symmetrize(g);
+  EXPECT_EQ(s.num_edges(), 2 * g.num_edges());
+  // Now the leaves have out-edges back to the center.
+  for (graph::VertexId v = 1; v < 8; ++v) EXPECT_EQ(s.degree(v), 1u);
+}
+
+TEST(Partition, WeightsSurviveParitioning) {
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr g = graph::rmat(7, 8.0, opt);
+  auto parts = graph::partition(g, 3, PartitionPolicy::OutgoingEdgeCut);
+  std::uint64_t global_sum = 0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e)
+    global_sum += g.edge_weight(e);
+  std::uint64_t local_sum = 0;
+  for (const auto& part : parts)
+    for (graph::EdgeId e = 0; e < part.out_edges.num_edges(); ++e)
+      local_sum += part.out_edges.edge_weight(e);
+  EXPECT_EQ(local_sum, global_sum);
+}
+
+TEST(Partition, InEdgesAreTranspose) {
+  graph::Csr g = graph::rmat(7, 8.0);
+  auto parts = graph::partition(g, 2, PartitionPolicy::CartesianVertexCut);
+  for (const auto& part : parts)
+    EXPECT_EQ(part.in_edges.num_edges(), part.out_edges.num_edges());
+}
+
+}  // namespace
+}  // namespace lcr

@@ -1,0 +1,114 @@
+// Tests for gather/scatter record serialization and message framing.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "comm/message.hpp"
+#include "comm/serializer.hpp"
+
+namespace lcr {
+namespace {
+
+TEST(Serializer, RecordSizes) {
+  EXPECT_EQ(comm::record_bytes<std::uint32_t>(), 8u);
+  EXPECT_EQ(comm::record_bytes<std::uint64_t>(), 12u);
+  EXPECT_EQ(comm::record_bytes<double>(), 12u);
+}
+
+TEST(Serializer, RoundTripSingleRecord) {
+  std::vector<std::byte> buf;
+  comm::append_record<std::uint32_t>(buf, 7, 12345);
+  ASSERT_EQ(buf.size(), comm::record_bytes<std::uint32_t>());
+  int calls = 0;
+  comm::scatter_records<std::uint32_t>(
+      buf.data(), buf.size(), [&](std::uint32_t pos, std::uint32_t value) {
+        EXPECT_EQ(pos, 7u);
+        EXPECT_EQ(value, 12345u);
+        ++calls;
+      });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Serializer, GatherOnlyDirtyEntries) {
+  // Shared list of 6 local ids; only 3 are dirty.
+  std::vector<graph::VertexId> shared{10, 11, 12, 13, 14, 15};
+  rt::ConcurrentBitset dirty(32);
+  dirty.set(11);
+  dirty.set(13);
+  dirty.set(15);
+  std::vector<std::uint32_t> labels(32, 0);
+  labels[11] = 111;
+  labels[13] = 113;
+  labels[15] = 115;
+
+  std::vector<std::byte> out;
+  const std::size_t count =
+      comm::gather_records<std::uint32_t>(shared, dirty, labels.data(), out);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(out.size(), 3 * comm::record_bytes<std::uint32_t>());
+
+  std::map<std::uint32_t, std::uint32_t> seen;
+  comm::scatter_records<std::uint32_t>(
+      out.data(), out.size(),
+      [&](std::uint32_t pos, std::uint32_t value) { seen[pos] = value; });
+  EXPECT_EQ(seen, (std::map<std::uint32_t, std::uint32_t>{
+                      {1, 111}, {3, 113}, {5, 115}}));
+}
+
+TEST(Serializer, GatherNothingWhenClean) {
+  std::vector<graph::VertexId> shared{0, 1, 2};
+  rt::ConcurrentBitset dirty(8);
+  std::vector<double> labels(8, 1.0);
+  std::vector<std::byte> out;
+  EXPECT_EQ(comm::gather_records<double>(shared, dirty, labels.data(), out),
+            0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Serializer, DoubleValuesRoundTripExactly) {
+  std::vector<std::byte> buf;
+  comm::append_record<double>(buf, 0, 0.3333333333333333);
+  comm::append_record<double>(buf, 1, -1e300);
+  std::vector<double> got;
+  comm::scatter_records<double>(buf.data(), buf.size(),
+                                [&](std::uint32_t, double v) {
+                                  got.push_back(v);
+                                });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 0.3333333333333333);
+  EXPECT_EQ(got[1], -1e300);
+}
+
+TEST(Serializer, ScatterIgnoresTrailingPartialRecord) {
+  std::vector<std::byte> buf;
+  comm::append_record<std::uint32_t>(buf, 1, 2);
+  buf.resize(buf.size() + 3);  // garbage tail smaller than one record
+  int calls = 0;
+  comm::scatter_records<std::uint32_t>(buf.data(), buf.size(),
+                                       [&](std::uint32_t, std::uint32_t) {
+                                         ++calls;
+                                       });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Message, HeaderAccessors) {
+  std::vector<std::byte> buf(comm::kChunkHeaderBytes + 8);
+  comm::ChunkHeader header;
+  header.phase_id = 42;
+  header.chunk_idx = 3;
+  header.num_chunks = 5;
+  header.payload_bytes = 8;
+  std::memcpy(buf.data(), &header, sizeof(header));
+
+  comm::InMessage msg;
+  msg.src = 1;
+  msg.data = buf.data();
+  msg.size = buf.size();
+  EXPECT_EQ(msg.header().phase_id, 42u);
+  EXPECT_EQ(msg.header().num_chunks, 5u);
+  EXPECT_EQ(msg.payload(), buf.data() + comm::kChunkHeaderBytes);
+  EXPECT_EQ(msg.payload_size(), 8u);
+}
+
+}  // namespace
+}  // namespace lcr
