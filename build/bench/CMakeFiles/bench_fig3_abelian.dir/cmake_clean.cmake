@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_abelian.dir/bench_fig3_abelian.cpp.o"
+  "CMakeFiles/bench_fig3_abelian.dir/bench_fig3_abelian.cpp.o.d"
+  "bench_fig3_abelian"
+  "bench_fig3_abelian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_abelian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gemini.dir/bench_fig4_gemini.cpp.o"
+  "CMakeFiles/bench_fig4_gemini.dir/bench_fig4_gemini.cpp.o.d"
+  "bench_fig4_gemini"
+  "bench_fig4_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

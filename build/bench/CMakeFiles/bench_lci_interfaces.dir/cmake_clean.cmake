@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lci_interfaces.dir/bench_lci_interfaces.cpp.o"
+  "CMakeFiles/bench_lci_interfaces.dir/bench_lci_interfaces.cpp.o.d"
+  "bench_lci_interfaces"
+  "bench_lci_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lci_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

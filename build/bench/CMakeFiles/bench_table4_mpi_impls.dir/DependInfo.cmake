@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_mpi_impls.cpp" "bench/CMakeFiles/bench_table4_mpi_impls.dir/bench_table4_mpi_impls.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_mpi_impls.dir/bench_table4_mpi_impls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_abelian.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

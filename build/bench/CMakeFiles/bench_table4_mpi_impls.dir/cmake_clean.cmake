@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mpi_impls.dir/bench_table4_mpi_impls.cpp.o"
+  "CMakeFiles/bench_table4_mpi_impls.dir/bench_table4_mpi_impls.cpp.o.d"
+  "bench_table4_mpi_impls"
+  "bench_table4_mpi_impls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mpi_impls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abelian/cluster.cpp" "src/CMakeFiles/lcr_abelian.dir/abelian/cluster.cpp.o" "gcc" "src/CMakeFiles/lcr_abelian.dir/abelian/cluster.cpp.o.d"
+  "/root/repo/src/abelian/engine.cpp" "src/CMakeFiles/lcr_abelian.dir/abelian/engine.cpp.o" "gcc" "src/CMakeFiles/lcr_abelian.dir/abelian/engine.cpp.o.d"
+  "/root/repo/src/abelian/sync.cpp" "src/CMakeFiles/lcr_abelian.dir/abelian/sync.cpp.o" "gcc" "src/CMakeFiles/lcr_abelian.dir/abelian/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

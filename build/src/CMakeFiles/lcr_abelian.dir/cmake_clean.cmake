@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_abelian.dir/abelian/cluster.cpp.o"
+  "CMakeFiles/lcr_abelian.dir/abelian/cluster.cpp.o.d"
+  "CMakeFiles/lcr_abelian.dir/abelian/engine.cpp.o"
+  "CMakeFiles/lcr_abelian.dir/abelian/engine.cpp.o.d"
+  "CMakeFiles/lcr_abelian.dir/abelian/sync.cpp.o"
+  "CMakeFiles/lcr_abelian.dir/abelian/sync.cpp.o.d"
+  "liblcr_abelian.a"
+  "liblcr_abelian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_abelian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

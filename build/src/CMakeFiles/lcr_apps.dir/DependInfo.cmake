@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/CMakeFiles/lcr_apps.dir/apps/bfs.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/bfs.cpp.o.d"
+  "/root/repo/src/apps/cc.cpp" "src/CMakeFiles/lcr_apps.dir/apps/cc.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/cc.cpp.o.d"
+  "/root/repo/src/apps/kcore.cpp" "src/CMakeFiles/lcr_apps.dir/apps/kcore.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/kcore.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/lcr_apps.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/reference.cpp" "src/CMakeFiles/lcr_apps.dir/apps/reference.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/reference.cpp.o.d"
+  "/root/repo/src/apps/sssp.cpp" "src/CMakeFiles/lcr_apps.dir/apps/sssp.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/sssp.cpp.o.d"
+  "/root/repo/src/apps/sssp_delta.cpp" "src/CMakeFiles/lcr_apps.dir/apps/sssp_delta.cpp.o" "gcc" "src/CMakeFiles/lcr_apps.dir/apps/sssp_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_abelian.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_gemini.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

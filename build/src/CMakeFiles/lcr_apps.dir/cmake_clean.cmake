@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_apps.dir/apps/bfs.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/bfs.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/cc.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/cc.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/kcore.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/kcore.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/pagerank.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/pagerank.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/reference.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/reference.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/sssp.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/sssp.cpp.o.d"
+  "CMakeFiles/lcr_apps.dir/apps/sssp_delta.cpp.o"
+  "CMakeFiles/lcr_apps.dir/apps/sssp_delta.cpp.o.d"
+  "liblcr_apps.a"
+  "liblcr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_bench_support.dir/bench_support/cluster_configs.cpp.o"
+  "CMakeFiles/lcr_bench_support.dir/bench_support/cluster_configs.cpp.o.d"
+  "CMakeFiles/lcr_bench_support.dir/bench_support/runner.cpp.o"
+  "CMakeFiles/lcr_bench_support.dir/bench_support/runner.cpp.o.d"
+  "CMakeFiles/lcr_bench_support.dir/bench_support/table.cpp.o"
+  "CMakeFiles/lcr_bench_support.dir/bench_support/table.cpp.o.d"
+  "liblcr_bench_support.a"
+  "liblcr_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/backend.cpp" "src/CMakeFiles/lcr_comm.dir/comm/backend.cpp.o" "gcc" "src/CMakeFiles/lcr_comm.dir/comm/backend.cpp.o.d"
+  "/root/repo/src/comm/lci_backend.cpp" "src/CMakeFiles/lcr_comm.dir/comm/lci_backend.cpp.o" "gcc" "src/CMakeFiles/lcr_comm.dir/comm/lci_backend.cpp.o.d"
+  "/root/repo/src/comm/mpi_probe_backend.cpp" "src/CMakeFiles/lcr_comm.dir/comm/mpi_probe_backend.cpp.o" "gcc" "src/CMakeFiles/lcr_comm.dir/comm/mpi_probe_backend.cpp.o.d"
+  "/root/repo/src/comm/mpi_rma_backend.cpp" "src/CMakeFiles/lcr_comm.dir/comm/mpi_rma_backend.cpp.o" "gcc" "src/CMakeFiles/lcr_comm.dir/comm/mpi_rma_backend.cpp.o.d"
+  "/root/repo/src/comm/serializer.cpp" "src/CMakeFiles/lcr_comm.dir/comm/serializer.cpp.o" "gcc" "src/CMakeFiles/lcr_comm.dir/comm/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_lci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

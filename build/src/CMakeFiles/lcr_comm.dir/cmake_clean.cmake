@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_comm.dir/comm/backend.cpp.o"
+  "CMakeFiles/lcr_comm.dir/comm/backend.cpp.o.d"
+  "CMakeFiles/lcr_comm.dir/comm/lci_backend.cpp.o"
+  "CMakeFiles/lcr_comm.dir/comm/lci_backend.cpp.o.d"
+  "CMakeFiles/lcr_comm.dir/comm/mpi_probe_backend.cpp.o"
+  "CMakeFiles/lcr_comm.dir/comm/mpi_probe_backend.cpp.o.d"
+  "CMakeFiles/lcr_comm.dir/comm/mpi_rma_backend.cpp.o"
+  "CMakeFiles/lcr_comm.dir/comm/mpi_rma_backend.cpp.o.d"
+  "CMakeFiles/lcr_comm.dir/comm/serializer.cpp.o"
+  "CMakeFiles/lcr_comm.dir/comm/serializer.cpp.o.d"
+  "liblcr_comm.a"
+  "liblcr_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

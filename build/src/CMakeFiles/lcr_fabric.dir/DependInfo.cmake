@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/config.cpp" "src/CMakeFiles/lcr_fabric.dir/fabric/config.cpp.o" "gcc" "src/CMakeFiles/lcr_fabric.dir/fabric/config.cpp.o.d"
+  "/root/repo/src/fabric/endpoint.cpp" "src/CMakeFiles/lcr_fabric.dir/fabric/endpoint.cpp.o" "gcc" "src/CMakeFiles/lcr_fabric.dir/fabric/endpoint.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "src/CMakeFiles/lcr_fabric.dir/fabric/fabric.cpp.o" "gcc" "src/CMakeFiles/lcr_fabric.dir/fabric/fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

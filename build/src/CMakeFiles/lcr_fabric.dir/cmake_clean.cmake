@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_fabric.dir/fabric/config.cpp.o"
+  "CMakeFiles/lcr_fabric.dir/fabric/config.cpp.o.d"
+  "CMakeFiles/lcr_fabric.dir/fabric/endpoint.cpp.o"
+  "CMakeFiles/lcr_fabric.dir/fabric/endpoint.cpp.o.d"
+  "CMakeFiles/lcr_fabric.dir/fabric/fabric.cpp.o"
+  "CMakeFiles/lcr_fabric.dir/fabric/fabric.cpp.o.d"
+  "liblcr_fabric.a"
+  "liblcr_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_gemini.dir/gemini/engine.cpp.o"
+  "CMakeFiles/lcr_gemini.dir/gemini/engine.cpp.o.d"
+  "liblcr_gemini.a"
+  "liblcr_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/lcr_graph.dir/graph/dist_graph.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/dist_graph.cpp.o.d"
+  "CMakeFiles/lcr_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/lcr_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/lcr_graph.dir/graph/partition.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/partition.cpp.o.d"
+  "CMakeFiles/lcr_graph.dir/graph/stats.cpp.o"
+  "CMakeFiles/lcr_graph.dir/graph/stats.cpp.o.d"
+  "liblcr_graph.a"
+  "liblcr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

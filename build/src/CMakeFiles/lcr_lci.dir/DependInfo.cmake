@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lci/device.cpp" "src/CMakeFiles/lcr_lci.dir/lci/device.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/device.cpp.o.d"
+  "/root/repo/src/lci/one_sided.cpp" "src/CMakeFiles/lcr_lci.dir/lci/one_sided.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/one_sided.cpp.o.d"
+  "/root/repo/src/lci/packet_pool.cpp" "src/CMakeFiles/lcr_lci.dir/lci/packet_pool.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/packet_pool.cpp.o.d"
+  "/root/repo/src/lci/queue.cpp" "src/CMakeFiles/lcr_lci.dir/lci/queue.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/queue.cpp.o.d"
+  "/root/repo/src/lci/server.cpp" "src/CMakeFiles/lcr_lci.dir/lci/server.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/server.cpp.o.d"
+  "/root/repo/src/lci/two_sided.cpp" "src/CMakeFiles/lcr_lci.dir/lci/two_sided.cpp.o" "gcc" "src/CMakeFiles/lcr_lci.dir/lci/two_sided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

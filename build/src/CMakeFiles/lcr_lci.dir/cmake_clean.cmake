@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_lci.dir/lci/device.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/device.cpp.o.d"
+  "CMakeFiles/lcr_lci.dir/lci/one_sided.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/one_sided.cpp.o.d"
+  "CMakeFiles/lcr_lci.dir/lci/packet_pool.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/packet_pool.cpp.o.d"
+  "CMakeFiles/lcr_lci.dir/lci/queue.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/queue.cpp.o.d"
+  "CMakeFiles/lcr_lci.dir/lci/server.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/server.cpp.o.d"
+  "CMakeFiles/lcr_lci.dir/lci/two_sided.cpp.o"
+  "CMakeFiles/lcr_lci.dir/lci/two_sided.cpp.o.d"
+  "liblcr_lci.a"
+  "liblcr_lci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_lci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

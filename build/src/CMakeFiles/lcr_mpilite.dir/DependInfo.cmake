@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpilite/collectives.cpp" "src/CMakeFiles/lcr_mpilite.dir/mpilite/collectives.cpp.o" "gcc" "src/CMakeFiles/lcr_mpilite.dir/mpilite/collectives.cpp.o.d"
+  "/root/repo/src/mpilite/comm.cpp" "src/CMakeFiles/lcr_mpilite.dir/mpilite/comm.cpp.o" "gcc" "src/CMakeFiles/lcr_mpilite.dir/mpilite/comm.cpp.o.d"
+  "/root/repo/src/mpilite/matching.cpp" "src/CMakeFiles/lcr_mpilite.dir/mpilite/matching.cpp.o" "gcc" "src/CMakeFiles/lcr_mpilite.dir/mpilite/matching.cpp.o.d"
+  "/root/repo/src/mpilite/personality.cpp" "src/CMakeFiles/lcr_mpilite.dir/mpilite/personality.cpp.o" "gcc" "src/CMakeFiles/lcr_mpilite.dir/mpilite/personality.cpp.o.d"
+  "/root/repo/src/mpilite/rma.cpp" "src/CMakeFiles/lcr_mpilite.dir/mpilite/rma.cpp.o" "gcc" "src/CMakeFiles/lcr_mpilite.dir/mpilite/rma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lcr_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

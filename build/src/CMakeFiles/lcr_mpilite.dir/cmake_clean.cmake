@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_mpilite.dir/mpilite/collectives.cpp.o"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/collectives.cpp.o.d"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/comm.cpp.o"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/comm.cpp.o.d"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/matching.cpp.o"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/matching.cpp.o.d"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/personality.cpp.o"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/personality.cpp.o.d"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/rma.cpp.o"
+  "CMakeFiles/lcr_mpilite.dir/mpilite/rma.cpp.o.d"
+  "liblcr_mpilite.a"
+  "liblcr_mpilite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcr_mpilite.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcr_runtime.dir/runtime/cpu_relax.cpp.o"
+  "CMakeFiles/lcr_runtime.dir/runtime/cpu_relax.cpp.o.d"
+  "CMakeFiles/lcr_runtime.dir/runtime/mem_tracker.cpp.o"
+  "CMakeFiles/lcr_runtime.dir/runtime/mem_tracker.cpp.o.d"
+  "CMakeFiles/lcr_runtime.dir/runtime/thread_team.cpp.o"
+  "CMakeFiles/lcr_runtime.dir/runtime/thread_team.cpp.o.d"
+  "liblcr_runtime.a"
+  "liblcr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

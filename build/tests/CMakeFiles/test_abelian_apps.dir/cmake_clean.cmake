@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abelian_apps.dir/test_abelian_apps.cpp.o"
+  "CMakeFiles/test_abelian_apps.dir/test_abelian_apps.cpp.o.d"
+  "test_abelian_apps"
+  "test_abelian_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abelian_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemini.dir/test_gemini.cpp.o"
+  "CMakeFiles/test_gemini.dir/test_gemini.cpp.o.d"
+  "test_gemini"
+  "test_gemini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcore.dir/test_kcore.cpp.o"
+  "CMakeFiles/test_kcore.dir/test_kcore.cpp.o.d"
+  "test_kcore"
+  "test_kcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lci.dir/test_lci.cpp.o"
+  "CMakeFiles/test_lci.dir/test_lci.cpp.o.d"
+  "test_lci"
+  "test_lci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lci_interfaces.dir/test_lci_interfaces.cpp.o"
+  "CMakeFiles/test_lci_interfaces.dir/test_lci_interfaces.cpp.o.d"
+  "test_lci_interfaces"
+  "test_lci_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lci_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpilite.dir/test_mpilite.cpp.o"
+  "CMakeFiles/test_mpilite.dir/test_mpilite.cpp.o.d"
+  "test_mpilite"
+  "test_mpilite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
