@@ -203,6 +203,22 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     result.wire_soft_retries += ep.stats().retries_no_rx.load() +
                                 ep.stats().retries_throttled.load() +
                                 ep.stats().retries_cq_full.load();
+    result.faults_dropped += ep.stats().faults_dropped.load();
+    result.faults_duplicated += ep.stats().faults_duplicated.load();
+    result.faults_corrupted += ep.stats().faults_corrupted.load();
+    result.faults_delayed += ep.stats().faults_delayed.load();
+    result.faults_reordered += ep.stats().faults_reordered.load();
+    result.rel_data_tx += ep.stats().rel_data_tx.load();
+    result.rel_retransmits += ep.stats().rel_retransmits.load();
+    result.rel_probes += ep.stats().rel_probes_tx.load();
+    result.rel_acks_tx += ep.stats().rel_acks_tx.load();
+    result.rel_acks_rx += ep.stats().rel_acks_rx.load();
+    result.rel_delivered += ep.stats().rel_delivered.load();
+    result.rel_dup_dropped += ep.stats().rel_dup_dropped.load();
+    result.rel_crc_dropped += ep.stats().rel_crc_dropped.load();
+    result.rel_ooo_held += ep.stats().rel_ooo_held.load();
+    result.rel_ooo_dropped += ep.stats().rel_ooo_dropped.load();
+    result.rel_stall_dumps += ep.stats().rel_stall_dumps.load();
     const auto hs = static_cast<std::size_t>(h);
     result.total_s = std::max(result.total_s, outcomes[hs].total_s);
     result.compute_s = std::max(result.compute_s, outcomes[hs].compute_s);

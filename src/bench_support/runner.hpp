@@ -53,6 +53,24 @@ struct RunResult {
   std::uint64_t wire_puts = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t wire_soft_retries = 0;  // NoRxBuffer + Throttled + CqFull
+  /// Injected-fault totals across hosts (zero on a reliable fabric).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_corrupted = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_reordered = 0;
+  /// Reliability-protocol totals across hosts (zero in passthrough mode).
+  std::uint64_t rel_data_tx = 0;
+  std::uint64_t rel_retransmits = 0;
+  std::uint64_t rel_probes = 0;
+  std::uint64_t rel_acks_tx = 0;
+  std::uint64_t rel_acks_rx = 0;
+  std::uint64_t rel_delivered = 0;
+  std::uint64_t rel_dup_dropped = 0;
+  std::uint64_t rel_crc_dropped = 0;
+  std::uint64_t rel_ooo_held = 0;
+  std::uint64_t rel_ooo_dropped = 0;
+  std::uint64_t rel_stall_dumps = 0;
   /// Global result labels assembled from the masters.
   std::vector<std::uint32_t> labels_u32;  // bfs / cc / sssp
   std::vector<double> labels_f64;         // pagerank

@@ -1,6 +1,38 @@
 #include "fabric/config.hpp"
 
+#include <cstdio>
+
 namespace lcr::fabric {
+
+std::string to_string(const FaultProfile& fp) {
+  if (!fp.enabled()) return "faults{none}";
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "faults{seed=%llu",
+                        static_cast<unsigned long long>(fp.seed));
+  auto append_rate = [&](const char* name, double rate) {
+    if (rate > 0.0 && n < static_cast<int>(sizeof(buf)))
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         " %s=%g%%", name, rate * 100.0);
+  };
+  append_rate("drop", fp.drop_rate);
+  append_rate("dup", fp.dup_rate);
+  append_rate("corrupt", fp.corrupt_rate);
+  append_rate("reorder", fp.reorder_rate);
+  append_rate("delay", fp.delay_rate);
+  if (fp.delay_rate > 0.0 && n < static_cast<int>(sizeof(buf)))
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " delay_ns=%lld",
+                       static_cast<long long>(fp.delay.count()));
+  if (fp.brownout_ops > 0 && n < static_cast<int>(sizeof(buf)))
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " brownout=%u->%u@%llu+%llu", fp.brownout_src,
+                       fp.brownout_dst,
+                       static_cast<unsigned long long>(fp.brownout_start_op),
+                       static_cast<unsigned long long>(fp.brownout_ops));
+  if (n < static_cast<int>(sizeof(buf)))
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n), "}");
+  return buf;
+}
 
 FabricConfig omnipath_knl_config() {
   FabricConfig cfg;

@@ -20,6 +20,46 @@
 
 namespace lcr::fabric {
 
+/// Deterministic fault model for an unreliable fabric (UD/datagram-class
+/// transports where the runtime owns reliability). Every fault decision is a
+/// pure hash of (seed, src, dst, per-link operation index), so replaying the
+/// same traffic with the same seed reproduces the same fault sequence -
+/// independent of wall-clock timing.
+struct FaultProfile {
+  std::uint64_t seed = 0;
+
+  /// Probability that an operation (eager packet or RDMA put) vanishes:
+  /// the sender sees Ok, the receiver sees nothing.
+  double drop_rate = 0.0;
+  /// Probability that an eager packet / put notification is delivered twice.
+  double dup_rate = 0.0;
+  /// Probability that one payload byte is bit-flipped in flight.
+  double corrupt_rate = 0.0;
+  /// Probability that a delivery is swapped with the completion queued just
+  /// before it (breaks per-link FIFO).
+  double reorder_rate = 0.0;
+  /// Probability that a delivery is held back by `delay`.
+  double delay_rate = 0.0;
+  std::chrono::nanoseconds delay{0};
+
+  /// Optional link brownout: every operation on (brownout_src, brownout_dst)
+  /// with per-link index in [brownout_start_op, brownout_start_op +
+  /// brownout_ops) is dropped. brownout_ops == 0 disables it.
+  std::uint32_t brownout_src = 0;
+  std::uint32_t brownout_dst = 0;
+  std::uint64_t brownout_start_op = 0;
+  std::uint64_t brownout_ops = 0;
+
+  bool enabled() const noexcept {
+    return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
+           reorder_rate > 0.0 || delay_rate > 0.0 || brownout_ops > 0;
+  }
+};
+
+/// One-line summary for bench/test log headers, e.g.
+/// "faults{seed=42 drop=5% dup=1% corrupt=0.5%}" or "faults{none}".
+std::string to_string(const FaultProfile& fp);
+
 struct FabricConfig {
   /// Human-readable name, e.g. "omnipath-knl".
   std::string name = "default";
@@ -51,6 +91,20 @@ struct FabricConfig {
   /// Per-operation software cost of the NIC driver doorbell, modelled as a
   /// short busy spin (ns). Identical for every runtime on this fabric.
   std::uint64_t doorbell_cost_ns = 0;
+
+  /// Fault injection (drop / duplicate / corrupt / reorder / delay / link
+  /// brownout). Disabled by default: the fabric behaves like verbs RC.
+  FaultProfile fault;
+
+  /// Run the reliability protocol even on a fault-free fabric (overhead
+  /// measurement; see bench_reliability_overhead).
+  bool force_reliable = false;
+
+  /// True when the communication layers must run the end-to-end reliability
+  /// protocol (sequence numbers, CRC, retransmit) on this fabric.
+  bool reliable() const noexcept {
+    return force_reliable || fault.enabled();
+  }
 };
 
 /// Omni-Path-on-KNL-like personality (Stampede2 analogue, Table III).

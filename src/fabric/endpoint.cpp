@@ -36,10 +36,12 @@ void Endpoint::return_rx_slot(const RxSlot& slot) {
   rx_slots_.push_front(slot);
 }
 
-bool Endpoint::push_cqe(const Cqe& cqe) {
+bool Endpoint::push_cqe(const Cqe& cqe, bool reorder) {
   std::lock_guard<rt::Spinlock> guard(cq_lock_);
   if (cq_.size() >= config_->cq_capacity) return false;
   cq_.push_back(cqe);
+  if (reorder && cq_.size() >= 2)
+    std::swap(cq_[cq_.size() - 1], cq_[cq_.size() - 2]);
   return true;
 }
 
@@ -58,15 +60,12 @@ std::optional<Cqe> Endpoint::poll_cq() {
 
 RKey Endpoint::register_memory(void* base, std::size_t size) {
   std::lock_guard<rt::Spinlock> guard(mr_lock_);
-  // Reuse a free slot if available.
-  for (std::size_t i = 0; i < regions_.size(); ++i) {
-    if (!regions_[i].valid) {
-      regions_[i] = {base, size, true};
-      return static_cast<RKey>(i);
-    }
-  }
-  regions_.push_back({base, size, true});
-  return static_cast<RKey>(regions_.size() - 1);
+  // Monotonic rkeys: never reuse a key, even across detach(). A stale
+  // operation addressed to a deregistered key must fail Invalid rather than
+  // alias whatever region a recycled slot would now describe.
+  const RKey key = next_rkey_++;
+  regions_.emplace(key, MemoryRegion{base, size, true});
+  return key;
 }
 
 void Endpoint::detach() {
@@ -86,14 +85,15 @@ void Endpoint::detach() {
 
 void Endpoint::deregister_memory(RKey key) {
   std::lock_guard<rt::Spinlock> guard(mr_lock_);
-  if (key < regions_.size()) regions_[key].valid = false;
+  regions_.erase(key);
 }
 
 bool Endpoint::resolve_region(RKey key, std::size_t offset, std::size_t len,
                               void** out_ptr) {
   std::lock_guard<rt::Spinlock> guard(mr_lock_);
-  if (key >= regions_.size() || !regions_[key].valid) return false;
-  const MemoryRegion& mr = regions_[key];
+  auto it = regions_.find(key);
+  if (it == regions_.end()) return false;
+  const MemoryRegion& mr = it->second;
   if (offset + len > mr.size) return false;
   *out_ptr = static_cast<char*>(mr.base) + offset;
   return true;

@@ -11,6 +11,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/config.hpp"
@@ -33,7 +34,11 @@ struct MemoryRegion {
   bool valid = false;
 };
 
-/// Fabric-level statistics for one endpoint.
+/// Fabric-level statistics for one endpoint. The fault_* counters are
+/// incremented by the fabric on the *sending* endpoint when the fault
+/// injector fires; the rel_* counters are incremented by the reliability
+/// layer (fabric/reliable.hpp), which parks them here because the endpoint
+/// outlives the communication layer that owns the channel.
 struct EndpointStats {
   std::atomic<std::uint64_t> sends{0};
   std::atomic<std::uint64_t> puts{0};
@@ -43,6 +48,26 @@ struct EndpointStats {
   std::atomic<std::uint64_t> retries_throttled{0};
   std::atomic<std::uint64_t> retries_cq_full{0};
   std::atomic<std::uint64_t> cq_polls{0};
+
+  // Fault injector (sender side).
+  std::atomic<std::uint64_t> faults_dropped{0};
+  std::atomic<std::uint64_t> faults_duplicated{0};
+  std::atomic<std::uint64_t> faults_corrupted{0};
+  std::atomic<std::uint64_t> faults_delayed{0};
+  std::atomic<std::uint64_t> faults_reordered{0};
+
+  // Reliability protocol (channel on this endpoint).
+  std::atomic<std::uint64_t> rel_data_tx{0};       // sequenced sends + puts
+  std::atomic<std::uint64_t> rel_retransmits{0};   // timeout/nack re-sends
+  std::atomic<std::uint64_t> rel_probes_tx{0};     // put probes sent
+  std::atomic<std::uint64_t> rel_acks_tx{0};       // standalone acks sent
+  std::atomic<std::uint64_t> rel_acks_rx{0};       // acks processed
+  std::atomic<std::uint64_t> rel_delivered{0};     // in-order deliveries
+  std::atomic<std::uint64_t> rel_dup_dropped{0};   // dedup window hits
+  std::atomic<std::uint64_t> rel_crc_dropped{0};   // corrupt payloads refused
+  std::atomic<std::uint64_t> rel_ooo_held{0};      // held for reordering
+  std::atomic<std::uint64_t> rel_ooo_dropped{0};   // beyond the hold window
+  std::atomic<std::uint64_t> rel_stall_dumps{0};   // watchdog firings
 };
 
 class Fabric;
@@ -64,7 +89,10 @@ class Endpoint {
   std::size_t rx_available() const;
 
   /// Register `size` bytes at `base` for remote access; returns the rkey a
-  /// peer must use in post_put.
+  /// peer must use in post_put. Rkeys are monotonic and never reused, so a
+  /// stale operation aimed at a deregistered region (e.g. a retransmitted
+  /// put whose original delivery already completed) resolves to Invalid
+  /// instead of silently landing in whatever region recycled the slot.
   RKey register_memory(void* base, std::size_t size);
 
   /// Invalidate an rkey.
@@ -92,7 +120,9 @@ class Endpoint {
   // --- Called by Fabric on behalf of remote senders. ---
   bool take_rx_slot(RxSlot& out);
   void return_rx_slot(const RxSlot& slot);  // undo after a later failure
-  bool push_cqe(const Cqe& cqe);
+  /// Append a completion. With `reorder` set (fault injector) the new entry
+  /// is swapped with the previous tail, breaking per-link FIFO on purpose.
+  bool push_cqe(const Cqe& cqe, bool reorder = false);
   bool resolve_region(RKey key, std::size_t offset, std::size_t len,
                       void** out_ptr);
   bool consume_injection_token();
@@ -107,7 +137,8 @@ class Endpoint {
   std::deque<Cqe> cq_;
 
   mutable rt::Spinlock mr_lock_;
-  std::vector<MemoryRegion> regions_;
+  std::unordered_map<RKey, MemoryRegion> regions_;  // live registrations only
+  RKey next_rkey_ = 0;  // monotonic, never reset (survives detach)
 
   // Token bucket (guarded by tb_lock_).
   mutable rt::Spinlock tb_lock_;

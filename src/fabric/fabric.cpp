@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "runtime/cpu_relax.hpp"
+#include "runtime/rng.hpp"
 #include "runtime/timer.hpp"
 
 namespace lcr::fabric {
@@ -13,6 +14,52 @@ Fabric::Fabric(std::size_t num_ranks, FabricConfig config)
   for (std::size_t r = 0; r < num_ranks; ++r)
     endpoints_.emplace_back(
         new Endpoint(static_cast<Rank>(r), &config_));
+  if (config_.fault.enabled())
+    link_ops_.reset(
+        new std::atomic<std::uint64_t>[num_ranks * num_ranks]());
+}
+
+std::uint64_t Fabric::next_link_op(Rank src, Rank dst) {
+  return link_ops_[src * endpoints_.size() + dst].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Fabric::FaultRoll Fabric::roll_faults(Rank src, Rank dst, std::uint64_t index,
+                                      std::size_t payload_size) const {
+  FaultRoll roll;
+  const FaultProfile& fp = config_.fault;
+
+  if (fp.brownout_ops > 0 && src == fp.brownout_src &&
+      dst == fp.brownout_dst && index >= fp.brownout_start_op &&
+      index < fp.brownout_start_op + fp.brownout_ops) {
+    roll.drop = true;
+    return roll;
+  }
+
+  // One splitmix64 stream per (seed, link, index): decisions are a pure
+  // function of the operation's identity, never of wall-clock timing.
+  std::uint64_t state = fp.seed;
+  state ^= rt::hash64((static_cast<std::uint64_t>(src) << 32) | dst);
+  state ^= rt::hash64(index * 0x9e3779b97f4a7c15ULL);
+  auto draw = [&state]() {
+    return static_cast<double>(rt::splitmix64(state) >> 11) * 0x1.0p-53;
+  };
+
+  if (fp.drop_rate > 0.0 && draw() < fp.drop_rate) {
+    roll.drop = true;
+    return roll;  // a dropped packet has no other observable faults
+  }
+  if (fp.dup_rate > 0.0 && draw() < fp.dup_rate) roll.dup = true;
+  if (fp.corrupt_rate > 0.0 && draw() < fp.corrupt_rate &&
+      payload_size > 0) {
+    roll.corrupt = true;
+    roll.corrupt_byte =
+        static_cast<std::size_t>(rt::splitmix64(state) % payload_size);
+  }
+  if (fp.reorder_rate > 0.0 && draw() < fp.reorder_rate) roll.reorder = true;
+  if (fp.delay_rate > 0.0 && draw() < fp.delay_rate)
+    roll.delay_ns = static_cast<std::uint64_t>(fp.delay.count());
+  return roll;
 }
 
 std::uint64_t Fabric::delivery_time_ns(std::size_t bytes) const {
@@ -38,32 +85,85 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
     return PostResult::Throttled;
   }
 
-  RxSlot slot;
-  if (!dep.take_rx_slot(slot)) {
-    sep.stats().retries_no_rx.fetch_add(1, std::memory_order_relaxed);
-    return PostResult::NoRxBuffer;
+  FaultRoll roll;
+  if (link_ops_)
+    roll = roll_faults(src, dst, next_link_op(src, dst), meta.size);
+  if (roll.drop) {
+    // Vanishes in flight: the sender sees a normal local completion.
+    sep.stats().faults_dropped.fetch_add(1, std::memory_order_relaxed);
+    sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
+    sep.stats().bytes_tx.fetch_add(meta.size, std::memory_order_relaxed);
+    return PostResult::Ok;
   }
-  if (meta.size > slot.capacity) {
-    dep.return_rx_slot(slot);
-    return PostResult::TooLarge;
+
+  // Header-only control packets (reliability acks/probes) bypass the rx
+  // window so acknowledgements can land even when it is exhausted.
+  const bool ctrl = (meta.rel & kRelCtrl) != 0;
+  if (ctrl && meta.size != 0) return PostResult::Invalid;
+
+  RxSlot slot;
+  if (!ctrl) {
+    if (!dep.take_rx_slot(slot)) {
+      sep.stats().retries_no_rx.fetch_add(1, std::memory_order_relaxed);
+      return PostResult::NoRxBuffer;
+    }
+    if (meta.size > slot.capacity) {
+      dep.return_rx_slot(slot);
+      return PostResult::TooLarge;
+    }
   }
 
   if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
 
   if (meta.size > 0) std::memcpy(slot.buffer, payload, meta.size);
+  if (roll.corrupt && meta.size > 0) {
+    static_cast<unsigned char*>(slot.buffer)[roll.corrupt_byte] ^= 0x10;
+    sep.stats().faults_corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
   meta.src = src;
 
   Cqe cqe;
   cqe.kind = Cqe::Kind::Recv;
   cqe.meta = meta;
-  cqe.buffer = slot.buffer;
-  cqe.rx_context = slot.context;
-  cqe.deliver_at_ns = delivery_time_ns(meta.size);
+  cqe.buffer = ctrl ? nullptr : slot.buffer;
+  cqe.rx_context = ctrl ? kCtrlRxContext : slot.context;
+  cqe.deliver_at_ns = delivery_time_ns(meta.size) + roll.delay_ns;
 
-  if (!dep.push_cqe(cqe)) {
-    dep.return_rx_slot(slot);
+  if (!dep.push_cqe(cqe, roll.reorder)) {
+    if (!ctrl) dep.return_rx_slot(slot);
     sep.stats().retries_cq_full.fetch_add(1, std::memory_order_relaxed);
     return PostResult::CqFull;
+  }
+  if (roll.delay_ns > 0)
+    sep.stats().faults_delayed.fetch_add(1, std::memory_order_relaxed);
+  if (roll.reorder)
+    sep.stats().faults_reordered.fetch_add(1, std::memory_order_relaxed);
+
+  if (roll.dup) {
+    // Second delivery of the same wire bytes; best effort - a duplicate
+    // that finds no buffer/CQ space is just a drop of the duplicate.
+    Cqe dup_cqe = cqe;
+    RxSlot dup_slot;
+    bool deliver = true;
+    if (!ctrl) {
+      if (!dep.take_rx_slot(dup_slot)) {
+        deliver = false;
+      } else if (meta.size > dup_slot.capacity) {
+        dep.return_rx_slot(dup_slot);
+        deliver = false;
+      } else {
+        if (meta.size > 0)
+          std::memcpy(dup_slot.buffer, slot.buffer, meta.size);
+        dup_cqe.buffer = dup_slot.buffer;
+        dup_cqe.rx_context = dup_slot.context;
+      }
+    }
+    if (deliver) {
+      if (dep.push_cqe(dup_cqe))
+        sep.stats().faults_duplicated.fetch_add(1, std::memory_order_relaxed);
+      else if (!ctrl)
+        dep.return_rx_slot(dup_slot);
+    }
   }
 
   sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
@@ -89,9 +189,24 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
   if (!dep.resolve_region(rkey, offset, size, &target))
     return PostResult::Invalid;
 
+  FaultRoll roll;
+  if (link_ops_) roll = roll_faults(src, dst, next_link_op(src, dst), size);
+  if (roll.drop) {
+    // The whole RDMA operation vanishes: no data is written, no completion
+    // is delivered, the sender sees a normal local completion.
+    sep.stats().faults_dropped.fetch_add(1, std::memory_order_relaxed);
+    sep.stats().puts.fetch_add(1, std::memory_order_relaxed);
+    sep.stats().bytes_tx.fetch_add(size, std::memory_order_relaxed);
+    return PostResult::Ok;
+  }
+
   if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
 
   if (size > 0) std::memcpy(target, payload, size);
+  if (roll.corrupt && size > 0) {
+    static_cast<unsigned char*>(target)[roll.corrupt_byte] ^= 0x10;
+    sep.stats().faults_corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (notify) {
     meta.src = src;
@@ -99,14 +214,21 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
     Cqe cqe;
     cqe.kind = Cqe::Kind::PutImm;
     cqe.meta = meta;
-    cqe.deliver_at_ns = delivery_time_ns(size);
+    cqe.buffer = target;  // lets the reliability layer checksum landed data
+    cqe.deliver_at_ns = delivery_time_ns(size) + roll.delay_ns;
     // A put notification consumes no rx buffer, but the CQ is still bounded.
     // Retry from the caller would re-copy the data, which is harmless
     // (idempotent write), so surface CqFull softly as well.
-    if (!dep.push_cqe(cqe)) {
+    if (!dep.push_cqe(cqe, roll.reorder)) {
       sep.stats().retries_cq_full.fetch_add(1, std::memory_order_relaxed);
       return PostResult::CqFull;
     }
+    if (roll.delay_ns > 0)
+      sep.stats().faults_delayed.fetch_add(1, std::memory_order_relaxed);
+    if (roll.reorder)
+      sep.stats().faults_reordered.fetch_add(1, std::memory_order_relaxed);
+    if (roll.dup && dep.push_cqe(cqe))
+      sep.stats().faults_duplicated.fetch_add(1, std::memory_order_relaxed);
   }
 
   sep.stats().puts.fetch_add(1, std::memory_order_relaxed);

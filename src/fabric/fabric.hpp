@@ -12,12 +12,18 @@
 //   * per-link ordering: completions from one sender appear at the target CQ
 //     in posting order (RC ordering), because posts synchronize on the
 //     target's CQ lock in program order.
+//   * optional unreliability: when FabricConfig::fault is enabled the fabric
+//     behaves like a UD/datagram-class transport - operations may be
+//     dropped, duplicated, delayed, reordered, or bit-flipped, decided
+//     deterministically from (seed, link, per-link op index). Layers above
+//     must then run the reliability protocol in fabric/reliable.hpp.
 //
 // The fabric itself is runtime-agnostic: LCI, mpilite two-sided and mpilite
 // RMA all drive exactly these three verbs, so measured differences between
 // them come from their own software stacks, not from the transport.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -54,8 +60,30 @@ class Fabric {
  private:
   std::uint64_t delivery_time_ns(std::size_t bytes) const;
 
+  /// Which faults fire for one wire operation (see FaultProfile).
+  struct FaultRoll {
+    bool drop = false;
+    bool dup = false;
+    bool corrupt = false;
+    bool reorder = false;
+    std::uint64_t delay_ns = 0;
+    std::size_t corrupt_byte = 0;  // payload byte to bit-flip
+  };
+
+  /// Deterministic fault decision for the `index`-th operation on link
+  /// (src, dst): a pure hash of (seed, src, dst, index), independent of
+  /// timing. Returns an all-false roll when fault injection is disabled.
+  FaultRoll roll_faults(Rank src, Rank dst, std::uint64_t index,
+                        std::size_t payload_size) const;
+
+  /// Post-increment the per-link operation counter.
+  std::uint64_t next_link_op(Rank src, Rank dst);
+
   FabricConfig config_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Per-(src,dst) operation counters driving deterministic fault rolls;
+  /// row-major [src * num_ranks + dst]. Only allocated when faults are on.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_ops_;
 };
 
 }  // namespace lcr::fabric

@@ -14,16 +14,46 @@ using RKey = std::uint32_t;
 
 inline constexpr RKey kInvalidRKey = ~0U;
 
+/// Flags in MsgMeta::rel describing how the reliability layer
+/// (fabric/reliable.hpp) should treat a packet. The fabric only inspects
+/// kRelCtrl; everything else is peer-to-peer protocol state.
+enum RelFlag : std::uint8_t {
+  /// Packet carries a valid per-link sequence number + CRC and must pass
+  /// through the receiver's ordering/dedup window.
+  kRelSeq = 1u << 0,
+  /// `ack` carries a valid cumulative acknowledgement (piggybacked or
+  /// standalone).
+  kRelAck = 1u << 1,
+  /// Transport-internal put notification: the sender's channel requested a
+  /// completion so it can sequence/ack the put, but the application asked
+  /// for notify=false - the receiving channel consumes it silently.
+  kRelBare = 1u << 2,
+  /// Retransmit probe: "did sequence number `seq` arrive?" The receiver
+  /// answers with an ack (delivered) or a nack (lost, please re-put).
+  kRelProbe = 1u << 3,
+  /// Header-only control packet (ack/probe). The fabric delivers it without
+  /// consuming a pre-posted receive buffer - the analogue of the header-only
+  /// credit/ack messages real NICs exchange below the receive queue - so
+  /// acknowledgements can always land even when the rx window is exhausted.
+  kRelCtrl = 1u << 4,
+};
+
 /// Metadata carried with every eager packet and with put-notifications.
 /// `kind` is interpreted by the layer above (LCI packet types, mpilite
-/// protocol messages); the fabric never looks at it.
+/// protocol messages); the fabric never looks at it. The `seq`/`ack`/`crc`/
+/// `rel` fields belong to the optional reliability layer and stay zero on a
+/// reliable fabric.
 struct MsgMeta {
   Rank src = 0;
   std::uint8_t kind = 0;
+  std::uint8_t rel = 0;     // RelFlag bits (reliability layer)
   std::uint32_t tag = 0;
   std::uint32_t size = 0;   // payload bytes
   std::uint64_t imm = 0;    // immediate word 1 (request handles, counts, ...)
   std::uint64_t imm2 = 0;   // immediate word 2 (addresses, rkeys, ...)
+  std::uint32_t seq = 0;    // per-link sequence number (kRelSeq / kRelProbe)
+  std::uint32_t ack = 0;    // cumulative ack: all seq < ack delivered
+  std::uint32_t crc = 0;    // CRC-32 over header fields + payload (kRelSeq)
 };
 
 /// Result of posting an operation to the fabric.
@@ -40,6 +70,9 @@ enum class PostResult : std::uint8_t {
   TooLarge,
   /// Bad rank / rkey / bounds (caller bug).
   Invalid,
+  /// Reliability layer: the per-link retransmit ring is full of unacked
+  /// operations. Non-fatal back pressure - progress the channel and retry.
+  RetransmitFull,
 };
 
 inline const char* to_string(PostResult r) {
@@ -50,6 +83,7 @@ inline const char* to_string(PostResult r) {
     case PostResult::CqFull: return "CqFull";
     case PostResult::TooLarge: return "TooLarge";
     case PostResult::Invalid: return "Invalid";
+    case PostResult::RetransmitFull: return "RetransmitFull";
   }
   return "?";
 }
@@ -63,9 +97,16 @@ struct Cqe {
   };
   Kind kind = Kind::Recv;
   MsgMeta meta;
-  void* buffer = nullptr;          // valid for Kind::Recv
+  /// Recv: the pre-posted rx buffer holding the payload. PutImm: the landed
+  /// region inside the registered target (so the reliability layer can
+  /// checksum what actually arrived); nullptr for header-only control
+  /// packets (RelFlag::kRelCtrl), which consume no rx buffer.
+  void* buffer = nullptr;
   std::uint64_t rx_context = 0;    // the context the buffer was posted with
   std::uint64_t deliver_at_ns = 0; // visibility time (wire latency model)
 };
+
+/// rx_context value for header-only control packets (no rx buffer attached).
+inline constexpr std::uint64_t kCtrlRxContext = ~0ull;
 
 }  // namespace lcr::fabric

@@ -1,0 +1,527 @@
+#include "fabric/reliable.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "runtime/crc32.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::fabric {
+
+namespace {
+
+/// Sequence comparison tolerant of 32-bit wraparound.
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// CRC-32 over the header fields that identify an operation plus its
+/// payload. Excludes `src` (stamped by the fabric after posting), `rel` and
+/// `ack` (both mutate per transmission attempt), and `crc` itself.
+std::uint32_t meta_crc(const MsgMeta& m, const void* payload) {
+  std::uint32_t c = rt::crc32_init();
+  c = rt::crc32_update(c, &m.kind, sizeof(m.kind));
+  c = rt::crc32_update(c, &m.tag, sizeof(m.tag));
+  c = rt::crc32_update(c, &m.size, sizeof(m.size));
+  c = rt::crc32_update(c, &m.imm, sizeof(m.imm));
+  c = rt::crc32_update(c, &m.imm2, sizeof(m.imm2));
+  c = rt::crc32_update(c, &m.seq, sizeof(m.seq));
+  if (m.size > 0 && payload != nullptr)
+    c = rt::crc32_update(c, payload, m.size);
+  return rt::crc32_final(c);
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(Fabric& fabric, Rank rank,
+                                 ReliabilityConfig cfg, const char* owner)
+    : fabric_(fabric),
+      endpoint_(fabric.endpoint(rank)),
+      rank_(rank),
+      cfg_(cfg),
+      owner_(owner),
+      active_(fabric.config().reliable()),
+      tx_links_(fabric.num_ranks()),
+      rx_links_(fabric.num_ranks()) {
+  // Keep sender window and receiver reorder window coherent: any packet
+  // posted more than reorder_window ahead of the cumulative ack is refused
+  // on arrival, so a larger ring only manufactures guaranteed retransmits.
+  if (cfg_.ring_capacity > cfg_.reorder_window)
+    cfg_.ring_capacity = cfg_.reorder_window;
+  if (cfg_.max_held >= cfg_.reorder_window)
+    cfg_.max_held = cfg_.reorder_window - 1;
+}
+
+std::uint64_t ReliableChannel::proto_now() {
+  if (cfg_.tick_clock)
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return rt::now_ns();
+}
+
+std::uint64_t ReliableChannel::rto_for(std::uint32_t attempts) const {
+  const std::uint32_t shift = attempts < 16 ? attempts : 16;
+  const std::uint64_t rto = cfg_.rto_ns << shift;
+  return rto < cfg_.rto_max_ns ? rto : cfg_.rto_max_ns;
+}
+
+void ReliableChannel::stamp_ack(Rank dst, MsgMeta& meta) {
+  // Lock-free piggyback on the data fast path: a slightly stale cumulative
+  // ack is still a valid cumulative ack, and the standalone ack path owns
+  // nack / ack_dirty flushing. The unsynchronized counter reset can lose a
+  // concurrent increment; worst case the next cumulative ack rides the
+  // rto/4 timer and the peer retransmits once - benign, never incorrect.
+  RxLink& rx = rx_links_[dst];
+  meta.rel |= kRelAck;
+  meta.ack = rx.expected.load(std::memory_order_relaxed);
+  if (rx.delivered_since_ack.load(std::memory_order_relaxed) != 0)
+    rx.delivered_since_ack.store(0, std::memory_order_relaxed);
+}
+
+PostResult ReliableChannel::post_entry(Rank dst, TxEntry& e) {
+  stamp_ack(dst, e.meta);
+  if (e.is_put)
+    return fabric_.post_put(rank_, dst, e.rkey, e.offset,
+                            e.payload.empty() ? nullptr : e.payload.data(),
+                            e.meta.size, /*notify=*/true, e.meta);
+  return fabric_.post_send(rank_, dst,
+                           e.payload.empty() ? nullptr : e.payload.data(),
+                           e.meta);
+}
+
+PostResult ReliableChannel::send(Rank dst, const void* payload, MsgMeta meta) {
+  if (!active_) return fabric_.post_send(rank_, dst, payload, meta);
+  if (dst >= tx_links_.size()) return PostResult::Invalid;
+  if (meta.size > fabric_.config().mtu) return PostResult::TooLarge;
+
+  TxLink& tx = tx_links_[dst];
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    {
+      std::lock_guard<rt::Spinlock> guard(tx.lock);
+      if (tx.ring.size() < cfg_.ring_capacity) {
+        TxEntry e;
+        e.seq = tx.next_seq;
+        e.meta = meta;
+        e.meta.rel |= kRelSeq;
+        e.meta.seq = e.seq;
+        e.meta.crc = meta_crc(e.meta, payload);
+        if (meta.size > 0) {
+          if (!tx.spares.empty()) {
+            e.payload = std::move(tx.spares.back());
+            tx.spares.pop_back();
+          }
+          const auto* p = static_cast<const std::byte*>(payload);
+          e.payload.assign(p, p + meta.size);
+        }
+        const std::uint64_t now =
+            cfg_.tick_clock ? tick_.load(std::memory_order_relaxed)
+                            : rt::now_ns();
+        e.last_tx = now;
+        e.last_data_tx = now;
+        const PostResult r = post_entry(dst, e);
+        if (r == PostResult::TooLarge || r == PostResult::Invalid) return r;
+        e.posted_ok = (r == PostResult::Ok);
+        tx.next_seq++;
+        tx.ring.push_back(std::move(e));
+        tx.inflight.store(tx.ring.size(), std::memory_order_relaxed);
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        endpoint_.stats().rel_data_tx.fetch_add(1, std::memory_order_relaxed);
+        note_progress(now);
+        return PostResult::Ok;
+      }
+    }
+    // Ring full: reap acks once, then retry; never surfaces data (pump
+    // stages those for poll), so this is safe from blocked send paths.
+    if (attempt == 0) pump();
+  }
+  return PostResult::RetransmitFull;
+}
+
+PostResult ReliableChannel::put(Rank dst, RKey rkey, std::size_t offset,
+                                const void* payload, std::size_t size,
+                                bool notify, MsgMeta meta) {
+  if (!active_)
+    return fabric_.post_put(rank_, dst, rkey, offset, payload, size, notify,
+                            meta);
+  if (dst >= tx_links_.size()) return PostResult::Invalid;
+
+  TxLink& tx = tx_links_[dst];
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    {
+      std::lock_guard<rt::Spinlock> guard(tx.lock);
+      if (tx.ring.size() < cfg_.ring_capacity) {
+        TxEntry e;
+        e.seq = tx.next_seq;
+        e.is_put = true;
+        e.rkey = rkey;
+        e.offset = offset;
+        e.meta = meta;
+        e.meta.size = static_cast<std::uint32_t>(size);
+        e.meta.rel |= kRelSeq;
+        if (!notify) e.meta.rel |= kRelBare;
+        e.meta.seq = e.seq;
+        e.meta.crc = meta_crc(e.meta, payload);
+        if (size > 0) {
+          if (!tx.spares.empty()) {
+            e.payload = std::move(tx.spares.back());
+            tx.spares.pop_back();
+          }
+          const auto* p = static_cast<const std::byte*>(payload);
+          e.payload.assign(p, p + size);
+        }
+        const std::uint64_t now =
+            cfg_.tick_clock ? tick_.load(std::memory_order_relaxed)
+                            : rt::now_ns();
+        e.last_tx = now;
+        e.last_data_tx = now;
+        const PostResult r = post_entry(dst, e);
+        if (r == PostResult::TooLarge || r == PostResult::Invalid) return r;
+        e.posted_ok = (r == PostResult::Ok);
+        tx.next_seq++;
+        tx.ring.push_back(std::move(e));
+        tx.inflight.store(tx.ring.size(), std::memory_order_relaxed);
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        endpoint_.stats().rel_data_tx.fetch_add(1, std::memory_order_relaxed);
+        note_progress(now);
+        return PostResult::Ok;
+      }
+    }
+    if (attempt == 0) pump();
+  }
+  return PostResult::RetransmitFull;
+}
+
+void ReliableChannel::recycle(const Cqe& cqe) {
+  if (cqe.kind == Cqe::Kind::Recv && recycle_) recycle_(cqe);
+}
+
+void ReliableChannel::handle_ack(Rank peer, std::uint32_t ack,
+                                 std::uint32_t nack_plus1) {
+  TxLink& tx = tx_links_[peer];
+  std::lock_guard<rt::Spinlock> guard(tx.lock);
+  endpoint_.stats().rel_acks_rx.fetch_add(1, std::memory_order_relaxed);
+  bool advanced = false;
+  while (!tx.ring.empty() && seq_lt(tx.ring.front().seq, ack)) {
+    TxEntry& front = tx.ring.front();
+    if (front.payload.capacity() > 0 && tx.spares.size() < 64)
+      tx.spares.push_back(std::move(front.payload));
+    tx.ring.pop_front();
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    advanced = true;
+  }
+  if (advanced)
+    tx.inflight.store(tx.ring.size(), std::memory_order_relaxed);
+  if (seq_lt(tx.acked, ack)) tx.acked = ack;
+  const std::uint64_t now = cfg_.tick_clock
+                                ? tick_.load(std::memory_order_relaxed)
+                                : rt::now_ns();
+  if (advanced) note_progress(now);
+
+  if (nack_plus1 != 0) {
+    // Explicit retransmit request: the receiver confirmed this sequence
+    // number did not arrive, so a full re-send/re-put is safe.
+    const std::uint32_t want = nack_plus1 - 1;
+    for (TxEntry& e : tx.ring) {
+      if (e.seq != want) continue;
+      // First nack for a never-retransmitted entry is always genuine - act
+      // on it immediately. After that, rate-limit: several receiver-side
+      // events can nack the same gap head before the re-send lands, and a
+      // probe answered by this nack must not suppress the re-send it asked
+      // for (hence the guard runs on last *data* transmission).
+      if (e.attempts == 0 || now - e.last_data_tx >= cfg_.rto_ns / 4) {
+        const PostResult r = post_entry(peer, e);
+        if (r == PostResult::Ok) e.posted_ok = true;
+        e.last_tx = now;
+        e.last_data_tx = now;
+        e.attempts++;
+        endpoint_.stats().rel_retransmits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+}
+
+void ReliableChannel::handle_probe(Rank peer, std::uint32_t seq) {
+  RxLink& rx = rx_links_[peer];
+  std::lock_guard<rt::Spinlock> guard(rx.lock);
+  const std::uint32_t expected = rx.expected.load(std::memory_order_relaxed);
+  if (seq_lt(seq, expected) || rx.held.count(seq) != 0) {
+    // Delivered (or buffered): the cumulative ack answers the probe; for a
+    // held seq the nack below additionally requests the gap head.
+    if (rx.held.count(seq) != 0) rx.nack_seq_plus1 = expected + 1;
+  } else {
+    // Lost: ask for it (go-back-N from the gap head).
+    rx.nack_seq_plus1 = expected + 1;
+  }
+  rx.ack_dirty.store(true, std::memory_order_relaxed);
+}
+
+void ReliableChannel::handle_data(Cqe& cqe) {
+  const MsgMeta& m = cqe.meta;
+  RxLink& rx = rx_links_[m.src];
+  std::lock_guard<rt::Spinlock> guard(rx.lock);
+
+  const std::uint32_t seq = m.seq;
+  const std::uint32_t expected = rx.expected.load(std::memory_order_relaxed);
+  if (seq_lt(seq, expected) || rx.held.count(seq) != 0) {
+    // Duplicate (retransmission of something already delivered, or a
+    // fault-injected duplicate delivery).
+    endpoint_.stats().rel_dup_dropped.fetch_add(1, std::memory_order_relaxed);
+    rx.ack_dirty.store(true, std::memory_order_relaxed);
+    recycle(cqe);
+    return;
+  }
+
+  // Integrity check before anything is surfaced. For puts this checksums
+  // the landed bytes in the registered target region.
+  if (meta_crc(m, cqe.buffer) != m.crc) {
+    endpoint_.stats().rel_crc_dropped.fetch_add(1, std::memory_order_relaxed);
+    rx.nack_seq_plus1 = seq + 1;  // confirmed damaged: request a re-send
+    rx.ack_dirty.store(true, std::memory_order_relaxed);
+    recycle(cqe);
+    return;
+  }
+
+  auto deliver = [&](Cqe& ready) {
+    rx.expected.fetch_add(1, std::memory_order_relaxed);
+    rx.delivered_since_ack.fetch_add(1, std::memory_order_relaxed);
+    endpoint_.stats().rel_delivered.fetch_add(1, std::memory_order_relaxed);
+    if (ready.meta.rel & kRelBare) {
+      // Transport-internal put notification: acked but never surfaced.
+      recycle(ready);
+    } else {
+      std::lock_guard<rt::Spinlock> rguard(ready_lock_);
+      ready_.push_back(ready);
+      ready_count_.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  if (seq == expected) {
+    deliver(cqe);
+    // Drain any held completions the gap was blocking.
+    for (auto it = rx.held.find(rx.expected.load(std::memory_order_relaxed));
+         it != rx.held.end();
+         it = rx.held.find(rx.expected.load(std::memory_order_relaxed))) {
+      Cqe held = it->second;
+      rx.held.erase(it);
+      deliver(held);
+    }
+    // Packets still held past the drain mean the next gap head was also
+    // lost: chain the retransmit request now instead of letting recovery
+    // serialize on one sender RTO per gap.
+    if (!rx.held.empty()) {
+      rx.nack_seq_plus1 = rx.expected.load(std::memory_order_relaxed) + 1;
+      rx.ack_dirty.store(true, std::memory_order_relaxed);
+    }
+    const std::uint64_t now = cfg_.tick_clock
+                                  ? tick_.load(std::memory_order_relaxed)
+                                  : rt::now_ns();
+    note_progress(now);
+    return;
+  }
+
+  // Out of order: hold a bounded number; drop the rest (the sender's
+  // go-back-N retransmission covers them). The bound keeps held packets
+  // from pinning the whole receive window while the gap is in flight.
+  if (rx.held.size() < cfg_.max_held && seq - expected < cfg_.reorder_window) {
+    rx.held.emplace(seq, cqe);
+    endpoint_.stats().rel_ooo_held.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    endpoint_.stats().rel_ooo_dropped.fetch_add(1, std::memory_order_relaxed);
+    recycle(cqe);
+  }
+  rx.nack_seq_plus1 = expected + 1;  // request the gap head
+  rx.ack_dirty.store(true, std::memory_order_relaxed);
+}
+
+void ReliableChannel::service_tx(std::uint64_t now) {
+  if (inflight_.load(std::memory_order_relaxed) == 0) return;
+  for (Rank dst = 0; dst < tx_links_.size(); ++dst) {
+    TxLink& tx = tx_links_[dst];
+    if (tx.inflight.load(std::memory_order_relaxed) == 0) continue;
+    std::lock_guard<rt::Spinlock> guard(tx.lock);
+    if (tx.ring.empty()) continue;
+
+    // First-chance flush of entries whose initial post was refused
+    // (NoRxBuffer / Throttled / CqFull); keep posting order.
+    for (TxEntry& e : tx.ring) {
+      if (e.posted_ok) continue;
+      if (post_entry(dst, e) != PostResult::Ok) break;
+      e.posted_ok = true;
+      e.last_tx = now;
+      e.last_data_tx = now;
+    }
+
+    // Timeout-driven recovery on the oldest unacked operation. Eager sends
+    // are re-sent directly; puts are probed first, because re-writing a
+    // region whose original delivery merely lost its ack could clobber
+    // data the receiver has already consumed.
+    TxEntry& front = tx.ring.front();
+    if (!front.posted_ok) continue;
+    if (now - front.last_tx < rto_for(front.attempts)) continue;
+    if (front.is_put) {
+      MsgMeta probe;
+      probe.kind = front.meta.kind;
+      probe.rel = kRelCtrl | kRelProbe;
+      probe.seq = front.seq;
+      (void)fabric_.post_send(rank_, dst, nullptr, probe);
+      endpoint_.stats().rel_probes_tx.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const PostResult r = post_entry(dst, front);
+      if (r == PostResult::Ok) front.posted_ok = true;
+      front.last_data_tx = now;
+      endpoint_.stats().rel_retransmits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+    front.last_tx = now;
+    front.attempts++;
+  }
+}
+
+void ReliableChannel::send_ack(Rank peer, RxLink& rx) {
+  MsgMeta meta;
+  meta.rel = kRelCtrl | kRelAck;
+  meta.ack = rx.expected.load(std::memory_order_relaxed);
+  meta.imm = rx.nack_seq_plus1;
+  if (fabric_.post_send(rank_, peer, nullptr, meta) == PostResult::Ok) {
+    endpoint_.stats().rel_acks_tx.fetch_add(1, std::memory_order_relaxed);
+    rx.delivered_since_ack.store(0, std::memory_order_relaxed);
+    rx.ack_dirty.store(false, std::memory_order_relaxed);
+    rx.nack_seq_plus1 = 0;
+  }
+}
+
+void ReliableChannel::flush_acks(std::uint64_t now) {
+  for (Rank peer = 0; peer < rx_links_.size(); ++peer) {
+    RxLink& rx = rx_links_[peer];
+    // Lock-free peek: quiet links (the common case) cost two relaxed loads.
+    // A transition racing past the peek is flushed on the next pump.
+    if (!rx.ack_dirty.load(std::memory_order_relaxed) &&
+        rx.delivered_since_ack.load(std::memory_order_relaxed) == 0)
+      continue;
+    std::lock_guard<rt::Spinlock> guard(rx.lock);
+    const std::uint32_t delivered =
+        rx.delivered_since_ack.load(std::memory_order_relaxed);
+    const bool due =
+        rx.ack_dirty.load(std::memory_order_relaxed) ||
+        delivered >= cfg_.ack_every ||
+        (delivered > 0 && now - rx.last_ack_tx >= cfg_.rto_ns / 4);
+    if (!due) continue;
+    send_ack(peer, rx);
+    rx.last_ack_tx = now;
+  }
+}
+
+void ReliableChannel::pump() {
+  if (!active_) return;
+  // Wall-clock reads are deferred until some timer actually needs one; the
+  // tick clock must still advance exactly once per pump for replay tests.
+  std::uint64_t now = cfg_.tick_clock ? proto_now() : 0;
+
+  while (auto cqe = endpoint_.poll_cq()) {
+    const MsgMeta& m = cqe->meta;
+    if (m.rel & kRelAck)
+      handle_ack(m.src, m.ack, (m.rel & kRelCtrl) ? m.imm : 0);
+    if (m.rel & kRelProbe) {
+      handle_probe(m.src, m.seq);
+      continue;
+    }
+    if (m.rel & kRelCtrl) continue;  // standalone ack: fully consumed
+    if (m.rel & kRelSeq) {
+      handle_data(*cqe);
+    } else {
+      // Unsequenced traffic on an active channel (e.g. a layer that posted
+      // before reliability was wired): pass through untouched.
+      std::lock_guard<rt::Spinlock> guard(ready_lock_);
+      ready_.push_back(*cqe);
+      ready_count_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  const bool tx_work = inflight_.load(std::memory_order_relaxed) != 0;
+  bool ack_work = false;
+  for (const RxLink& rx : rx_links_) {
+    if (rx.ack_dirty.load(std::memory_order_relaxed) ||
+        rx.delivered_since_ack.load(std::memory_order_relaxed) != 0) {
+      ack_work = true;
+      break;
+    }
+  }
+  if (!tx_work && !ack_work) return;
+  if (now == 0) now = rt::now_ns();
+
+  service_tx(now);
+  flush_acks(now);
+
+  if (cfg_.watchdog_quiet_ns > 0) {
+    const std::uint64_t last = last_progress_.load(std::memory_order_relaxed);
+    if (now > last && now - last >= cfg_.watchdog_quiet_ns &&
+        has_inflight()) {
+      std::uint64_t dumped = last_dump_.load(std::memory_order_relaxed);
+      if ((dumped == 0 || now - dumped >= cfg_.watchdog_quiet_ns) &&
+          last_dump_.compare_exchange_strong(dumped, now,
+                                             std::memory_order_relaxed)) {
+        endpoint_.stats().rel_stall_dumps.fetch_add(
+            1, std::memory_order_relaxed);
+        dump_state("progress stall");
+      }
+    }
+  }
+}
+
+std::optional<Cqe> ReliableChannel::poll() {
+  if (!active_) return endpoint_.poll_cq();
+  // Drain staged completions before pumping again: callers poll in a loop,
+  // so the protocol still gets pumped on every empty poll, which is all
+  // forward progress needs.
+  if (ready_count_.load(std::memory_order_acquire) == 0) {
+    pump();
+    if (ready_count_.load(std::memory_order_acquire) == 0) return std::nullopt;
+  }
+  std::lock_guard<rt::Spinlock> guard(ready_lock_);
+  if (ready_.empty()) return std::nullopt;
+  Cqe out = ready_.front();
+  ready_.pop_front();
+  ready_count_.fetch_sub(1, std::memory_order_relaxed);
+  return out;
+}
+
+bool ReliableChannel::has_inflight() const {
+  return inflight_.load(std::memory_order_relaxed) != 0;
+}
+
+void ReliableChannel::dump_state(const char* reason) const {
+  std::fprintf(stderr,
+               "[reliable:%s rank=%u] %s - per-link protocol state:\n",
+               owner_, rank_, reason);
+  for (Rank dst = 0; dst < tx_links_.size(); ++dst) {
+    const TxLink& tx = tx_links_[dst];
+    std::lock_guard<rt::Spinlock> guard(tx.lock);
+    if (tx.ring.empty() && tx.next_seq == 0) continue;
+    const TxEntry* front = tx.ring.empty() ? nullptr : &tx.ring.front();
+    std::fprintf(
+        stderr,
+        "  tx->%u: in_flight=%zu next_seq=%u acked=%u front_seq=%d "
+        "attempts=%u posted=%d put=%d\n",
+        dst, tx.ring.size(), tx.next_seq, tx.acked,
+        front ? static_cast<int>(front->seq) : -1,
+        front ? front->attempts : 0, front ? front->posted_ok : 0,
+        front ? front->is_put : 0);
+  }
+  for (Rank src = 0; src < rx_links_.size(); ++src) {
+    const RxLink& rx = rx_links_[src];
+    std::lock_guard<rt::Spinlock> guard(rx.lock);
+    const std::uint32_t expected =
+        rx.expected.load(std::memory_order_relaxed);
+    if (expected == 0 && rx.held.empty()) continue;
+    std::fprintf(stderr,
+                 "  rx<-%u: expected=%u held=%zu unacked_deliveries=%u "
+                 "nack_pending=%u\n",
+                 src, expected, rx.held.size(),
+                 rx.delivered_since_ack.load(std::memory_order_relaxed),
+                 rx.nack_seq_plus1);
+  }
+}
+
+}  // namespace lcr::fabric

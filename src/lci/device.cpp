@@ -1,6 +1,17 @@
 #include "lci/device.hpp"
 
+#include <algorithm>
+
 namespace lcr::lci {
+
+fabric::ReliabilityConfig Device::channel_config(const DeviceConfig& cfg) {
+  fabric::ReliabilityConfig rc;
+  // Budget a quarter of the receive window for out-of-order holds: enough
+  // that a lossy window usually recovers with one gap-head retransmission,
+  // while reordering can never pin most of the rx packets.
+  rc.max_held = std::max<std::size_t>(4, cfg.rx_packets / 4);
+  return rc;
+}
 
 Device::Device(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg)
     : fabric_(fabric),
@@ -9,7 +20,8 @@ Device::Device(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg)
       eager_limit_(fabric.config().mtu),
       rx_count_(cfg.rx_packets),
       tx_pool_(cfg.tx_packets, fabric.config().mtu, cfg.pool_caches),
-      rx_pool_(cfg.rx_packets, fabric.config().mtu, cfg.pool_caches) {
+      rx_pool_(cfg.rx_packets, fabric.config().mtu, cfg.pool_caches),
+      channel_(fabric, rank, channel_config(cfg), "lci") {
   // Hand the whole receive window to the NIC: this is the "fixed number of
   // buffers for receiving" of the paper. The packets come back to us through
   // lc_progress and are re-posted via repost_rx when the upper layer is done.
@@ -18,6 +30,11 @@ Device::Device(fabric::Fabric& fabric, fabric::Rank rank, DeviceConfig cfg)
     fabric::RxSlot slot{p->data, p->capacity, p->index};
     endpoint_.post_rx(slot);
   }
+  // Packets the channel consumes internally (duplicates, corrupt payloads)
+  // go straight back to the NIC receive window.
+  channel_.set_recycle([this](const fabric::Cqe& cqe) {
+    repost_rx(rx_pool_.packet_at(cqe.rx_context));
+  });
 }
 
 Device::~Device() {
@@ -27,7 +44,7 @@ Device::~Device() {
 
 fabric::PostResult Device::lc_send(fabric::Rank dst, const void* payload,
                                    fabric::MsgMeta meta) {
-  return fabric_.post_send(rank_, dst, payload, meta);
+  return channel_.send(dst, payload, meta);
 }
 
 fabric::PostResult Device::lc_put(fabric::Rank dst, fabric::RKey rkey,
@@ -36,20 +53,19 @@ fabric::PostResult Device::lc_put(fabric::Rank dst, fabric::RKey rkey,
   fabric::MsgMeta meta;
   meta.kind = static_cast<std::uint8_t>(PacketType::RDMA);
   meta.imm = imm;
-  return fabric_.post_put(rank_, dst, rkey, /*offset=*/0, payload, size,
-                          /*notify=*/true, meta);
+  return channel_.put(dst, rkey, /*offset=*/0, payload, size,
+                      /*notify=*/true, meta);
 }
 
 fabric::PostResult Device::lc_put_ex(fabric::Rank dst, fabric::RKey rkey,
                                      std::size_t offset, const void* payload,
                                      std::size_t size, bool notify,
                                      fabric::MsgMeta meta) {
-  return fabric_.post_put(rank_, dst, rkey, offset, payload, size, notify,
-                          meta);
+  return channel_.put(dst, rkey, offset, payload, size, notify, meta);
 }
 
 std::optional<ProgressEvent> Device::lc_progress() {
-  std::optional<fabric::Cqe> cqe = endpoint_.poll_cq();
+  std::optional<fabric::Cqe> cqe = channel_.poll();
   if (!cqe) return std::nullopt;
 
   ProgressEvent ev;

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "fabric/fabric.hpp"
+#include "fabric/reliable.hpp"
 #include "lci/packet.hpp"
 
 namespace lcr::lci {
@@ -83,7 +84,15 @@ class Device {
   fabric::Endpoint& endpoint() noexcept { return endpoint_; }
   std::size_t rx_packets() const noexcept { return rx_count_; }
 
+  /// The reliability channel all wire traffic is routed through. A
+  /// passthrough on reliable fabrics; runs seq/CRC/retransmit on lossy ones.
+  fabric::ReliableChannel& reliable() noexcept { return channel_; }
+
  private:
+  /// Channel tuning derived from the device shape (hold window bounded well
+  /// below the rx window so reordering cannot starve receive buffers).
+  static fabric::ReliabilityConfig channel_config(const DeviceConfig& cfg);
+
   fabric::Fabric& fabric_;
   fabric::Rank rank_;
   fabric::Endpoint& endpoint_;
@@ -91,6 +100,7 @@ class Device {
   std::size_t rx_count_;
   PacketPool tx_pool_;
   PacketPool rx_pool_;  // slabs live on the endpoint rx queue or in flight
+  fabric::ReliableChannel channel_;
 };
 
 }  // namespace lcr::lci

@@ -1,6 +1,7 @@
 #include "lci/server.hpp"
 
 #include "runtime/cpu_relax.hpp"
+#include "runtime/timer.hpp"
 
 namespace lcr::lci {
 
@@ -19,11 +20,31 @@ void ProgressServer::stop() {
 
 void ProgressServer::loop() {
   rt::Backoff backoff;
+  fabric::ReliableChannel& channel = queue_.device().reliable();
+  const std::uint64_t quiet_ns = channel.config().watchdog_quiet_ns;
+  std::uint64_t last_forward_ns = rt::now_ns();
+  std::uint64_t last_dump_ns = last_forward_ns;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (queue_.progress())
+    if (queue_.progress()) {
       backoff.reset();
-    else
+      last_forward_ns = rt::now_ns();
+    } else {
       backoff.pause();
+      // Server-side stall watchdog: the channel's own watchdog covers
+      // unacked traffic it originated; this one also catches a loop that
+      // spins forever with nothing locally in flight (e.g. waiting on a
+      // peer whose retransmit ring is wedged). Dump at most once per quiet
+      // period, and only on a channel that is actually running the
+      // reliability protocol.
+      if (channel.active() && quiet_ns > 0) {
+        const std::uint64_t now = rt::now_ns();
+        if (now - last_forward_ns >= quiet_ns &&
+            now - last_dump_ns >= quiet_ns && channel.has_inflight()) {
+          last_dump_ns = now;
+          channel.dump_state("progress-server stall");
+        }
+      }
+    }
   }
   // Final drain so no completion is stranded at shutdown.
   queue_.progress_all();

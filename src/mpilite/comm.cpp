@@ -1,5 +1,6 @@
 #include "mpilite/comm.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -51,6 +52,15 @@ class Comm::CallGuard {
   bool locked_ = false;
 };
 
+fabric::ReliabilityConfig Comm::channel_config(const CommConfig& cfg) {
+  fabric::ReliabilityConfig rc;
+  // Budget a quarter of the receive window for out-of-order holds: enough
+  // that a lossy window usually recovers with one gap-head retransmission,
+  // while reordering can never pin most of the rx buffers.
+  rc.max_held = std::max<std::size_t>(4, cfg.rx_buffers / 4);
+  return rc;
+}
+
 Comm::Comm(fabric::Fabric& fabric, int rank, Personality personality,
            ThreadLevel thread_level, CommConfig cfg)
     : fabric_(fabric),
@@ -60,11 +70,19 @@ Comm::Comm(fabric::Fabric& fabric, int rank, Personality personality,
       personality_(std::move(personality)),
       thread_level_(thread_level),
       cfg_(cfg),
-      eager_limit_(std::min(personality_.eager_limit, fabric.config().mtu)) {
+      eager_limit_(std::min(personality_.eager_limit, fabric.config().mtu)),
+      channel_(fabric, static_cast<fabric::Rank>(rank), channel_config(cfg),
+               "mpilite") {
   const std::size_t mtu = fabric.config().mtu;
   rx_slab_.reset(new std::byte[cfg_.rx_buffers * mtu]);
   for (std::size_t i = 0; i < cfg_.rx_buffers; ++i)
     endpoint_.post_rx({rx_slab_.get() + i * mtu, mtu, i});
+  // Buffers the channel consumes internally (duplicates, corrupt payloads)
+  // go straight back to the receive window.
+  channel_.set_recycle([this, mtu](const fabric::Cqe& cqe) {
+    endpoint_.post_rx(
+        {rx_slab_.get() + cqe.rx_context * mtu, mtu, cqe.rx_context});
+  });
 }
 
 Comm::~Comm() {
@@ -240,9 +258,8 @@ void Comm::post_or_backlog(int dst, const void* payload,
                            fabric::MsgMeta meta) {
   auto& queue = backlog_[dst];
   if (queue.empty()) {
-    const fabric::PostResult r = fabric_.post_send(
-        static_cast<fabric::Rank>(rank_), static_cast<fabric::Rank>(dst),
-        payload, meta);
+    const fabric::PostResult r =
+        channel_.send(static_cast<fabric::Rank>(dst), payload, meta);
     if (r == fabric::PostResult::Ok) return;
   }
   // Copy into the backlog; flushed in order by progress. This is MPI's
@@ -261,9 +278,8 @@ void Comm::flush_backlog_locked() {
   for (auto& [dst, queue] : backlog_) {
     while (!queue.empty()) {
       BacklogEntry& entry = queue.front();
-      const fabric::PostResult r = fabric_.post_send(
-          static_cast<fabric::Rank>(rank_), static_cast<fabric::Rank>(dst),
-          entry.payload.data(), entry.meta);
+      const fabric::PostResult r = channel_.send(
+          static_cast<fabric::Rank>(dst), entry.payload.data(), entry.meta);
       if (r != fabric::PostResult::Ok) break;  // keep per-link order
       backlog_bytes_ -= entry.meta.size;
       track_internal_free(entry.meta.size);
@@ -284,9 +300,9 @@ void Comm::progress_locked() {
     fabric::MsgMeta meta;
     meta.kind = static_cast<std::uint8_t>(WireKind::Fin);
     meta.imm = pp.recv_handle;
-    const fabric::PostResult r = fabric_.post_put(
-        static_cast<fabric::Rank>(rank_), static_cast<fabric::Rank>(pp.dst),
-        pp.rkey, 0, sreq->send_buffer, pp.size, true, meta);
+    const fabric::PostResult r =
+        channel_.put(static_cast<fabric::Rank>(pp.dst), pp.rkey, 0,
+                     sreq->send_buffer, pp.size, /*notify=*/true, meta);
     if (r == fabric::PostResult::Ok) {
       sreq->complete.store(true, std::memory_order_release);
       pinned_.erase(sreq);
@@ -295,7 +311,7 @@ void Comm::progress_locked() {
     }
   }
 
-  while (auto cqe = endpoint_.poll_cq()) handle_cqe_locked(*cqe);
+  while (auto cqe = channel_.poll()) handle_cqe_locked(*cqe);
 }
 
 void Comm::handle_cqe_locked(const fabric::Cqe& cqe) {
@@ -420,10 +436,9 @@ void Comm::handle_rtr_locked(const fabric::Cqe& cqe) {
   fabric::MsgMeta meta;
   meta.kind = static_cast<std::uint8_t>(WireKind::Fin);
   meta.imm = rtr.recv_handle;
-  const fabric::PostResult r = fabric_.post_put(
-      static_cast<fabric::Rank>(rank_), static_cast<fabric::Rank>(dst),
-      rtr.rkey, 0, sreq->send_buffer, static_cast<std::size_t>(rtr.size), true,
-      meta);
+  const fabric::PostResult r = channel_.put(
+      static_cast<fabric::Rank>(dst), rtr.rkey, 0, sreq->send_buffer,
+      static_cast<std::size_t>(rtr.size), /*notify=*/true, meta);
   if (r == fabric::PostResult::Ok) {
     sreq->complete.store(true, std::memory_order_release);
     pinned_.erase(sreq);
@@ -445,9 +460,8 @@ bool Comm::rma_try_put(int target, std::uint32_t rkey, std::size_t offset,
   fabric::MsgMeta meta;
   meta.kind = static_cast<std::uint8_t>(WireKind::RmaPut);
   meta.imm = win_id;
-  return fabric_.post_put(static_cast<fabric::Rank>(rank_),
-                          static_cast<fabric::Rank>(target), rkey, offset, src,
-                          n, true, meta) == fabric::PostResult::Ok;
+  return channel_.put(static_cast<fabric::Rank>(target), rkey, offset, src, n,
+                      /*notify=*/true, meta) == fabric::PostResult::Ok;
 }
 
 void Comm::register_window(std::uint64_t id, Window* win) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "fabric/fabric.hpp"
+#include "fabric/reliable.hpp"
 #include "mpilite/personality.hpp"
 #include "mpilite/types.hpp"
 #include "runtime/mem_tracker.hpp"
@@ -147,6 +148,10 @@ class Comm {
   fabric::Fabric& fabric() noexcept { return fabric_; }
   fabric::Endpoint& endpoint() noexcept { return endpoint_; }
 
+  /// The reliability channel all wire traffic is routed through (passthrough
+  /// on a reliable fabric). Window uses it directly for get replies.
+  fabric::ReliableChannel& channel() noexcept { return channel_; }
+
   /// RMA control message (post/sync/get) with backlog fallback;
   /// thread-safe. `payload` may be nullptr when meta.size == 0.
   void rma_ctrl_send(int dst, fabric::MsgMeta meta,
@@ -198,6 +203,10 @@ class Comm {
 
   class CallGuard;  // applies thread-level locking + per-call cost
 
+  /// Channel tuning derived from the comm shape (hold window bounded well
+  /// below the rx window so reordering cannot starve receive buffers).
+  static fabric::ReliabilityConfig channel_config(const CommConfig& cfg);
+
   fabric::Fabric& fabric_;
   fabric::Endpoint& endpoint_;
   int rank_;
@@ -206,6 +215,7 @@ class Comm {
   ThreadLevel thread_level_;
   CommConfig cfg_;
   std::size_t eager_limit_;
+  fabric::ReliableChannel channel_;
 
   std::mutex lock_;  // global lock under ThreadLevel::Multiple
 

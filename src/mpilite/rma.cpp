@@ -117,12 +117,11 @@ void Window::on_get_request(int origin, const void* payload) {
   meta.kind = static_cast<std::uint8_t>(WireKind::RmaGetDone);
   meta.imm = wire.handle;
   rt::Backoff backoff;
-  while (comm_.fabric().post_put(
-             static_cast<fabric::Rank>(comm_.rank()),
-             static_cast<fabric::Rank>(origin), wire.rkey, 0,
-             static_cast<const char*>(base_) + wire.offset,
-             static_cast<std::size_t>(wire.size), true,
-             meta) != fabric::PostResult::Ok) {
+  while (comm_.channel().put(static_cast<fabric::Rank>(origin), wire.rkey, 0,
+                             static_cast<const char*>(base_) + wire.offset,
+                             static_cast<std::size_t>(wire.size),
+                             /*notify=*/true,
+                             meta) != fabric::PostResult::Ok) {
     backoff.pause();  // origin keeps draining its CQ while it spins in get()
   }
 }

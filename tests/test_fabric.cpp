@@ -155,14 +155,21 @@ TEST_F(FabricTest, DeregisteredKeyRejected) {
             fabric::PostResult::Invalid);
 }
 
-TEST_F(FabricTest, RkeySlotsAreReused) {
+TEST_F(FabricTest, RkeysAreNeverReused) {
+  // Monotonic rkeys: a retransmitted put aimed at a deregistered key must
+  // resolve Invalid instead of landing in whatever reused the slot.
   std::vector<char> region(64, 0);
   const fabric::RKey k1 =
       fab.endpoint(1).register_memory(region.data(), region.size());
   fab.endpoint(1).deregister_memory(k1);
   const fabric::RKey k2 =
       fab.endpoint(1).register_memory(region.data(), region.size());
-  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k2);
+  const char v = 'a';
+  EXPECT_EQ(fab.post_put(0, 1, k1, 0, &v, 1, false, {}),
+            fabric::PostResult::Invalid);
+  EXPECT_EQ(fab.post_put(0, 1, k2, 0, &v, 1, false, {}),
+            fabric::PostResult::Ok);
 }
 
 TEST(FabricThrottle, TokenBucketLimitsInjection) {

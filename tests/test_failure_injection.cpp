@@ -82,6 +82,93 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ConstrainedFabric,
                            }
                          });
 
+// ---------------------------------------------------------------------------
+// Chaos suite: unreliable fabric (drop + corrupt + duplicate, fixed seed).
+// The reliability channel must make every backend produce results identical
+// to the sequential references.
+// ---------------------------------------------------------------------------
+
+fabric::FabricConfig lossy_config(double drop_rate) {
+  fabric::FabricConfig fcfg = fabric::test_config();
+  fcfg.fault.seed = 0xC0FFEE;
+  fcfg.fault.drop_rate = drop_rate;
+  fcfg.fault.corrupt_rate = 0.005;
+  fcfg.fault.dup_rate = 0.01;
+  return fcfg;
+}
+
+class LossyFabric
+    : public ::testing::TestWithParam<std::tuple<comm::BackendKind, double>> {
+ protected:
+  bench::RunSpec base_spec() const {
+    bench::RunSpec spec;
+    spec.backend = std::get<0>(GetParam());
+    spec.hosts = 3;
+    spec.policy = graph::PartitionPolicy::CartesianVertexCut;
+    spec.fabric = lossy_config(std::get<1>(GetParam()));
+    return spec;
+  }
+  /// The protocol must actually have been exercised, not bypassed. Whether
+  /// any fault was rolled at all is probabilistic at 1% on tiny graphs, so
+  /// loss + recovery is only asserted at the 5% rate.
+  void expect_protocol_ran(const bench::RunResult& r) const {
+    EXPECT_GT(r.rel_data_tx, 0u);
+    EXPECT_GT(r.rel_acks_rx, 0u);
+    if (std::get<1>(GetParam()) >= 0.05) {
+      EXPECT_GT(r.faults_dropped, 0u);
+      EXPECT_GT(r.rel_retransmits, 0u);
+    }
+  }
+};
+
+TEST_P(LossyFabric, BfsExact) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  bench::RunSpec spec = base_spec();
+  spec.app = "bfs";
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+  expect_protocol_ran(result);
+}
+
+TEST_P(LossyFabric, CcExact) {
+  graph::Csr g = graph::symmetrize(graph::rmat(6, 8.0));
+  bench::RunSpec spec = base_spec();
+  spec.app = "cc";
+  spec.policy = graph::PartitionPolicy::OutgoingEdgeCut;
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_cc(g));
+  expect_protocol_ran(result);
+}
+
+TEST_P(LossyFabric, SsspExact) {
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr g = graph::rmat(6, 8.0, opt);
+  bench::RunSpec spec = base_spec();
+  spec.app = "sssp";
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_sssp(g, spec.source));
+  expect_protocol_ran(result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropRates, LossyFabric,
+    ::testing::Combine(::testing::Values(comm::BackendKind::Lci,
+                                         comm::BackendKind::MpiProbe,
+                                         comm::BackendKind::MpiRma),
+                       ::testing::Values(0.01, 0.05)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case comm::BackendKind::Lci: name = "lci"; break;
+        case comm::BackendKind::MpiProbe: name = "mpi_probe"; break;
+        default: name = "mpi_rma"; break;
+      }
+      return name + (std::get<1>(info.param) < 0.02 ? "_drop1" : "_drop5");
+    });
+
 /// Single compute thread per host (comm thread still separate).
 TEST(FailureModes, SingleComputeThreadWorks) {
   graph::Csr g = graph::rmat(6, 8.0);
