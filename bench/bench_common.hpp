@@ -27,4 +27,26 @@ inline std::uint32_t env_pr_iters(std::uint32_t dflt) {
   return dflt;
 }
 
+/// LCR_BENCH_DROP - fault-injection drop rate (0 = reliable fabric). A
+/// non-zero rate also arms proportional dup/corrupt rates (chaos profile).
+inline double env_drop(double dflt) {
+  if (const char* s = std::getenv("LCR_BENCH_DROP")) return std::atof(s);
+  return dflt;
+}
+
+/// LCR_BENCH_APP - restrict a multi-app bench to one app (empty = all).
+inline std::string env_app() {
+  if (const char* s = std::getenv("LCR_BENCH_APP")) return s;
+  return {};
+}
+
+/// Chrome-trace output path: `--trace-out <file>` beats env LCR_TRACE_OUT;
+/// empty means tracing stays off.
+inline std::string trace_out(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace-out") return argv[i + 1];
+  if (const char* s = std::getenv("LCR_TRACE_OUT")) return s;
+  return {};
+}
+
 }  // namespace lcr::bench

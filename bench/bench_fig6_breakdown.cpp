@@ -5,8 +5,17 @@
 // communication layers; "the changes in performance come from the
 // communication component", where LCI is best or comparable to MPI-RMA and
 // MPI-Probe is worst.
+//
+// With `--trace-out <file>` (or env LCR_TRACE_OUT) the run enables telemetry,
+// cross-checks the span totals against the timer-based breakdown after every
+// configuration, and writes the last configuration's Chrome trace JSON
+// (earlier configurations are reset by the runner so warm-up and neighbour
+// runs never pollute a measured trace). LCR_BENCH_APP=bfs narrows the sweep
+// so the trace holds the configuration you asked for.
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <string>
 
 #include "bench/bench_common.hpp"
 #include "bench_support/cluster_configs.hpp"
@@ -14,16 +23,59 @@
 #include "bench_support/table.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace lcr;
 
-int main() {
+namespace {
+
+/// Sums this trace's per-host span time for `name` and returns the maximum
+/// across hosts -- the same reduction RunResult applies to its timers.
+double max_host_span_s(const std::vector<telemetry::TraceEvent>& events,
+                       const char* name) {
+  std::map<std::uint32_t, double> per_host;
+  for (const auto& e : events)
+    if (e.phase == 'X' && std::string(e.name) == name)
+      per_host[e.pid] += static_cast<double>(e.dur_ns) * 1e-9;
+  double best = 0.0;
+  for (const auto& [host, s] : per_host) best = std::max(best, s);
+  return best;
+}
+
+void print_span_check(const char* app, const char* backend,
+                      const bench::RunResult& r) {
+  const auto events = telemetry::collect_trace();
+  // "compute" spans wrap exactly the regions the apps time into compute_s;
+  // "sync_phase" spans wrap the regions the engine times into comm_s.
+  const double span_compute = max_host_span_s(events, "compute");
+  const double span_comm = max_host_span_s(events, "sync_phase");
+  const auto pct = [](double span, double timer) {
+    return timer > 0.0 ? 100.0 * span / timer : 100.0;
+  };
+  std::printf("  [trace] %s/%s: compute spans %.4fs vs timer %.4fs (%.1f%%), "
+              "sync_phase spans %.4fs vs comm %.4fs (%.1f%%)\n",
+              app, backend, span_compute, r.compute_s,
+              pct(span_compute, r.compute_s), span_comm, r.comm_s,
+              pct(span_comm, r.comm_s));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const unsigned scale = bench::env_scale(10);
   const int hosts = bench::env_hosts(8);
   const std::uint32_t pr_iters = bench::env_pr_iters(8);
+  const std::string app_filter = bench::env_app();
+  const double drop = bench::env_drop(0.0);
+  const std::string trace_path = bench::trace_out(argc, argv);
+  if (!trace_path.empty()) telemetry::set_enabled(true);
 
   std::printf("=== Figure 6: compute vs non-overlapped communication, kron "
               "at %d hosts ===\n\n", hosts);
+  if (drop > 0.0)
+    std::printf("fault injection: drop %.1f%%, dup %.1f%%, corrupt %.2f%% "
+                "(seed 42)\n\n", 100.0 * drop, 100.0 * drop / 5.0,
+                100.0 * drop / 10.0);
 
   const bench::ClusterProfile profile = bench::stampede2_like();
   graph::GenOptions opt;
@@ -33,7 +85,9 @@ int main() {
 
   bench::Table table({"app", "backend", "compute(s)", "comm(s)", "total(s)",
                       "comm %"});
+  std::map<std::string, std::uint64_t> last_snapshot;
   for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
+    if (!app_filter.empty() && app_filter != app) continue;
     const graph::Csr& g = std::string(app) == "cc" ? sym : base;
     for (auto kind : {comm::BackendKind::Lci, comm::BackendKind::MpiProbe,
                       comm::BackendKind::MpiRma}) {
@@ -45,6 +99,12 @@ int main() {
       spec.source = bench::choose_source(g);
       spec.pagerank_iters = pr_iters;
       spec.fabric = profile.fabric;
+      if (drop > 0.0) {
+        spec.fabric.fault.seed = 42;
+        spec.fabric.fault.drop_rate = drop;
+        spec.fabric.fault.dup_rate = drop / 5.0;
+        spec.fabric.fault.corrupt_rate = drop / 10.0;
+      }
       const bench::RunResult r = bench::run_app(g, spec);
       char pct[16];
       std::snprintf(pct, sizeof(pct), "%.0f%%",
@@ -53,10 +113,22 @@ int main() {
                      bench::fmt_seconds(r.compute_s),
                      bench::fmt_seconds(r.comm_s),
                      bench::fmt_seconds(r.total_s), pct});
+      if (!trace_path.empty()) {
+        print_span_check(app, comm::to_string(kind), r);
+        last_snapshot = r.telemetry;
+      }
     }
   }
   table.print(std::cout);
   std::printf("\nshape to check: compute(s) roughly equal across backends "
               "per app; differences live in comm(s).\n");
+  if (!trace_path.empty()) {
+    if (telemetry::write_chrome_trace(trace_path, last_snapshot))
+      std::printf("trace (last configuration) written to %s\n",
+                  trace_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+  }
   return 0;
 }

@@ -5,7 +5,12 @@
 // the eager path, the rendezvous path, and the single-flag completion model.
 //
 // Build & run:   ./build/examples/quickstart
+// Tracing:       ./build/examples/quickstart --trace-out trace.json
+//                (or LCR_TRACE_OUT=trace.json) writes a Chrome trace-event
+//                file with the exchange spans plus a telemetry snapshot --
+//                open it in chrome://tracing or Perfetto.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -14,9 +19,17 @@
 #include "fabric/fabric.hpp"
 #include "lci/queue.hpp"
 #include "lci/server.hpp"
+#include "telemetry/telemetry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcr;
+
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace-out") trace_path = argv[i + 1];
+  if (trace_path.empty())
+    if (const char* s = std::getenv("LCR_TRACE_OUT")) trace_path = s;
+  if (!trace_path.empty()) telemetry::set_enabled(true);
 
   // A 2-host fabric with an Omni-Path-like personality.
   fabric::Fabric fab(2, fabric::omnipath_knl_config());
@@ -30,6 +43,7 @@ int main() {
   server1.start();
 
   std::thread host1([&] {
+    telemetry::Span span("example", "host1_exchange", /*pid=*/1);
     // RECV-DEQ: first-packet policy - no tag matching, no ordering.
     lci::Request req;
     q1.recv_blocking(req);
@@ -53,25 +67,35 @@ int main() {
     q1.send_blocking(reply.data(), reply.size(), 0, 99);
   });
 
-  // SEND-ENQ: non-blocking initiation; false means "resources exhausted,
-  // retry" - never a fatal error. send_blocking wraps the retry loop.
-  const std::string hello = "ping over LCI";
-  q0.send_blocking(hello.data(), hello.size(), 1, 42);
+  {
+    telemetry::Span span("example", "host0_exchange", /*pid=*/0);
+    // SEND-ENQ: non-blocking initiation; false means "resources exhausted,
+    // retry" - never a fatal error. send_blocking wraps the retry loop.
+    const std::string hello = "ping over LCI";
+    q0.send_blocking(hello.data(), hello.size(), 1, 42);
 
-  // Anything above the eager limit automatically uses rendezvous.
-  std::vector<char> big(3 * q0.eager_limit(), 7);
-  q0.send_blocking(big.data(), big.size(), 1, 43);
+    // Anything above the eager limit automatically uses rendezvous.
+    std::vector<char> big(3 * q0.eager_limit(), 7);
+    q0.send_blocking(big.data(), big.size(), 1, 43);
 
-  lci::Request reply;
-  q0.recv_blocking(reply);
-  std::printf("[host0] reply: \"%s\"\n",
-              std::string(static_cast<const char*>(reply.buffer), reply.size)
-                  .c_str());
-  q0.release(reply);
+    lci::Request reply;
+    q0.recv_blocking(reply);
+    std::printf("[host0] reply: \"%s\"\n",
+                std::string(static_cast<const char*>(reply.buffer),
+                            reply.size)
+                    .c_str());
+    q0.release(reply);
+  }
 
   host1.join();
   server0.stop();
   server1.stop();
+  if (!trace_path.empty()) {
+    // Embed the fabric's metrics snapshot (wire counters, queue histograms,
+    // progress-profiler tallies) alongside the spans.
+    if (telemetry::write_chrome_trace(trace_path, fab.telemetry().snapshot()))
+      std::printf("trace written to %s\n", trace_path.c_str());
+  }
   std::printf("quickstart done\n");
   return 0;
 }

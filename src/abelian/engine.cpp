@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "runtime/cpu_relax.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::abelian {
 
@@ -18,6 +20,10 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
       team_(std::make_unique<rt::ThreadTeam>(cfg.compute_threads)),
       send_queue_(1024),
       recv_queue_(cfg.recv_queue_capacity) {
+  stat_reg_ = cluster.fabric().telemetry().register_probes({
+      {"abelian.messages_sent", &stats_.messages_sent},
+      {"abelian.bytes_sent", &stats_.bytes_sent},
+  });
   comm_thread_ = std::thread([this] { comm_thread_loop(); });
 }
 
@@ -81,6 +87,8 @@ void HostEngine::post_cmd(Cmd cmd, const comm::PhaseSpec* spec) {
 
 void HostEngine::comm_thread_loop() {
   rt::Backoff backoff;
+  telemetry::ProgressProfiler profiler(cluster_.fabric().telemetry(),
+                                       "abelian.comm_thread");
   std::deque<comm::InMessage*> holding;  // messages awaiting queue space
   while (!stop_.load(std::memory_order_acquire)) {
     bool did_work = false;
@@ -130,6 +138,7 @@ void HostEngine::comm_thread_loop() {
     }
 
     backend_->progress();
+    profiler.note(did_work);
     if (did_work)
       backoff.reset();
     else
@@ -233,8 +242,10 @@ bool HostEngine::drain_one(const ScatterFn& scatter) {
     stash_[header.phase_id].push_back(std::move(msg));
     return true;
   }
-  if (header.payload_bytes > 0)
+  if (header.payload_bytes > 0) {
+    telemetry::Span apply_span("abelian", "apply", graph_.host_id);
     scatter(msg.src, msg.payload(), header.payload_bytes);
+  }
   if (msg.release) msg.release();
   phase_state_.note_chunk(msg.src, header);
   return true;
@@ -249,6 +260,9 @@ void HostEngine::execute_phase(
     const std::vector<std::vector<graph::VertexId>>& send_lists,
     const std::vector<std::vector<graph::VertexId>>& recv_lists,
     const GatherFn& gather, const ScatterFn& scatter) {
+  // The span and the timer cover the same interval: summed sync_phase span
+  // time per host must agree with stats_.comm_s (bench_fig6 asserts this).
+  telemetry::Span phase_span("abelian", "sync_phase", graph_.host_id);
   rt::Timer phase_timer;
   const int p = graph_.num_hosts;
   const int me = graph_.host_id;
@@ -282,7 +296,8 @@ void HostEngine::execute_phase(
   std::atomic<std::size_t> gathers_left{spec.send_to.size()};
 
   team_->run([&](std::size_t tid) {
-    // Stage 1: parallel gathers, one peer at a time per thread.
+    // Stage 1: parallel gathers, one peer at a time per thread. The GatherFn
+    // serializes records directly, so the gather span covers serialization.
     for (;;) {
       const std::size_t i =
           next_peer.fetch_add(1, std::memory_order_relaxed);
@@ -290,13 +305,20 @@ void HostEngine::execute_phase(
       const int dst = spec.send_to[i];
       std::vector<std::byte> records;
       records.reserve(1024);
-      gather(dst, records);
-      send_chunks(dst, std::move(records), chunk_cap, rec_bytes, scatter);
+      {
+        telemetry::Span gather_span("abelian", "gather", me);
+        gather(dst, records);
+      }
+      {
+        telemetry::Span send_span("abelian", "send", me);
+        send_chunks(dst, std::move(records), chunk_cap, rec_bytes, scatter);
+      }
       gathers_left.fetch_sub(1, std::memory_order_acq_rel);
     }
 
     // Thread 0 flushes once every send of the phase has been handed over.
     if (tid == 0) {
+      telemetry::Span flush_span("abelian", "flush", me);
       rt::Backoff backoff;
       while (gathers_left.load(std::memory_order_acquire) != 0 ||
              sends_pending_.load(std::memory_order_acquire) != 0) {
@@ -306,6 +328,7 @@ void HostEngine::execute_phase(
     }
 
     // Stage 2: scatter incoming messages until the phase completes.
+    telemetry::Span recv_span("abelian", "recv", me);
     rt::Backoff backoff;
     while (!phase_state_.complete.load(std::memory_order_acquire)) {
       if (drain_one(scatter))

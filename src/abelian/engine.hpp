@@ -36,6 +36,7 @@
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lcr::abelian {
 
@@ -207,6 +208,7 @@ class HostEngine {
   std::uint32_t phase_counter_ = 0;
 
   EngineStats stats_;
+  telemetry::Registration stat_reg_;  // EngineStats probes ("abelian.*")
 };
 
 }  // namespace lcr::abelian

@@ -4,6 +4,7 @@
 
 #include "apps/atomic_ops.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::apps {
 
@@ -23,21 +24,25 @@ std::vector<std::uint32_t> run_kcore(abelian::HostEngine& eng,
   rt::ConcurrentBitset dirty_dead(n);
 
   for (;;) {
+    telemetry::Span round_span("app", "round", g.host_id);
     // --- 1. Masters decide removals from their authoritative degree ---
     rt::Timer decide_timer;
     std::atomic<std::uint64_t> deaths{0};
-    eng.team().parallel_chunks(
-        0, g.num_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          for (std::size_t lid = lo; lid < hi; ++lid) {
-            if (!dead.test(lid) && deg[lid] < k) {
-              dead.set(lid);
-              newly_dead.set(lid);
-              dead_flag[lid] = 1;
-              dirty_dead.set(lid);
-              deaths.fetch_add(1, std::memory_order_relaxed);
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(
+          0, g.num_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t lid = lo; lid < hi; ++lid) {
+              if (!dead.test(lid) && deg[lid] < k) {
+                dead.set(lid);
+                newly_dead.set(lid);
+                dead_flag[lid] = 1;
+                dirty_dead.set(lid);
+                deaths.fetch_add(1, std::memory_order_relaxed);
+              }
             }
-          }
-        });
+          });
+    }
     eng.stats().compute_s += decide_timer.elapsed_s();
 
     // Global fixed point: nobody died anywhere this round.
@@ -54,19 +59,22 @@ std::vector<std::uint32_t> run_kcore(abelian::HostEngine& eng,
 
     // --- 3. Push decrements along the removed vertices' local out-edges ---
     rt::Timer push_timer;
-    eng.team().parallel_chunks(
-        0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          newly_dead.for_each_in_range(lo, hi, [&](std::size_t lid) {
-            g.out_edges.for_each_edge(
-                static_cast<graph::VertexId>(lid),
-                [&](graph::VertexId dst, graph::Weight) {
-                  if (dead.test(dst)) return;
-                  atomic_add(delta[dst], std::uint32_t{1});
-                  dirty_delta.set(dst);
-                });
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(
+          0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            newly_dead.for_each_in_range(lo, hi, [&](std::size_t lid) {
+              g.out_edges.for_each_edge(
+                  static_cast<graph::VertexId>(lid),
+                  [&](graph::VertexId dst, graph::Weight) {
+                    if (dead.test(dst)) return;
+                    atomic_add(delta[dst], std::uint32_t{1});
+                    dirty_delta.set(dst);
+                  });
+            });
           });
-        });
-    newly_dead.clear_all();
+      newly_dead.clear_all();
+    }
     eng.stats().compute_s += push_timer.elapsed_s();
 
     // --- 4. Add-reduce decrement deltas from mirrors to masters ---
@@ -80,17 +88,20 @@ std::vector<std::uint32_t> run_kcore(abelian::HostEngine& eng,
 
     // --- 5. Masters apply deltas; everyone resets round state ---
     rt::Timer apply_timer;
-    eng.team().parallel_chunks(
-        0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          for (std::size_t lid = lo; lid < hi; ++lid) {
-            if (lid < g.num_masters) {
-              const std::uint32_t d = delta[lid];
-              deg[lid] = d >= deg[lid] ? 0 : deg[lid] - d;
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(
+          0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t lid = lo; lid < hi; ++lid) {
+              if (lid < g.num_masters) {
+                const std::uint32_t d = delta[lid];
+                deg[lid] = d >= deg[lid] ? 0 : deg[lid] - d;
+              }
+              delta[lid] = 0;
             }
-            delta[lid] = 0;
-          }
-        });
-    dirty_delta.clear_all();
+          });
+      dirty_delta.clear_all();
+    }
     eng.stats().compute_s += apply_timer.elapsed_s();
     eng.stats().rounds++;
   }

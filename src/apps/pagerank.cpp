@@ -6,6 +6,7 @@
 #include "abelian/sync.hpp"
 #include "apps/atomic_ops.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::apps {
 
@@ -23,22 +24,26 @@ std::vector<double> run_pagerank(abelian::HostEngine& eng,
   const abelian::SyncPlan plan = abelian::plan_accumulate(g.policy);
 
   for (std::uint32_t iter = 0; iter < opt.max_iterations; ++iter) {
+    telemetry::Span round_span("app", "round", g.host_id);
     // --- Computation: scatter contributions along local out-edges ---
     rt::Timer compute_timer;
-    eng.team().parallel_chunks(
-        0, n_local, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          for (std::size_t lid = lo; lid < hi; ++lid) {
-            const std::uint32_t outdeg = g.global_out_degree[lid];
-            if (outdeg == 0 || g.out_edges.degree(lid) == 0) continue;
-            const double contrib = rank[lid] / static_cast<double>(outdeg);
-            g.out_edges.for_each_edge(
-                static_cast<graph::VertexId>(lid),
-                [&](graph::VertexId dst, graph::Weight) {
-                  atomic_add(accum[dst], contrib);
-                  dirty.set(dst);
-                });
-          }
-        });
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(
+          0, n_local, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t lid = lo; lid < hi; ++lid) {
+              const std::uint32_t outdeg = g.global_out_degree[lid];
+              if (outdeg == 0 || g.out_edges.degree(lid) == 0) continue;
+              const double contrib = rank[lid] / static_cast<double>(outdeg);
+              g.out_edges.for_each_edge(
+                  static_cast<graph::VertexId>(lid),
+                  [&](graph::VertexId dst, graph::Weight) {
+                    atomic_add(accum[dst], contrib);
+                    dirty.set(dst);
+                  });
+            }
+          });
+    }
     eng.stats().compute_s += compute_timer.elapsed_s();
 
     // --- Reduce: Add dirty accumulator mirrors into masters (skipped when
@@ -58,6 +63,7 @@ std::vector<double> run_pagerank(abelian::HostEngine& eng,
     rt::Timer recompute_timer;
     double local_delta = 0.0;
     {
+      telemetry::Span compute_span("app", "compute", g.host_id);
       rt::Spinlock delta_lock;
       eng.team().parallel_chunks(
           0, g.num_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
@@ -83,14 +89,17 @@ std::vector<double> run_pagerank(abelian::HostEngine& eng,
 
     // --- Reset round state ---
     rt::Timer reset_timer;
-    eng.team().parallel_chunks(0, n_local,
-                               [&](std::size_t lo, std::size_t hi,
-                                   std::size_t) {
-                                 for (std::size_t lid = lo; lid < hi; ++lid)
-                                   accum[lid] = 0.0;
-                               });
-    dirty.clear_all();
-    rank_dirty.clear_all();
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(0, n_local,
+                                 [&](std::size_t lo, std::size_t hi,
+                                     std::size_t) {
+                                   for (std::size_t lid = lo; lid < hi; ++lid)
+                                     accum[lid] = 0.0;
+                                 });
+      dirty.clear_all();
+      rank_dirty.clear_all();
+    }
     eng.stats().compute_s += reset_timer.elapsed_s();
     eng.stats().rounds++;
 

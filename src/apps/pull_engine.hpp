@@ -23,6 +23,7 @@
 #include "abelian/sync.hpp"
 #include "apps/atomic_ops.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::apps {
 
@@ -43,26 +44,30 @@ std::vector<typename Traits::Label> run_pull(
   const abelian::SyncPlan plan = abelian::plan_push_monotone(g.policy);
   std::uint64_t round = 0;
   for (; round < max_rounds; ++round) {
+    telemetry::Span round_span("app", "round", g.host_id);
     // --- Pull computation: re-evaluate every proxy from local in-edges ---
     rt::Timer compute_timer;
     std::atomic<std::uint64_t> changed{0};
-    eng.team().parallel_chunks(
-        0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          for (std::size_t v = lo; v < hi; ++v) {
-            Label best = labels[v];
-            g.in_edges.for_each_edge(
-                static_cast<graph::VertexId>(v),
-                [&](graph::VertexId u, graph::Weight w) {
-                  const Label cand = Traits::relax(labels[u], w);
-                  if (cand < best) best = cand;
-                });
-            if (best < labels[v]) {
-              labels[v] = best;  // single writer per v in this loop
-              dirty.set(v);
-              changed.fetch_add(1, std::memory_order_relaxed);
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      eng.team().parallel_chunks(
+          0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t v = lo; v < hi; ++v) {
+              Label best = labels[v];
+              g.in_edges.for_each_edge(
+                  static_cast<graph::VertexId>(v),
+                  [&](graph::VertexId u, graph::Weight w) {
+                    const Label cand = Traits::relax(labels[u], w);
+                    if (cand < best) best = cand;
+                  });
+              if (best < labels[v]) {
+                labels[v] = best;  // single writer per v in this loop
+                dirty.set(v);
+                changed.fetch_add(1, std::memory_order_relaxed);
+              }
             }
-          }
-        });
+          });
+    }
     eng.stats().compute_s += compute_timer.elapsed_s();
 
     // --- Partition-aware sync, same plan as push ---

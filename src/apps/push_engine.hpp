@@ -16,6 +16,7 @@
 #include "abelian/sync.hpp"
 #include "apps/atomic_ops.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::apps {
 
@@ -54,28 +55,32 @@ std::vector<typename Traits::Label> run_push(
   const abelian::SyncPlan plan = abelian::plan_push_monotone(g.policy);
   std::uint64_t round = 0;
   for (; round < max_rounds; ++round) {
+    telemetry::Span round_span("app", "round", g.host_id);
     // --- Computation phase (timed separately for the Fig-6 breakdown) ---
     rt::Timer compute_timer;
-    frontier.clear_all();
-    active.for_each([&](std::size_t lid) { frontier.set(lid); });
-    active.clear_all();
+    {
+      telemetry::Span compute_span("app", "compute", g.host_id);
+      frontier.clear_all();
+      active.for_each([&](std::size_t lid) { frontier.set(lid); });
+      active.clear_all();
 
-    eng.team().parallel_chunks(
-        0, n,
-        [&](std::size_t lo, std::size_t hi, std::size_t) {
-          frontier.for_each_in_range(lo, hi, [&](std::size_t lid) {
-            const Label src_label = labels[lid];
-            eng.graph().out_edges.for_each_edge(
-                static_cast<graph::VertexId>(lid),
-                [&](graph::VertexId dst, graph::Weight w) {
-                  const Label cand = Traits::relax(src_label, w);
-                  if (cand < labels[dst] && atomic_min(labels[dst], cand)) {
-                    dirty.set(dst);
-                    maybe_activate(dst);
-                  }
-                });
+      eng.team().parallel_chunks(
+          0, n,
+          [&](std::size_t lo, std::size_t hi, std::size_t) {
+            frontier.for_each_in_range(lo, hi, [&](std::size_t lid) {
+              const Label src_label = labels[lid];
+              eng.graph().out_edges.for_each_edge(
+                  static_cast<graph::VertexId>(lid),
+                  [&](graph::VertexId dst, graph::Weight w) {
+                    const Label cand = Traits::relax(src_label, w);
+                    if (cand < labels[dst] && atomic_min(labels[dst], cand)) {
+                      dirty.set(dst);
+                      maybe_activate(dst);
+                    }
+                  });
+            });
           });
-        });
+    }
     eng.stats().compute_s += compute_timer.elapsed_s();
 
     // --- Communication phase: partition-aware sync ---

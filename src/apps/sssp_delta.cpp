@@ -7,6 +7,7 @@
 #include "apps/atomic_ops.hpp"
 #include "apps/sssp.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::apps {
 
@@ -71,23 +72,27 @@ std::vector<std::uint32_t> run_sssp_delta(abelian::HostEngine& eng,
           eng.cluster().oob_allreduce_sum(in_bucket);
       if (global_in_bucket == 0) break;
 
+      telemetry::Span round_span("app", "round", g.host_id);
       rt::Timer compute_timer;
-      eng.team().parallel_chunks(
-          0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-            frontier.for_each_in_range(lo, hi, [&](std::size_t lid) {
-              const std::uint32_t d = dist[lid];
-              g.out_edges.for_each_edge(
-                  static_cast<graph::VertexId>(lid),
-                  [&](graph::VertexId dst, graph::Weight w) {
-                    const std::uint32_t cand = d + w;
-                    relaxations.fetch_add(1, std::memory_order_relaxed);
-                    if (cand < dist[dst] && atomic_min(dist[dst], cand)) {
-                      dirty.set(dst);
-                      maybe_activate(dst);
-                    }
-                  });
+      {
+        telemetry::Span compute_span("app", "compute", g.host_id);
+        eng.team().parallel_chunks(
+            0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+              frontier.for_each_in_range(lo, hi, [&](std::size_t lid) {
+                const std::uint32_t d = dist[lid];
+                g.out_edges.for_each_edge(
+                    static_cast<graph::VertexId>(lid),
+                    [&](graph::VertexId dst, graph::Weight w) {
+                      const std::uint32_t cand = d + w;
+                      relaxations.fetch_add(1, std::memory_order_relaxed);
+                      if (cand < dist[dst] && atomic_min(dist[dst], cand)) {
+                        dirty.set(dst);
+                        maybe_activate(dst);
+                      }
+                    });
+              });
             });
-          });
+      }
       eng.stats().compute_s += compute_timer.elapsed_s();
 
       if (plan.do_reduce) {

@@ -16,6 +16,7 @@
 #include "graph/partition.hpp"
 #include "runtime/mem_tracker.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lcr::bench {
 
@@ -124,6 +125,10 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
       gemini::GeminiHost host(cluster, part, cfg);
 
       cluster.oob_barrier();
+      // Setup spans must not pollute the measured trace (mirrors the
+      // stats zeroing warmup_engine does for the abelian path).
+      if (h == 0) telemetry::reset_trace();
+      cluster.oob_barrier();
       rt::Timer timer;
       if (spec.app == "bfs") {
         auto labels = host.run_push<apps::BfsTraits>(spec.source);
@@ -143,6 +148,11 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
       }
       out.total_s = timer.elapsed_s();
       cluster.oob_barrier();
+      // Snapshot the registry while every host's engine (and therefore
+      // every layer's probe registration) is still alive; the trailing
+      // barrier keeps peers from tearing down early.
+      if (h == 0) result.telemetry = cluster.fabric().telemetry().snapshot();
+      cluster.oob_barrier();
       out.compute_s = host.stats().compute_s;
       out.comm_s = host.stats().comm_s;
       out.rounds = host.stats().rounds;
@@ -160,6 +170,8 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     abelian::HostEngine eng(cluster, part, cfg);
 
     warmup_engine(eng, spec.app, policy);
+    cluster.oob_barrier();
+    if (h == 0) telemetry::reset_trace();  // drop warm-up spans
     cluster.oob_barrier();
     rt::Timer timer;
     if (spec.app == "bfs") {
@@ -188,6 +200,8 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     }
     out.total_s = timer.elapsed_s();
     cluster.oob_barrier();
+    if (h == 0) result.telemetry = cluster.fabric().telemetry().snapshot();
+    cluster.oob_barrier();
     out.compute_s = eng.stats().compute_s;
     out.comm_s = eng.stats().comm_s;
     out.rounds = eng.stats().rounds;
@@ -195,30 +209,47 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     out.bytes = eng.stats().bytes_sent.load();
   });
 
+  // Second snapshot pass: engine-owned probes (lci.*, abelian.*, ...) died
+  // with the engines, but registry-owned counters and histograms survive
+  // and keep growing through teardown (e.g. a ProgressProfiler's final
+  // partial-window flush runs in the comm thread's destructor). Merge the
+  // late values over the in-run ones; counters are monotonic so max() is
+  // simply "latest available".
+  for (const auto& [name, value] : cluster.fabric().telemetry().snapshot()) {
+    auto& slot = result.telemetry[name];
+    slot = std::max(slot, value);
+  }
+
+  // The registry aggregates same-name probes across all endpoints/hosts, so
+  // one snapshot replaces the per-endpoint, per-field copy loop this used
+  // to hand-maintain. The named fields stay as views of the map.
+  const auto tv = [&result](const char* name) -> std::uint64_t {
+    const auto it = result.telemetry.find(name);
+    return it == result.telemetry.end() ? 0 : it->second;
+  };
+  result.wire_sends = tv("fabric.sends");
+  result.wire_puts = tv("fabric.puts");
+  result.wire_bytes = tv("fabric.bytes_tx");
+  result.wire_soft_retries = tv("fabric.retries_no_rx") +
+                             tv("fabric.retries_throttled") +
+                             tv("fabric.retries_cq_full");
+  result.faults_dropped = tv("fault.dropped");
+  result.faults_duplicated = tv("fault.duplicated");
+  result.faults_corrupted = tv("fault.corrupted");
+  result.faults_delayed = tv("fault.delayed");
+  result.faults_reordered = tv("fault.reordered");
+  result.rel_data_tx = tv("rel.data_tx");
+  result.rel_retransmits = tv("rel.retransmits");
+  result.rel_probes = tv("rel.probes_tx");
+  result.rel_acks_tx = tv("rel.acks_tx");
+  result.rel_acks_rx = tv("rel.acks_rx");
+  result.rel_delivered = tv("rel.delivered");
+  result.rel_dup_dropped = tv("rel.dup_dropped");
+  result.rel_crc_dropped = tv("rel.crc_dropped");
+  result.rel_ooo_held = tv("rel.ooo_held");
+  result.rel_ooo_dropped = tv("rel.ooo_dropped");
+  result.rel_stall_dumps = tv("rel.stall_dumps");
   for (int h = 0; h < spec.hosts; ++h) {
-    auto& ep = cluster.fabric().endpoint(static_cast<fabric::Rank>(h));
-    result.wire_sends += ep.stats().sends.load();
-    result.wire_puts += ep.stats().puts.load();
-    result.wire_bytes += ep.stats().bytes_tx.load();
-    result.wire_soft_retries += ep.stats().retries_no_rx.load() +
-                                ep.stats().retries_throttled.load() +
-                                ep.stats().retries_cq_full.load();
-    result.faults_dropped += ep.stats().faults_dropped.load();
-    result.faults_duplicated += ep.stats().faults_duplicated.load();
-    result.faults_corrupted += ep.stats().faults_corrupted.load();
-    result.faults_delayed += ep.stats().faults_delayed.load();
-    result.faults_reordered += ep.stats().faults_reordered.load();
-    result.rel_data_tx += ep.stats().rel_data_tx.load();
-    result.rel_retransmits += ep.stats().rel_retransmits.load();
-    result.rel_probes += ep.stats().rel_probes_tx.load();
-    result.rel_acks_tx += ep.stats().rel_acks_tx.load();
-    result.rel_acks_rx += ep.stats().rel_acks_rx.load();
-    result.rel_delivered += ep.stats().rel_delivered.load();
-    result.rel_dup_dropped += ep.stats().rel_dup_dropped.load();
-    result.rel_crc_dropped += ep.stats().rel_crc_dropped.load();
-    result.rel_ooo_held += ep.stats().rel_ooo_held.load();
-    result.rel_ooo_dropped += ep.stats().rel_ooo_dropped.load();
-    result.rel_stall_dumps += ep.stats().rel_stall_dumps.load();
     const auto hs = static_cast<std::size_t>(h);
     result.total_s = std::max(result.total_s, outcomes[hs].total_s);
     result.compute_s = std::max(result.compute_s, outcomes[hs].compute_s);

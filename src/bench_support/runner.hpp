@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,12 @@ struct RunResult {
   std::uint64_t rel_ooo_held = 0;
   std::uint64_t rel_ooo_dropped = 0;
   std::uint64_t rel_stall_dumps = 0;
+  /// Full snapshot of the cluster fabric's telemetry registry, taken while
+  /// every host engine was still alive (so it includes the per-layer probes:
+  /// lci.*, mpilite.*, abelian.*, gemini.*, plus "<name>.count"/"<name>.sum"
+  /// per histogram). The wire_*/faults_*/rel_* fields above are views
+  /// derived from this map, kept for source compatibility.
+  std::map<std::string, std::uint64_t> telemetry;
   /// Global result labels assembled from the masters.
   std::vector<std::uint32_t> labels_u32;  // bfs / cc / sssp
   std::vector<double> labels_f64;         // pagerank

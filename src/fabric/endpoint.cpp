@@ -99,6 +99,35 @@ bool Endpoint::resolve_region(RKey key, std::size_t offset, std::size_t len,
   return true;
 }
 
+std::vector<telemetry::Probe> endpoint_stat_probes(EndpointStats& s) {
+  return {
+      {"fabric.sends", &s.sends},
+      {"fabric.puts", &s.puts},
+      {"fabric.bytes_tx", &s.bytes_tx},
+      {"fabric.bytes_rx", &s.bytes_rx},
+      {"fabric.retries_no_rx", &s.retries_no_rx},
+      {"fabric.retries_throttled", &s.retries_throttled},
+      {"fabric.retries_cq_full", &s.retries_cq_full},
+      {"fabric.cq_polls", &s.cq_polls},
+      {"fault.dropped", &s.faults_dropped},
+      {"fault.duplicated", &s.faults_duplicated},
+      {"fault.corrupted", &s.faults_corrupted},
+      {"fault.delayed", &s.faults_delayed},
+      {"fault.reordered", &s.faults_reordered},
+      {"rel.data_tx", &s.rel_data_tx},
+      {"rel.retransmits", &s.rel_retransmits},
+      {"rel.probes_tx", &s.rel_probes_tx},
+      {"rel.acks_tx", &s.rel_acks_tx},
+      {"rel.acks_rx", &s.rel_acks_rx},
+      {"rel.delivered", &s.rel_delivered},
+      {"rel.dup_dropped", &s.rel_dup_dropped},
+      {"rel.crc_dropped", &s.rel_crc_dropped},
+      {"rel.ooo_held", &s.rel_ooo_held},
+      {"rel.ooo_dropped", &s.rel_ooo_dropped},
+      {"rel.stall_dumps", &s.rel_stall_dumps},
+  };
+}
+
 bool Endpoint::consume_injection_token() {
   if (config_->injection_rate_pps <= 0.0) return true;
   std::lock_guard<rt::Spinlock> guard(tb_lock_);

@@ -17,6 +17,7 @@
 #include "fabric/config.hpp"
 #include "fabric/packet.hpp"
 #include "runtime/spinlock.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lcr::fabric {
 
@@ -69,6 +70,11 @@ struct EndpointStats {
   std::atomic<std::uint64_t> rel_ooo_dropped{0};   // beyond the hold window
   std::atomic<std::uint64_t> rel_stall_dumps{0};   // watchdog firings
 };
+
+/// Telemetry probe set for one EndpointStats: every field under its
+/// canonical registry name ("fabric.*" / "fault.*" / "rel.*"). Registered by
+/// the owning Fabric so per-host stats aggregate into cluster totals.
+std::vector<telemetry::Probe> endpoint_stat_probes(EndpointStats& s);
 
 class Fabric;
 

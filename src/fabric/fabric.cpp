@@ -5,6 +5,7 @@
 #include "runtime/cpu_relax.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::fabric {
 
@@ -17,6 +18,11 @@ Fabric::Fabric(std::size_t num_ranks, FabricConfig config)
   if (config_.fault.enabled())
     link_ops_.reset(
         new std::atomic<std::uint64_t>[num_ranks * num_ranks]());
+  msg_bytes_hist_ = &telemetry_.histogram("fabric.msg_bytes");
+  stat_regs_.reserve(num_ranks);
+  for (auto& ep : endpoints_)
+    stat_regs_.push_back(
+        telemetry_.register_probes(endpoint_stat_probes(ep->stats())));
 }
 
 std::uint64_t Fabric::next_link_op(Rank src, Rank dst) {
@@ -168,6 +174,7 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
 
   sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
   sep.stats().bytes_tx.fetch_add(meta.size, std::memory_order_relaxed);
+  if (telemetry::enabled()) msg_bytes_hist_->record(meta.size);
   return PostResult::Ok;
 }
 
@@ -233,6 +240,7 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
 
   sep.stats().puts.fetch_add(1, std::memory_order_relaxed);
   sep.stats().bytes_tx.fetch_add(size, std::memory_order_relaxed);
+  if (telemetry::enabled()) msg_bytes_hist_->record(size);
   return PostResult::Ok;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fabric/endpoint.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace lcr::fabric {
 
@@ -44,6 +45,13 @@ class Fabric {
   const FabricConfig& config() const noexcept { return config_; }
 
   Endpoint& endpoint(Rank r) { return *endpoints_.at(r); }
+
+  /// The metrics registry for everything riding on this fabric: endpoint
+  /// stats register as probes at construction, and the layers above
+  /// (reliability channel, LCI queue, mpilite comm, engines) add their own
+  /// probes / histograms / profiler counters. The bench runner aggregates
+  /// per-run totals by iterating a snapshot of this registry.
+  telemetry::Registry& telemetry() noexcept { return telemetry_; }
 
   /// Eager send of `meta.size` bytes at `payload` to rank `dst`. `meta.src`
   /// is filled in from `src`. Payload may be nullptr iff meta.size == 0
@@ -84,6 +92,10 @@ class Fabric {
   /// Per-(src,dst) operation counters driving deterministic fault rolls;
   /// row-major [src * num_ranks + dst]. Only allocated when faults are on.
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_ops_;
+
+  telemetry::Registry telemetry_;
+  telemetry::Histogram* msg_bytes_hist_ = nullptr;  // wire message sizes
+  std::vector<telemetry::Registration> stat_regs_;  // endpoint stat probes
 };
 
 }  // namespace lcr::fabric

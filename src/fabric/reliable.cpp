@@ -6,6 +6,7 @@
 
 #include "runtime/crc32.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::fabric {
 
@@ -51,6 +52,10 @@ ReliableChannel::ReliableChannel(Fabric& fabric, Rank rank,
     cfg_.ring_capacity = cfg_.reorder_window;
   if (cfg_.max_held >= cfg_.reorder_window)
     cfg_.max_held = cfg_.reorder_window - 1;
+  if (active_) {
+    held_hist_ = &fabric.telemetry().histogram("rel.held_occupancy");
+    rtx_gap_hist_ = &fabric.telemetry().histogram("rel.retransmit_gap_ns");
+  }
 }
 
 std::uint64_t ReliableChannel::proto_now() {
@@ -229,6 +234,8 @@ void ReliableChannel::handle_ack(Rank peer, std::uint32_t ack,
       // probe answered by this nack must not suppress the re-send it asked
       // for (hence the guard runs on last *data* transmission).
       if (e.attempts == 0 || now - e.last_data_tx >= cfg_.rto_ns / 4) {
+        if (telemetry::enabled() && now > e.last_data_tx)
+          rtx_gap_hist_->record(now - e.last_data_tx);
         const PostResult r = post_entry(peer, e);
         if (r == PostResult::Ok) e.posted_ok = true;
         e.last_tx = now;
@@ -327,6 +334,7 @@ void ReliableChannel::handle_data(Cqe& cqe) {
   if (rx.held.size() < cfg_.max_held && seq - expected < cfg_.reorder_window) {
     rx.held.emplace(seq, cqe);
     endpoint_.stats().rel_ooo_held.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) held_hist_->record(rx.held.size());
   } else {
     endpoint_.stats().rel_ooo_dropped.fetch_add(1, std::memory_order_relaxed);
     recycle(cqe);
@@ -368,6 +376,8 @@ void ReliableChannel::service_tx(std::uint64_t now) {
       (void)fabric_.post_send(rank_, dst, nullptr, probe);
       endpoint_.stats().rel_probes_tx.fetch_add(1, std::memory_order_relaxed);
     } else {
+      if (telemetry::enabled() && now > front.last_data_tx)
+        rtx_gap_hist_->record(now - front.last_data_tx);
       const PostResult r = post_entry(dst, front);
       if (r == PostResult::Ok) front.posted_ok = true;
       front.last_data_tx = now;
@@ -492,6 +502,16 @@ bool ReliableChannel::has_inflight() const {
 }
 
 void ReliableChannel::dump_state(const char* reason) const {
+  // Per-link state goes to stderr for humans and, when tracing is live, into
+  // the trace as instant events so a stall is inspectable post-mortem next
+  // to the spans it interrupted.
+  const bool traced = telemetry::enabled();
+  char buf[192];
+  if (traced) {
+    std::snprintf(buf, sizeof(buf), "{\"owner\":\"%s\",\"reason\":\"%s\"}",
+                  owner_, reason);
+    telemetry::instant("rel", "stall_dump", rank_, buf);
+  }
   std::fprintf(stderr,
                "[reliable:%s rank=%u] %s - per-link protocol state:\n",
                owner_, rank_, reason);
@@ -508,6 +528,17 @@ void ReliableChannel::dump_state(const char* reason) const {
         front ? static_cast<int>(front->seq) : -1,
         front ? front->attempts : 0, front ? front->posted_ok : 0,
         front ? front->is_put : 0);
+    if (traced) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"peer\":%u,\"in_flight\":%zu,\"next_seq\":%u,\"acked\":%u,"
+          "\"front_seq\":%d,\"attempts\":%u,\"posted\":%d,\"put\":%d}",
+          dst, tx.ring.size(), tx.next_seq, tx.acked,
+          front ? static_cast<int>(front->seq) : -1,
+          front ? front->attempts : 0, front ? front->posted_ok : 0,
+          front ? front->is_put : 0);
+      telemetry::instant("rel", "stall_link_tx", rank_, buf);
+    }
   }
   for (Rank src = 0; src < rx_links_.size(); ++src) {
     const RxLink& rx = rx_links_[src];
@@ -521,6 +552,16 @@ void ReliableChannel::dump_state(const char* reason) const {
                  src, expected, rx.held.size(),
                  rx.delivered_since_ack.load(std::memory_order_relaxed),
                  rx.nack_seq_plus1);
+    if (traced) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"peer\":%u,\"expected\":%u,\"held\":%zu,"
+          "\"unacked_deliveries\":%u,\"nack_pending\":%u}",
+          src, expected, rx.held.size(),
+          rx.delivered_since_ack.load(std::memory_order_relaxed),
+          rx.nack_seq_plus1);
+      telemetry::instant("rel", "stall_link_rx", rank_, buf);
+    }
   }
 }
 

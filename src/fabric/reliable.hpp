@@ -195,6 +195,11 @@ class ReliableChannel {
   const char* owner_;
   bool active_;
 
+  // Telemetry (owned by the fabric's registry; null when inactive).
+  telemetry::Histogram* held_hist_ = nullptr;     // rx hold-buffer occupancy
+  telemetry::Histogram* rtx_gap_hist_ = nullptr;  // ns between (re)post and
+                                                  // the retransmit it forced
+
   std::vector<TxLink> tx_links_;  // indexed by destination rank
   std::vector<RxLink> rx_links_;  // indexed by source rank
 

@@ -157,6 +157,10 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
           cfg_.compute_threads);
       break;
   }
+  stat_reg_ = cluster.fabric().telemetry().register_probes({
+      {"gemini.messages", &stats_.messages},
+      {"gemini.bytes", &stats_.bytes},
+  });
   team_ = std::make_unique<rt::ThreadTeam>(cfg_.compute_threads);
   chunks_sent_.reserve(static_cast<std::size_t>(g.num_hosts));
   for (int h = 0; h < g.num_hosts; ++h)
@@ -234,20 +238,24 @@ std::vector<double> GeminiHost::run_pagerank(double damping,
 
   for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
     rt::Timer combine_timer;
-    team_->parallel_chunks(
-        0, n_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::uint32_t outdeg = g_.global_out_degree[i];
-            if (outdeg == 0) continue;
-            const double contrib = rank[i] / static_cast<double>(outdeg);
-            g_.out_edges.for_each_edge(
-                static_cast<graph::VertexId>(i),
-                [&](graph::VertexId dst_lid, graph::Weight) {
-                  apps::atomic_add(partial[dst_lid], contrib);
-                  touched.set(dst_lid);
-                });
-          }
-        });
+    {
+      telemetry::Span compute_span("gemini", "compute",
+                                   static_cast<std::uint32_t>(g_.host_id));
+      team_->parallel_chunks(
+          0, n_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint32_t outdeg = g_.global_out_degree[i];
+              if (outdeg == 0) continue;
+              const double contrib = rank[i] / static_cast<double>(outdeg);
+              g_.out_edges.for_each_edge(
+                  static_cast<graph::VertexId>(i),
+                  [&](graph::VertexId dst_lid, graph::Weight) {
+                    apps::atomic_add(partial[dst_lid], contrib);
+                    touched.set(dst_lid);
+                  });
+            }
+          });
+    }
     stats_.compute_s += combine_timer.elapsed_s();
 
     std::atomic<std::size_t> cursor{0};

@@ -39,6 +39,8 @@
 #include "runtime/spinlock.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::gemini {
 
@@ -154,6 +156,7 @@ class GeminiHost {
   std::vector<std::unique_ptr<std::atomic<std::uint32_t>>> chunks_sent_;
 
   GeminiStats stats_;
+  telemetry::Registration stat_reg_;  // GeminiStats probes ("gemini.*")
 };
 
 // ---------------------------------------------------------------------------
@@ -294,6 +297,16 @@ void GeminiHost::stream_round(
   const std::uint64_t mid = produce_end_ns.load(std::memory_order_acquire);
   stats_.compute_s += static_cast<double>(mid - round_start_ns) * 1e-9;
   stats_.comm_s += static_cast<double>(round_end_ns - mid) * 1e-9;
+  if (telemetry::enabled()) {
+    // Manufactured after the fact so the spans match the compute_s/comm_s
+    // attribution exactly (the produce/drain boundary is the last producer's
+    // finish time, unknowable to a RAII scope).
+    const auto host = static_cast<std::uint32_t>(me);
+    telemetry::emit_complete("gemini", "produce", host, round_start_ns,
+                             mid - round_start_ns);
+    telemetry::emit_complete("gemini", "drain", host, mid,
+                             round_end_ns - mid);
+  }
 
   ++round_counter_;
   stats_.rounds++;
@@ -375,21 +388,25 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
       // then signal each destination once (Gemini's aggregated slot path).
       stats_.dense_rounds++;
       rt::Timer combine_timer;
-      team_->parallel_chunks(
-          0, n_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
-            frontier.for_each_in_range(lo, hi, [&](std::size_t i) {
-              const Label src_label = labels[i];
-              g_.out_edges.for_each_edge(
-                  static_cast<graph::VertexId>(i),
-                  [&](graph::VertexId dst_lid, graph::Weight w) {
-                    const Label cand = Traits::relax(src_label, w);
-                    if (cand == Traits::kInf) return;
-                    if (cand < combined[dst_lid] &&
-                        apps::atomic_min(combined[dst_lid], cand))
-                      touched.set(dst_lid);
-                  });
+      {
+        telemetry::Span compute_span("gemini", "compute",
+                                     static_cast<std::uint32_t>(g_.host_id));
+        team_->parallel_chunks(
+            0, n_masters, [&](std::size_t lo, std::size_t hi, std::size_t) {
+              frontier.for_each_in_range(lo, hi, [&](std::size_t i) {
+                const Label src_label = labels[i];
+                g_.out_edges.for_each_edge(
+                    static_cast<graph::VertexId>(i),
+                    [&](graph::VertexId dst_lid, graph::Weight w) {
+                      const Label cand = Traits::relax(src_label, w);
+                      if (cand == Traits::kInf) return;
+                      if (cand < combined[dst_lid] &&
+                          apps::atomic_min(combined[dst_lid], cand))
+                        touched.set(dst_lid);
+                    });
+              });
             });
-          });
+      }
       stats_.compute_s += combine_timer.elapsed_s();
       std::atomic<std::size_t> cursor{0};
       stream_round<Label>(

@@ -82,6 +82,7 @@ class Device {
   void deregister_memory(fabric::RKey key) { endpoint_.deregister_memory(key); }
 
   fabric::Endpoint& endpoint() noexcept { return endpoint_; }
+  fabric::Fabric& fabric() noexcept { return fabric_; }
   std::size_t rx_packets() const noexcept { return rx_count_; }
 
   /// The reliability channel all wire traffic is routed through. A

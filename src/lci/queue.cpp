@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "runtime/cpu_relax.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr::lci {
 
@@ -23,7 +24,16 @@ inline void mark_done(Request& req) {
 Queue::Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg)
     : device_(fabric, rank, cfg.device),
       incoming_(cfg.device.rx_packets),
-      tracker_(cfg.tracker) {}
+      tracker_(cfg.tracker) {
+  recv_q_depth_ = &fabric.telemetry().histogram("lci.recv_q_depth");
+  stat_reg_ = fabric.telemetry().register_probes({
+      {"lci.eager_sends", &stats_.eager_sends},
+      {"lci.rdv_sends", &stats_.rdv_sends},
+      {"lci.send_retries", &stats_.send_retries},
+      {"lci.recvs", &stats_.recvs},
+      {"lci.progress_events", &stats_.progress_events},
+  });
+}
 
 bool Queue::send_enq(const void* buf, std::size_t size, fabric::Rank dst,
                      std::uint32_t tag, Request& req) {
@@ -186,6 +196,8 @@ bool Queue::progress() {
     case PacketType::RTS:
       // enqueue(Q, p); capacity == rx window size, cannot overflow.
       incoming_.push(ev->packet);
+      if (telemetry::enabled())
+        recv_q_depth_->record(incoming_.approx_size());
       break;
     case PacketType::RTR: {
       RtrPayload rtr;

@@ -97,6 +97,8 @@ class Queue {
   rt::MpmcQueue<Packet*> incoming_;  // the global concurrent queue Q
   rt::MemTracker* tracker_;
   QueueStats stats_;
+  telemetry::Histogram* recv_q_depth_ = nullptr;  // Q occupancy at enqueue
+  telemetry::Registration stat_reg_;  // QueueStats probes ("lci.*")
 
   struct PendingPut {
     fabric::Rank peer;

@@ -2,6 +2,7 @@
 
 #include "runtime/cpu_relax.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace lcr::lci {
 
@@ -21,11 +22,15 @@ void ProgressServer::stop() {
 void ProgressServer::loop() {
   rt::Backoff backoff;
   fabric::ReliableChannel& channel = queue_.device().reliable();
+  telemetry::ProgressProfiler profiler(queue_.device().fabric().telemetry(),
+                                       "lci.server");
   const std::uint64_t quiet_ns = channel.config().watchdog_quiet_ns;
   std::uint64_t last_forward_ns = rt::now_ns();
   std::uint64_t last_dump_ns = last_forward_ns;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (queue_.progress()) {
+    const bool did_work = queue_.progress();
+    profiler.note(did_work);
+    if (did_work) {
       backoff.reset();
       last_forward_ns = rt::now_ns();
     } else {

@@ -83,6 +83,16 @@ Comm::Comm(fabric::Fabric& fabric, int rank, Personality personality,
     endpoint_.post_rx(
         {rx_slab_.get() + cqe.rx_context * mtu, mtu, cqe.rx_context});
   });
+  stat_reg_ = fabric.telemetry().register_probes({
+      {"mpilite.isends", &stats_.isends},
+      {"mpilite.irecvs", &stats_.irecvs},
+      {"mpilite.iprobes", &stats_.iprobes},
+      {"mpilite.tests", &stats_.tests},
+      {"mpilite.umq_scanned", &stats_.umq_scanned},
+      {"mpilite.prq_scanned", &stats_.prq_scanned},
+      {"mpilite.unexpected_msgs", &stats_.unexpected_msgs},
+      {"mpilite.backlogged_sends", &stats_.backlogged_sends},
+  });
 }
 
 Comm::~Comm() {

@@ -250,6 +250,7 @@ class Comm {
   std::size_t internal_bytes_ = 0;  // unexpected + backlog bytes
 
   CommStats stats_;
+  telemetry::Registration stat_reg_;  // CommStats probes ("mpilite.*")
 };
 
 }  // namespace lcr::mpi

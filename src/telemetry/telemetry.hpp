@@ -1,0 +1,10 @@
+// Umbrella header for the telemetry subsystem (see DESIGN.md §9).
+//
+//   metrics.hpp  - Registry of counters / histograms / probes
+//   trace.hpp    - Span tracing + Chrome trace-event export
+//   profiler.hpp - progress-loop work/idle sampler
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace.hpp"

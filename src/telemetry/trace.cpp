@@ -1,0 +1,172 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "runtime/spinlock.hpp"
+
+namespace lcr::telemetry {
+
+namespace {
+
+/// Per-thread event ring. Registered globally on first use and kept alive by
+/// shared ownership (the global list + the owning thread's TLS handle), so a
+/// collector can still read events of threads that already exited.
+struct ThreadBuffer {
+  static constexpr std::size_t kCapacity = 1 << 16;
+  mutable rt::Spinlock lock;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+std::mutex g_buffers_mu;
+std::vector<std::shared_ptr<ThreadBuffer>>& buffer_list() {
+  static auto* list = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *list;
+}
+
+#ifndef LCR_TELEMETRY_DISABLED
+ThreadBuffer& tls_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> guard(g_buffers_mu);
+    b->tid = static_cast<std::uint32_t>(buffer_list().size());
+    buffer_list().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("LCR_TELEMETRY");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+         std::strcmp(v, "true") == 0;
+}
+#endif  // !LCR_TELEMETRY_DISABLED
+
+}  // namespace
+
+#ifndef LCR_TELEMETRY_DISABLED
+
+namespace detail {
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+std::uint32_t this_thread_tid() { return tls_buffer().tid; }
+
+void record(TraceEvent&& ev) {
+  ThreadBuffer& buf = tls_buffer();
+  std::lock_guard<rt::Spinlock> guard(buf.lock);
+  if (buf.events.size() >= ThreadBuffer::kCapacity) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(std::move(ev));
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void instant(const char* cat, const char* name, std::uint32_t pid,
+             std::string args) {
+  if (!enabled()) return;
+  detail::record({cat, name, rt::now_ns(), 0, pid,
+                  detail::this_thread_tid(), 'i', std::move(args)});
+}
+
+void emit_complete(const char* cat, const char* name, std::uint32_t pid,
+                   std::uint64_t begin_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  detail::record({cat, name, begin_ns, dur_ns, pid,
+                  detail::this_thread_tid(), 'X', {}});
+}
+
+#endif  // !LCR_TELEMETRY_DISABLED
+
+std::vector<TraceEvent> collect_trace() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> guard(g_buffers_mu);
+  for (const auto& buf : buffer_list()) {
+    std::lock_guard<rt::Spinlock> b(buf->lock);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void reset_trace() {
+  std::lock_guard<std::mutex> guard(g_buffers_mu);
+  for (const auto& buf : buffer_list()) {
+    std::lock_guard<rt::Spinlock> b(buf->lock);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::uint64_t trace_dropped() {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> guard(g_buffers_mu);
+  for (const auto& buf : buffer_list()) {
+    std::lock_guard<rt::Spinlock> b(buf->lock);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::map<std::string, std::uint64_t>& other) {
+  const std::vector<TraceEvent> events = collect_trace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const TraceEvent& e : events) t0 = std::min(t0, e.ts_ns);
+  if (events.empty()) t0 = 0;
+
+  std::fputs("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [", f);
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    std::fputs(first ? "\n" : ",\n", f);
+    first = false;
+    const double ts_us = static_cast<double>(e.ts_ns - t0) * 1e-3;
+    if (e.phase == 'X') {
+      const double dur_us = static_cast<double>(e.dur_ns) * 1e-3;
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u",
+                   e.name, e.cat, ts_us, dur_us, e.pid, e.tid);
+    } else {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                   "\"ts\":%.3f,\"pid\":%u,\"tid\":%u",
+                   e.name, e.cat, ts_us, e.pid, e.tid);
+    }
+    if (!e.args.empty()) std::fprintf(f, ",\"args\":%s", e.args.c_str());
+    std::fputc('}', f);
+  }
+  std::fputs("\n],\n\"otherData\": {", f);
+  first = true;
+  for (const auto& [name, value] : other) {
+    std::fprintf(f, "%s\n\"%s\": \"%llu\"", first ? "" : ",", name.c_str(),
+                 static_cast<unsigned long long>(value));
+    first = false;
+  }
+  std::fputs("\n}\n}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace lcr::telemetry

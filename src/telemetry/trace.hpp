@@ -1,0 +1,133 @@
+// Telemetry pillar 2: span tracing with a Chrome trace-event exporter.
+//
+// Spans are recorded into per-thread ring buffers (one uncontended spinlock
+// push per completed span; the lock only ever contends with a collector) and
+// exported as Chrome trace-event JSON loadable in chrome://tracing or
+// Perfetto. Instant events carry a preformatted JSON `args` object for
+// structured records (e.g. the reliability watchdog's per-link state).
+//
+// Cost model:
+//   * compile-time: building with -DLCR_TELEMETRY=OFF defines
+//     LCR_TELEMETRY_DISABLED, turning Span/instant/emit_complete into empty
+//     inlines and enabled() into `constexpr false`, so every call site folds
+//     away.
+//   * runtime: with tracing compiled in but not enabled (env LCR_TELEMETRY
+//     unset and no set_enabled(true)), every hook is one relaxed atomic
+//     load + predictable branch.
+//
+// The `pid` field of an event carries the simulated host id, so a trace of
+// an N-host run opens as N process tracks; `tid` is a process-wide stable
+// thread index.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/timer.hpp"
+
+namespace lcr::telemetry {
+
+struct TraceEvent {
+  const char* cat = "";   // static string: subsystem ("abelian", "rel", ...)
+  const char* name = "";  // static string: what happened
+  std::uint64_t ts_ns = 0;   // begin timestamp (rt::now_ns clock)
+  std::uint64_t dur_ns = 0;  // 0 for instants
+  std::uint32_t pid = 0;     // simulated host id
+  std::uint32_t tid = 0;     // process-wide thread index
+  char phase = 'X';          // 'X' complete span, 'i' instant
+  std::string args;          // preformatted JSON object ("" = none)
+};
+
+#ifdef LCR_TELEMETRY_DISABLED
+
+constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+
+class Span {
+ public:
+  Span(const char*, const char*, std::uint32_t = 0) noexcept {}
+};
+
+inline void instant(const char*, const char*, std::uint32_t = 0,
+                    std::string = {}) {}
+inline void emit_complete(const char*, const char*, std::uint32_t,
+                          std::uint64_t, std::uint64_t) {}
+
+#else  // tracing compiled in
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void record(TraceEvent&& ev);
+std::uint32_t this_thread_tid();
+}  // namespace detail
+
+/// Runtime gate; initialized from env LCR_TELEMETRY (1/on/true).
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// RAII complete-span guard. `cat` and `name` must be static strings.
+class Span {
+ public:
+  Span(const char* cat, const char* name, std::uint32_t pid = 0) noexcept
+      : live_(enabled()) {
+    if (!live_) return;
+    cat_ = cat;
+    name_ = name;
+    pid_ = pid;
+    begin_ = rt::now_ns();
+  }
+  ~Span() {
+    if (live_)
+      detail::record({cat_, name_, begin_, rt::now_ns() - begin_, pid_,
+                      detail::this_thread_tid(), 'X', {}});
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ = 0;
+  std::uint32_t pid_ = 0;
+  bool live_;
+};
+
+/// Structured instant event; `args` must be a preformatted JSON object
+/// (e.g. R"({"dst":3,"seq":17})") or empty.
+void instant(const char* cat, const char* name, std::uint32_t pid = 0,
+             std::string args = {});
+
+/// Records a complete span from explicit timestamps (for phases whose
+/// boundaries are computed after the fact, e.g. Gemini's produce/drain
+/// split derived from the last producer's finish time).
+void emit_complete(const char* cat, const char* name, std::uint32_t pid,
+                   std::uint64_t begin_ns, std::uint64_t dur_ns);
+
+#endif  // LCR_TELEMETRY_DISABLED
+
+// ---- Collection & export (always compiled; cheap and cold) ----
+
+/// Copies every recorded event out of the thread rings, sorted by ts_ns.
+std::vector<TraceEvent> collect_trace();
+
+/// Drops all recorded events (buffers stay registered). Called by the bench
+/// runner right before the timed region so warm-up spans never pollute a
+/// measured trace.
+void reset_trace();
+
+/// Events discarded because a thread ring was full.
+std::uint64_t trace_dropped();
+
+/// Writes the whole trace as Chrome trace-event JSON. `other` entries (e.g.
+/// a Registry snapshot) are embedded under "otherData" as string values.
+/// Returns false if the file could not be written.
+bool write_chrome_trace(const std::string& path,
+                        const std::map<std::string, std::uint64_t>& other = {});
+
+}  // namespace lcr::telemetry
