@@ -10,13 +10,24 @@
 
 namespace lcr::abelian {
 
+namespace {
+/// LCI default: one injection lane per compute thread (the paper's model -
+/// every compute thread injects; see DESIGN.md §10). Explicit settings win.
+EngineConfig with_lane_defaults(EngineConfig cfg) {
+  if (cfg.backend == comm::BackendKind::Lci &&
+      cfg.backend_options.lci_lanes == 0)
+    cfg.backend_options.lci_lanes = cfg.compute_threads;
+  return cfg;
+}
+}  // namespace
+
 HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
                        EngineConfig cfg)
     : cluster_(cluster),
       graph_(graph),
-      cfg_(cfg),
-      backend_(comm::make_backend(cfg.backend, cluster.fabric(),
-                                  graph.host_id, cfg.backend_options)),
+      cfg_(with_lane_defaults(std::move(cfg))),
+      backend_(comm::make_backend(cfg_.backend, cluster.fabric(),
+                                  graph.host_id, cfg_.backend_options)),
       team_(std::make_unique<rt::ThreadTeam>(cfg.compute_threads)),
       send_queue_(1024),
       recv_queue_(cfg.recv_queue_capacity) {

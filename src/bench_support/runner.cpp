@@ -122,6 +122,8 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
       cfg.tracker = &trackers[hs];
       cfg.dense_threshold = spec.gemini_dense_threshold;
       cfg.batch_bytes = spec.gemini_batch_bytes;
+      cfg.lci_lanes = spec.lci_lanes;
+      cfg.lci_servers = spec.lci_servers;
       gemini::GeminiHost host(cluster, part, cfg);
 
       cluster.oob_barrier();
@@ -166,6 +168,8 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     cfg.backend_options.tracker = &trackers[hs];
     cfg.backend_options.mpi_personality = spec.mpi_personality;
     cfg.backend_options.aggregation_timeout_us = spec.aggregation_timeout_us;
+    cfg.backend_options.lci_lanes = spec.lci_lanes;
+    cfg.backend_options.lci_servers = spec.lci_servers;
     cfg.compute_threads = spec.threads;
     abelian::HostEngine eng(cluster, part, cfg);
 

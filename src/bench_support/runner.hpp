@@ -37,6 +37,11 @@ struct RunSpec {
   std::string mpi_personality = "default";
   /// MPI-Probe buffered-layer flush timeout (ablation C).
   std::uint64_t aggregation_timeout_us = 50;
+  /// LCI injection lanes; 0 = engine default (one per compute thread).
+  std::size_t lci_lanes = 0;
+  /// Dedicated LCI progress servers sharding lanes and peer ranks; 0 = the
+  /// engine's own comm/server thread is the only progress driver.
+  std::size_t lci_servers = 0;
   fabric::FabricConfig fabric = fabric::test_config();
 };
 

@@ -19,10 +19,24 @@ LciBackend::LciBackend(fabric::Fabric& fabric, int rank,
                                        ? options.lci_rx_packets
                                        : fabric.config().default_rx_buffers,
                                    /*pool_caches=*/8},
-                 options.tracker}),
-      tracker_(options.tracker) {}
+                 options.tracker,
+                 /*lanes=*/options.lci_lanes,
+                 /*lane_depth=*/256}),
+      tracker_(options.tracker) {
+  if (options.lci_servers > 0) {
+    servers_ =
+        std::make_unique<lci::ProgressServerGroup>(queue_, options.lci_servers);
+    servers_->start();
+  }
+}
 
-LciBackend::~LciBackend() = default;
+LciBackend::~LciBackend() {
+  // Stop the servers and drain staged lane ops while the in-flight send
+  // slots they reference are still alive, then reap.
+  if (servers_ != nullptr) servers_->stop();
+  queue_.progress_all();
+  reap_sends();
+}
 
 void LciBackend::begin_phase(const PhaseSpec&) {}
 

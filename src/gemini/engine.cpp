@@ -27,9 +27,12 @@ constexpr int kTag = 11;
 /// send_enq/recv_deq over the Queue.
 class GeminiLciComm final : public GeminiComm {
  public:
-  GeminiLciComm(fabric::Fabric& fabric, int rank, rt::MemTracker* tracker) {
+  GeminiLciComm(fabric::Fabric& fabric, int rank, rt::MemTracker* tracker,
+                std::size_t lanes, std::size_t servers) {
     comm::BackendOptions opt;
     opt.tracker = tracker;
+    opt.lci_lanes = lanes;
+    opt.lci_servers = servers;
     backend_ = std::make_unique<comm::LciBackend>(fabric, rank, opt);
   }
   const char* name() const override { return "lci"; }
@@ -148,8 +151,12 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
          "Gemini requires a blocked edge-cut partition");
   switch (cfg_.comm) {
     case CommKind::Lci:
-      comm_ = std::make_unique<GeminiLciComm>(cluster.fabric(), g.host_id,
-                                              cfg_.tracker);
+      // Per-compute-thread injection lanes by default: every compute thread
+      // injects on the gemini produce path (send_with_backpressure).
+      comm_ = std::make_unique<GeminiLciComm>(
+          cluster.fabric(), g.host_id, cfg_.tracker,
+          cfg_.lci_lanes != 0 ? cfg_.lci_lanes : cfg_.compute_threads,
+          cfg_.lci_servers);
       break;
     case CommKind::MpiProbeMulti:
       comm_ = std::make_unique<GeminiMpiComm>(

@@ -61,6 +61,11 @@ struct GeminiConfig {
   /// destination, instead of one signal per edge (Gemini's sparse/dense
   /// signal-slot adaptivity). Set > 1.0 to force sparse, 0.0 to force dense.
   double dense_threshold = 0.05;
+  /// LCI injection lanes for the produce path; 0 = one per compute thread.
+  std::size_t lci_lanes = 0;
+  /// Dedicated LCI progress servers (in addition to the host's own server
+  /// thread, which always assists); 0 = none.
+  std::size_t lci_servers = 0;
 };
 
 struct GeminiStats {

@@ -15,20 +15,35 @@
 //     per-packet-type callbacks: queue EGR/RTS for recv_deq, serve RTR by
 //     issuing the lc_put, retire requests on RDMA notifications.
 //
+// Injection lanes (multi-server scaling): with QueueConfig::lanes > 0,
+// send_enq no longer posts to the fabric at the call site. It stages the
+// fully-formed wire operation (packet + metadata) into a per-thread SPSC
+// ring; progress servers drain the rings and do the actual posting. Senders
+// then touch no shared fabric state at all - the endpoint locks are paid
+// only by the (few) servers, which is what lets injection throughput scale
+// with compute-thread count. The trade: eager requests complete when a
+// server posts them, not at send_enq return. lanes == 0 keeps the legacy
+// inline path and its complete-at-return eager semantics.
+//
 // Thread-safety: send_enq and recv_deq may be called concurrently from many
-// threads (the packet pool and queue Q are concurrent); progress is intended
-// for a single communication-server thread (it drains the NIC).
+// threads (the packet pool and queue Q are concurrent); progress /
+// progress_shard may be called concurrently from several server threads -
+// lanes are claimed with a consumer try-lock and the pending-put retry queue
+// is sharded by peer rank, each shard under its own lock.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "lci/device.hpp"
 #include "lci/request.hpp"
 #include "runtime/mem_tracker.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/spinlock.hpp"
+#include "runtime/spsc_ring.hpp"
 
 namespace lcr::lci {
 
@@ -36,6 +51,13 @@ struct QueueConfig {
   DeviceConfig device;
   /// Tracker for rendezvous receive-buffer allocations (Fig 5 accounting).
   rt::MemTracker* tracker = nullptr;
+  /// Number of SPSC injection lanes. 0 = legacy inline injection (send_enq
+  /// posts at the call site; eager sends complete at return). > 0 = deferred
+  /// injection: sender threads stage into lanes, progress servers post.
+  /// Size to the expected number of concurrently-injecting threads.
+  std::size_t lanes = 0;
+  /// Capacity of each injection lane ring (ops; each op pins a tx packet).
+  std::size_t lane_depth = 256;
 };
 
 struct QueueStats {
@@ -44,11 +66,15 @@ struct QueueStats {
   std::atomic<std::uint64_t> send_retries{0};  // pool exhausted / fabric soft-fail
   std::atomic<std::uint64_t> recvs{0};
   std::atomic<std::uint64_t> progress_events{0};
+  std::atomic<std::uint64_t> lane_posts{0};   // ops staged into lanes
+  std::atomic<std::uint64_t> lane_steals{0};  // lanes drained by a non-home server
+  std::atomic<std::uint64_t> lane_full{0};    // send_enq rejected: lane ring full
 };
 
 class Queue {
  public:
   Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg);
+  ~Queue();
 
   Queue(const Queue&) = delete;
   Queue& operator=(const Queue&) = delete;
@@ -57,9 +83,13 @@ class Queue {
   std::size_t eager_limit() const noexcept { return device_.eager_limit(); }
   Device& device() noexcept { return device_; }
   QueueStats& stats() noexcept { return stats_; }
+  std::size_t num_lanes() const noexcept { return lanes_.size(); }
 
   /// Algorithm 1. Returns false when resources are exhausted (retry later).
-  /// `req` must stay alive and un-moved until req.done().
+  /// `req` must stay alive and un-moved until req.done(). In lane mode the
+  /// payload is staged (eager) or latched (rendezvous) before return, so the
+  /// caller's `buf` may be reused once req.done(); with lanes == 0 eager
+  /// requests are already done() at return.
   bool send_enq(const void* buf, std::size_t size, fabric::Rank dst,
                 std::uint32_t tag, Request& req);
 
@@ -73,8 +103,16 @@ class Queue {
   /// NIC receive window, or frees a rendezvous buffer.
   void release(Request& req);
 
-  /// Algorithm 3, one step. Returns true if an event was processed.
-  bool progress();
+  /// Algorithm 3, one step. Returns true if any work was done (an event
+  /// processed, a lane op posted, or a pending put retried successfully).
+  bool progress() { return progress_shard(0, 1); }
+
+  /// One step of server `server_id` of `num_servers`: retries its share of
+  /// pending puts (peer-rank shards), drains its home lanes
+  /// (lane % num_servers == server_id), processes one fabric event, and -
+  /// only when all of that came up empty - steals one backlogged lane from
+  /// another server. Safe to call concurrently from several threads.
+  bool progress_shard(std::size_t server_id, std::size_t num_servers);
 
   /// Drain everything currently deliverable.
   void progress_all() {
@@ -90,22 +128,62 @@ class Queue {
   void recv_blocking(Request& req);
 
  private:
+  /// A staged wire operation: everything a server needs to post it.
+  struct TxOp {
+    Packet* packet = nullptr;
+    fabric::MsgMeta meta{};
+    fabric::Rank dst = 0;
+    Request* req = nullptr;
+    bool rdv = false;
+  };
+
+  /// One injection lane. The ring is SPSC; the producer lock serializes
+  /// threads that hash to the same lane (uncontended when lanes >= threads),
+  /// the consumer try-lock arbitrates the home server vs. stealers. The
+  /// one-slot `stalled` op preserves per-lane FIFO across fabric soft
+  /// failures (guarded by the consumer lock).
+  struct Lane {
+    explicit Lane(std::size_t depth) : ring(depth) {}
+    rt::SpscRing<TxOp> ring;
+    rt::Spinlock producer;
+    rt::Spinlock consumer;
+    std::atomic<std::size_t> depth{0};  // ring entries + stalled slot
+    TxOp stalled{};
+    bool has_stalled = false;
+  };
+
+  struct PendingPut {
+    fabric::Rank peer;
+    RtrPayload rtr;
+  };
+  /// Soft-failed lc_puts, sharded by peer rank so servers retry disjoint
+  /// shares without contending on one lock.
+  struct PutShard {
+    rt::Spinlock lock;
+    std::deque<PendingPut> puts;
+  };
+
+  bool send_lane(const void* buf, std::size_t size, fabric::Rank dst,
+                 std::uint32_t tag, Request& req);
+  std::size_t lane_index() const;
+  /// Posts one staged op. True = posted (packet freed, request advanced);
+  /// false = fabric soft failure, op untouched for a later retry.
+  bool post_op(TxOp& op);
+  bool drain_lane(Lane& lane, std::size_t burst);
   void serve_rtr(const RtrPayload& rtr, fabric::Rank peer);
-  void retry_pending_puts();
+  bool retry_pending_puts(std::size_t server_id, std::size_t num_servers);
+  bool dispatch_one_event();
 
   Device device_;
   rt::MpmcQueue<Packet*> incoming_;  // the global concurrent queue Q
   rt::MemTracker* tracker_;
   QueueStats stats_;
   telemetry::Histogram* recv_q_depth_ = nullptr;  // Q occupancy at enqueue
+  telemetry::Histogram* lane_depth_ = nullptr;    // lane occupancy at enqueue
   telemetry::Registration stat_reg_;  // QueueStats probes ("lci.*")
 
-  struct PendingPut {
-    fabric::Rank peer;
-    RtrPayload rtr;
-  };
-  rt::Spinlock pending_lock_;
-  std::deque<PendingPut> pending_puts_;  // soft-failed lc_puts to retry
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<PutShard>> put_shards_;
 };
 
 }  // namespace lcr::lci

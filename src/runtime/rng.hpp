@@ -65,4 +65,7 @@ class Xoshiro256 {
   std::uint64_t s_[4];
 };
 
+/// The repo's canonical deterministic RNG (seed -> replayable run).
+using Rng = Xoshiro256;
+
 }  // namespace lcr::rt

@@ -1,10 +1,17 @@
-// Tests for gather/scatter record serialization and message framing.
+// Tests for gather/scatter record serialization and message framing,
+// including seeded property/fuzz round-trips (replay a failure with
+// LCR_STRESS_SEED=0x<seed>).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
 
 #include "comm/message.hpp"
 #include "comm/serializer.hpp"
+#include "runtime/rng.hpp"
 
 namespace lcr {
 namespace {
@@ -89,6 +96,190 @@ TEST(Serializer, ScatterIgnoresTrailingPartialRecord) {
                                          ++calls;
                                        });
   EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: randomized round-trips driven by one replayable seed.
+// Values are compared bit-exactly (memcmp of the value bytes), so NaN
+// payloads and negative zero are covered - the serializer must be a byte
+// copy, never a value conversion.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fuzz_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("LCR_STRESS_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 0)
+                          : 0x5EEDFACE5EEDULL;
+  }();
+  return seed;
+}
+
+std::string fuzz_trace(const char* what) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s: replay with LCR_STRESS_SEED=0x%llx",
+                what, static_cast<unsigned long long>(fuzz_seed()));
+  return std::string(buf);
+}
+
+/// A value of type T whose bytes are fully random (for double that includes
+/// NaNs, infinities, denormals - all must survive the trip bit-for-bit).
+template <typename T>
+T random_bits(rt::Rng& rng) {
+  std::uint64_t raw = rng();
+  T value;
+  std::memcpy(&value, &raw, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void roundtrip_random_records(rt::Rng& rng, std::size_t count) {
+  std::vector<std::uint32_t> positions;
+  std::vector<T> values;
+  std::vector<std::byte> buf;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pos = static_cast<std::uint32_t>(rng());
+    const T value = random_bits<T>(rng);
+    positions.push_back(pos);
+    values.push_back(value);
+    comm::append_record<T>(buf, pos, value);
+  }
+  ASSERT_EQ(buf.size(), count * comm::record_bytes<T>());
+
+  std::size_t i = 0;
+  comm::scatter_records<T>(
+      buf.data(), buf.size(), [&](std::uint32_t pos, T value) {
+        ASSERT_LT(i, count);
+        EXPECT_EQ(pos, positions[i]);
+        EXPECT_EQ(std::memcmp(&value, &values[i], sizeof(T)), 0)
+            << "record " << i << " value bytes differ";
+        ++i;
+      });
+  EXPECT_EQ(i, count);
+
+  // Re-encoding the decoded stream must reproduce the buffer byte-for-byte.
+  std::vector<std::byte> again;
+  comm::scatter_records<T>(buf.data(), buf.size(),
+                           [&](std::uint32_t pos, T value) {
+                             comm::append_record<T>(again, pos, value);
+                           });
+  ASSERT_EQ(again.size(), buf.size());
+  EXPECT_EQ(std::memcmp(again.data(), buf.data(), buf.size()), 0);
+}
+
+TEST(SerializerProperty, RandomRecordsRoundTripBitExact) {
+  SCOPED_TRACE(fuzz_trace("RandomRecordsRoundTripBitExact"));
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x01));
+  for (int round = 0; round < 32; ++round) {
+    const std::size_t count = rng.below(512);
+    roundtrip_random_records<std::uint32_t>(rng, count);
+    roundtrip_random_records<std::uint64_t>(rng, count);
+    roundtrip_random_records<double>(rng, count);
+  }
+}
+
+/// Payload sizes straddling the LCI eager limit (16 KiB) and typical chunk
+/// boundaries: the serializer itself has no size limit, so a payload one
+/// record below, exactly at, and above the boundary must all decode
+/// identically. The boundary cases are where the comm layer switches between
+/// eager and rendezvous and where chunking splits a phase's payload.
+TEST(SerializerProperty, SizesStraddlingEagerLimitRoundTrip) {
+  SCOPED_TRACE(fuzz_trace("SizesStraddlingEagerLimit"));
+  constexpr std::size_t kEagerLimit = 16 * 1024;  // lci::Device eager_limit
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x02));
+  const std::size_t rec = comm::record_bytes<std::uint64_t>();
+  const std::size_t at_limit = kEagerLimit / rec;
+  for (std::size_t count :
+       {at_limit - 2, at_limit - 1, at_limit, at_limit + 1, at_limit + 2,
+        2 * at_limit, rng.below(3 * at_limit)}) {
+    roundtrip_random_records<std::uint64_t>(rng, count);
+  }
+}
+
+/// Chunk-splitting property: decoding a buffer chunk-by-chunk at any
+/// record-aligned split points yields exactly the same record stream as
+/// decoding it whole. This is the invariant the backends rely on when a
+/// phase's payload is fragmented into ChunkHeader-framed messages.
+TEST(SerializerProperty, RecordAlignedChunkingIsLossless) {
+  SCOPED_TRACE(fuzz_trace("RecordAlignedChunking"));
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x03));
+  const std::size_t rec = comm::record_bytes<double>();
+  for (int round = 0; round < 16; ++round) {
+    const std::size_t count = 1 + rng.below(2048);
+    std::vector<std::byte> buf;
+    for (std::size_t i = 0; i < count; ++i)
+      comm::append_record<double>(buf, static_cast<std::uint32_t>(i),
+                                  random_bits<double>(rng));
+
+    std::vector<std::pair<std::uint32_t, double>> whole;
+    comm::scatter_records<double>(buf.data(), buf.size(),
+                                  [&](std::uint32_t p, double v) {
+                                    whole.emplace_back(p, v);
+                                  });
+
+    // Random record-aligned split points (2..5 chunks).
+    std::vector<std::pair<std::uint32_t, double>> chunked;
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const std::size_t max_recs = (buf.size() - off) / rec;
+      const std::size_t take = 1 + rng.below(std::max<std::size_t>(
+                                       1, (max_recs + 1) / 2));
+      const std::size_t bytes = std::min(take * rec, buf.size() - off);
+      comm::scatter_records<double>(buf.data() + off, bytes,
+                                    [&](std::uint32_t p, double v) {
+                                      chunked.emplace_back(p, v);
+                                    });
+      off += bytes;
+    }
+    ASSERT_EQ(chunked.size(), whole.size());
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(chunked[i].first, whole[i].first);
+      EXPECT_EQ(std::memcmp(&chunked[i].second, &whole[i].second,
+                            sizeof(double)),
+                0);
+    }
+  }
+}
+
+/// Gather -> scatter is an exact inverse on the dirty subset: every dirty
+/// shared entry appears exactly once with its label bits intact, clean
+/// entries never travel. Random shared lists, dirty masks and label values.
+TEST(SerializerProperty, GatherScatterInverseOnRandomDirtySets) {
+  SCOPED_TRACE(fuzz_trace("GatherScatterInverse"));
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x04));
+  for (int round = 0; round < 24; ++round) {
+    const std::size_t local = 1 + rng.below(256);
+    const std::size_t shared_n = rng.below(local + 1);
+    std::vector<graph::VertexId> shared;
+    for (std::size_t i = 0; i < shared_n; ++i)
+      shared.push_back(static_cast<graph::VertexId>(rng.below(local)));
+    rt::ConcurrentBitset dirty(local);
+    std::vector<double> labels;
+    for (std::size_t i = 0; i < local; ++i) {
+      labels.push_back(random_bits<double>(rng));
+      if (rng.below(2) == 0) dirty.set(i);
+    }
+
+    std::vector<std::byte> out;
+    const std::size_t written =
+        comm::gather_records<double>(shared, dirty, labels.data(), out);
+
+    std::size_t expected = 0;
+    for (const graph::VertexId lid : shared)
+      if (dirty.test(lid)) ++expected;
+    EXPECT_EQ(written, expected);
+
+    std::size_t seen = 0;
+    comm::scatter_records<double>(
+        out.data(), out.size(), [&](std::uint32_t pos, double v) {
+          ASSERT_LT(pos, shared.size());
+          const graph::VertexId lid = shared[pos];
+          EXPECT_TRUE(dirty.test(lid)) << "clean entry travelled: pos " << pos;
+          EXPECT_EQ(std::memcmp(&v, &labels[lid], sizeof(double)), 0)
+              << "label bits mangled at pos " << pos;
+          ++seen;
+        });
+    EXPECT_EQ(seen, written);
+  }
 }
 
 TEST(Message, HeaderAccessors) {
