@@ -13,6 +13,7 @@
 // runs never pollute a measured trace). LCR_BENCH_APP=bfs narrows the sweep
 // so the trace holds the configuration you asked for.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -59,6 +60,49 @@ void print_span_check(const char* app, const char* backend,
               pct(span_comm, r.comm_s));
 }
 
+// ---------------------------------------------------------------------------
+// Serialization-share perf guard. The share is the fraction of the cluster's
+// compute-thread time spent in gather/encode: sync.gather_ns (summed over
+// all hosts' compute threads) / (wall total * hosts * threads). A ratio, so
+// machine-speed differences largely cancel; CI compares against the
+// checked-in bench/fig6_baseline.json and fails on a > 25% relative
+// regression (plus a small absolute slack for timer noise on tiny runs).
+// ---------------------------------------------------------------------------
+
+std::string arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == flag) return argv[i + 1];
+  return {};
+}
+
+std::map<std::string, double> load_shares(const std::string& path) {
+  std::map<std::string, double> shares;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    char key[64];
+    double value = 0.0;
+    if (std::sscanf(line.c_str(), " \"%63[^\"]\": %lf", key, &value) == 2)
+      shares[key] = value;
+  }
+  return shares;
+}
+
+bool write_shares(const std::string& path,
+                  const std::map<std::string, double>& shares) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::size_t i = 0;
+  for (const auto& [key, share] : shares) {
+    std::fprintf(f, "  \"%s\": %.6f%s\n", key.c_str(), share,
+                 ++i < shares.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +113,10 @@ int main(int argc, char** argv) {
   const double drop = bench::env_drop(0.0);
   const std::string trace_path = bench::trace_out(argc, argv);
   if (!trace_path.empty()) telemetry::set_enabled(true);
+  std::string baseline_path = arg_value(argc, argv, "--perf-baseline");
+  if (baseline_path.empty())
+    if (const char* s = std::getenv("LCR_PERF_BASELINE")) baseline_path = s;
+  const std::string perf_write = arg_value(argc, argv, "--perf-write");
 
   std::printf("=== Figure 6: compute vs non-overlapped communication, kron "
               "at %d hosts ===\n\n", hosts);
@@ -84,8 +132,9 @@ int main(int argc, char** argv) {
   graph::Csr sym = graph::symmetrize(base);
 
   bench::Table table({"app", "backend", "compute(s)", "comm(s)", "total(s)",
-                      "comm %"});
+                      "comm %", "ser %"});
   std::map<std::string, std::uint64_t> last_snapshot;
+  std::map<std::string, double> measured_shares;
   for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
     if (!app_filter.empty() && app_filter != app) continue;
     const graph::Csr& g = std::string(app) == "cc" ? sym : base;
@@ -109,10 +158,24 @@ int main(int argc, char** argv) {
       char pct[16];
       std::snprintf(pct, sizeof(pct), "%.0f%%",
                     100.0 * r.comm_s / std::max(r.total_s, 1e-9));
+      // Serialization share: cluster-wide gather/encode nanoseconds over
+      // the total compute-thread-seconds available to the run.
+      const auto gather_it = r.telemetry.find("sync.gather_ns");
+      const double gather_s =
+          gather_it != r.telemetry.end()
+              ? static_cast<double>(gather_it->second) * 1e-9
+              : 0.0;
+      const double thread_s = r.total_s * static_cast<double>(hosts) *
+                              static_cast<double>(spec.threads);
+      const double ser_share = gather_s / std::max(thread_s, 1e-9);
+      measured_shares[std::string(app) + "/" + comm::to_string(kind)] =
+          ser_share;
+      char ser_pct[16];
+      std::snprintf(ser_pct, sizeof(ser_pct), "%.1f%%", 100.0 * ser_share);
       table.add_row({app, comm::to_string(kind),
                      bench::fmt_seconds(r.compute_s),
                      bench::fmt_seconds(r.comm_s),
-                     bench::fmt_seconds(r.total_s), pct});
+                     bench::fmt_seconds(r.total_s), pct, ser_pct});
       if (!trace_path.empty()) {
         print_span_check(app, comm::to_string(kind), r);
         last_snapshot = r.telemetry;
@@ -129,6 +192,42 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr, "failed to write trace to %s\n",
                    trace_path.c_str());
+  }
+
+  if (!perf_write.empty()) {
+    if (!write_shares(perf_write, measured_shares)) {
+      std::fprintf(stderr, "failed to write %s\n", perf_write.c_str());
+      return 1;
+    }
+    std::printf("serialization-share baseline written to %s\n",
+                perf_write.c_str());
+  }
+  if (!baseline_path.empty()) {
+    const auto baseline = load_shares(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "no baseline entries in %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    int regressions = 0;
+    for (const auto& [key, share] : measured_shares) {
+      const auto it = baseline.find(key);
+      if (it == baseline.end()) continue;
+      const double limit = it->second * 1.25 + 0.02;
+      const bool bad = share > limit;
+      std::printf("  [perf] %-16s ser share %.4f vs baseline %.4f "
+                  "(limit %.4f) %s\n",
+                  key.c_str(), share, it->second, limit,
+                  bad ? "REGRESSED" : "ok");
+      if (bad) ++regressions;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "%d configuration(s) regressed serialization share > 25%% "
+                   "over %s\n",
+                   regressions, baseline_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

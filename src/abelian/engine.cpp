@@ -1,6 +1,8 @@
 #include "abelian/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -34,6 +36,12 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
   stat_reg_ = cluster.fabric().telemetry().register_probes({
       {"abelian.messages_sent", &stats_.messages_sent},
       {"abelian.bytes_sent", &stats_.bytes_sent},
+      {"sync.gather_ns", &stats_.gather_ns},
+      {"sync.bytes_saved", &stats_.bytes_saved},
+      {"sync.fmt_sparse", &stats_.fmt_sparse},
+      {"sync.fmt_varint", &stats_.fmt_varint},
+      {"sync.fmt_dense", &stats_.fmt_dense},
+      {"sync.decode_rejects", &stats_.decode_rejects},
   });
   comm_thread_ = std::thread([this] { comm_thread_loop(); });
 }
@@ -65,8 +73,13 @@ void HostEngine::PhaseState::note_chunk(int src,
                                         const comm::ChunkHeader& header) {
   std::lock_guard<rt::Spinlock> guard(lock);
   const auto s = static_cast<std::size_t>(src);
-  if (total[s] < 0) total[s] = static_cast<std::int32_t>(header.num_chunks);
-  if (++got[s] == total[s]) {
+  // Data chunks stream in with num_chunks == 0; the tail (or a lone
+  // single-chunk message) announces the total. Order-independent: the tail
+  // may arrive before its data chunks.
+  if (header.num_chunks != 0)
+    total[s] = static_cast<std::int32_t>(header.num_chunks);
+  ++got[s];
+  if (total[s] >= 0 && got[s] == total[s]) {
     assert(peers_remaining > 0);
     if (--peers_remaining == 0)
       complete.store(true, std::memory_order_release);
@@ -162,21 +175,27 @@ void HostEngine::comm_thread_loop() {
 // Send path
 // ---------------------------------------------------------------------------
 
-void HostEngine::submit_send(int dst, std::vector<std::byte> payload,
-                             const ScatterFn& scatter) {
+void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
+                                std::size_t total_bytes,
+                                const ScatterFn& scatter) {
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(total_bytes, std::memory_order_relaxed);
   if (cfg_.backend_options.tracker != nullptr)
-    cfg_.backend_options.tracker->on_alloc(payload.size());
+    cfg_.backend_options.tracker->on_alloc(total_bytes);
   if (backend_->thread_safe_send()) {
     rt::Backoff backoff;
-    while (!backend_->try_send(dst, payload)) {
-      // Back pressure: relieve it by receiving/scattering, then retry.
+    while (!backend_->commit(dst, lease, total_bytes)) {
+      // Back pressure: relieve it by receiving/scattering, then retry; the
+      // lease (and its serialized payload) stays intact across retries.
       if (!drain_one(scatter)) backoff.pause();
     }
     return;
   }
-  auto* sw = new SendWork{dst, std::move(payload)};
+  // Non-thread-safe send: the lease is engine-built heap memory (acquire is
+  // never called off the comm thread); hand it to the comm thread.
+  if (lease.heap.size() != total_bytes) lease.heap.resize(total_bytes);
+  auto* sw = new SendWork{dst, std::move(lease.heap)};
+  lease = comm::BufferLease{};
   sends_pending_.fetch_add(1, std::memory_order_acq_rel);
   rt::Backoff backoff;
   while (!send_queue_.try_push(sw)) {
@@ -184,39 +203,27 @@ void HostEngine::submit_send(int dst, std::vector<std::byte> payload,
   }
 }
 
-void HostEngine::send_chunks(int dst, std::vector<std::byte>&& records,
-                             std::size_t chunk_cap, std::size_t rec_bytes,
-                             const ScatterFn& scatter) {
-  std::size_t slice =
-      chunk_cap == 0 ? records.size()
-                     : (chunk_cap > comm::kChunkHeaderBytes
-                            ? chunk_cap - comm::kChunkHeaderBytes
-                            : 1024);
-  // Never split a record across chunks: scatter parses each chunk
-  // independently.
-  if (rec_bytes > 0 && slice >= rec_bytes) slice -= slice % rec_bytes;
-  std::size_t num_chunks = 1;
-  if (!records.empty() && slice > 0)
-    num_chunks = (records.size() + slice - 1) / slice;
-  assert(num_chunks <= 0xFFFF);
+void HostEngine::send_tail(int dst, std::uint32_t data_chunks,
+                           const ScatterFn& scatter) {
+  assert(data_chunks + 1 <= 0xFFFF);
+  comm::ChunkHeader header;
+  header.phase_id = phase_state_.phase_id;
+  header.payload_bytes = 0;
+  header.chunk_idx = static_cast<std::uint16_t>(data_chunks & 0xFFFF);
+  header.num_chunks = static_cast<std::uint16_t>(data_chunks + 1);
+  header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
+  header.finalize();
 
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    const std::size_t lo = c * slice;
-    const std::size_t hi =
-        records.empty() ? 0 : std::min(records.size(), lo + slice);
-    const std::size_t n = hi > lo ? hi - lo : 0;
-    std::vector<std::byte> chunk(comm::kChunkHeaderBytes + n);
-    comm::ChunkHeader header;
-    header.phase_id = phase_state_.phase_id;
-    header.chunk_idx = static_cast<std::uint16_t>(c);
-    header.num_chunks = static_cast<std::uint16_t>(num_chunks);
-    header.payload_bytes = static_cast<std::uint32_t>(n);
-    std::memcpy(chunk.data(), &header, sizeof(header));
-    if (n > 0)
-      std::memcpy(chunk.data() + comm::kChunkHeaderBytes, records.data() + lo,
-                  n);
-    submit_send(dst, std::move(chunk), scatter);
+  comm::BufferLease lease;
+  if (backend_->thread_safe_send()) {
+    lease = backend_->acquire(dst, comm::kChunkHeaderBytes);
+  } else {
+    lease.heap.resize(comm::kChunkHeaderBytes);
+    lease.data = lease.heap.data();
+    lease.capacity = lease.heap.size();
   }
+  std::memcpy(lease.data, &header, sizeof(header));
+  dispatch_chunk(dst, lease, comm::kChunkHeaderBytes, scatter);
 }
 
 // ---------------------------------------------------------------------------
@@ -246,7 +253,19 @@ bool HostEngine::next_message(comm::InMessage& out) {
 bool HostEngine::drain_one(const ScatterFn& scatter) {
   comm::InMessage msg;
   if (!next_message(msg)) return false;
+  if (msg.size < comm::kChunkHeaderBytes) {
+    stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+    if (msg.release) msg.release();
+    return true;
+  }
   const comm::ChunkHeader header = msg.header();
+  if (!header.valid() || msg.payload_size() < header.payload_bytes) {
+    // Garbage frame (fuzzed tag, truncated payload): drop without counting
+    // it toward phase completion - a real peer chunk never fails valid().
+    stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+    if (msg.release) msg.release();
+    return true;
+  }
   if (header.phase_id != phase_state_.phase_id) {
     // A peer already raced ahead into a later phase; keep for later.
     std::lock_guard<rt::Spinlock> guard(stash_lock_);
@@ -255,7 +274,8 @@ bool HostEngine::drain_one(const ScatterFn& scatter) {
   }
   if (header.payload_bytes > 0) {
     telemetry::Span apply_span("abelian", "apply", graph_.host_id);
-    scatter(msg.src, msg.payload(), header.payload_bytes);
+    if (!scatter(msg.src, header, msg.payload()))
+      stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
   }
   if (msg.release) msg.release();
   phase_state_.note_chunk(msg.src, header);
@@ -302,36 +322,153 @@ void HostEngine::execute_phase(
   phase_state_.arm(spec.phase_id, p, spec.recv_from);
   post_cmd(Cmd::BeginPhase, &spec);
 
+  // Work decomposition: each peer's shared list is split into ranges that
+  // fit one chunk even at worst-case (all-dirty sparse) encoding; the dense
+  // and varint encodings are never larger, so every range fits its lease.
+  // RMA (chunk_bytes() == 0) keeps exactly one whole-list message per peer:
+  // its windows hold one put per peer per phase.
   const std::size_t chunk_cap = backend_->chunk_bytes();
-  std::atomic<std::size_t> next_peer{0};
-  std::atomic<std::size_t> gathers_left{spec.send_to.size()};
+  const bool single_chunk = chunk_cap == 0;
+  const std::size_t payload_cap = chunk_cap > comm::kChunkHeaderBytes
+                                      ? chunk_cap - comm::kChunkHeaderBytes
+                                      : 1024;
+  const std::size_t span_cap =
+      std::max<std::size_t>(1, payload_cap / std::max<std::size_t>(
+                                                 rec_bytes, 1));
+
+  const std::size_t num_peers = spec.send_to.size();
+  std::vector<std::size_t> range_offset(num_peers + 1, 0);
+  for (std::size_t i = 0; i < num_peers; ++i) {
+    const std::size_t list_size =
+        send_lists[static_cast<std::size_t>(spec.send_to[i])].size();
+    const std::size_t ranges =
+        single_chunk ? 1
+                     : std::max<std::size_t>(
+                           1, (list_size + span_cap - 1) / span_cap);
+    range_offset[i + 1] = range_offset[i] + ranges;
+  }
+  const std::size_t total_ranges = range_offset[num_peers];
+
+  struct PeerProgress {
+    std::atomic<std::uint32_t> ranges_left{0};
+    std::atomic<std::uint32_t> chunks_sent{0};
+  };
+  std::vector<PeerProgress> peer_progress(num_peers);
+  for (std::size_t i = 0; i < num_peers; ++i)
+    peer_progress[i].ranges_left.store(
+        static_cast<std::uint32_t>(range_offset[i + 1] - range_offset[i]),
+        std::memory_order_relaxed);
+
+  std::atomic<std::size_t> next_item{0};
+  std::atomic<std::size_t> work_left{total_ranges};
+  const bool direct_send = backend_->thread_safe_send();
 
   team_->run([&](std::size_t tid) {
-    // Stage 1: parallel gathers, one peer at a time per thread. The GatherFn
-    // serializes records directly, so the gather span covers serialization.
+    // Stage 1: range-parallel gather. Each range is encoded directly into
+    // an independent leased send buffer (records are position-indexed and
+    // order-free), so serialization scales with the compute team instead of
+    // pinning one thread.
     for (;;) {
-      const std::size_t i =
-          next_peer.fetch_add(1, std::memory_order_relaxed);
-      if (i >= spec.send_to.size()) break;
-      const int dst = spec.send_to[i];
-      std::vector<std::byte> records;
-      records.reserve(1024);
+      const std::size_t r = next_item.fetch_add(1, std::memory_order_relaxed);
+      if (r >= total_ranges) break;
+      std::size_t pi = 0;
+      while (r >= range_offset[pi + 1]) ++pi;
+      const int dst = spec.send_to[pi];
+      const std::size_t list_size =
+          send_lists[static_cast<std::size_t>(dst)].size();
+      const auto lo = static_cast<std::uint32_t>(
+          single_chunk ? 0 : (r - range_offset[pi]) * span_cap);
+      const auto hi = static_cast<std::uint32_t>(
+          single_chunk ? list_size
+                       : std::min<std::size_t>(list_size, lo + span_cap));
+
+      comm::BufferLease lease;
+      const ReserveFn reserve = [&](std::size_t need) -> std::byte* {
+        const std::size_t total = comm::kChunkHeaderBytes + need;
+        if (direct_send) {
+          lease = backend_->acquire(dst, total);
+        } else {
+          // Never call into a non-thread-safe backend from compute threads;
+          // build the heap buffer here and queue it to the comm thread.
+          lease.heap.resize(total);
+          lease.data = lease.heap.data();
+          lease.capacity = total;
+        }
+        return lease.data + comm::kChunkHeaderBytes;
+      };
+
+      comm::EncodedChunk enc;
       {
         telemetry::Span gather_span("abelian", "gather", me);
-        gather(dst, records);
+        const auto t0 = std::chrono::steady_clock::now();
+        enc = gather(dst, lo, hi, reserve);
+        stats_.gather_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
       }
-      {
-        telemetry::Span send_span("abelian", "send", me);
-        send_chunks(dst, std::move(records), chunk_cap, rec_bytes, scatter);
+
+      PeerProgress& pp = peer_progress[pi];
+      if (enc.records > 0 || single_chunk) {
+        comm::ChunkHeader header;
+        header.phase_id = spec.phase_id;
+        header.payload_bytes = static_cast<std::uint32_t>(enc.bytes);
+        header.base_pos = lo;
+        header.span = hi - lo;
+        header.chunk_idx =
+            static_cast<std::uint16_t>((r - range_offset[pi]) & 0xFFFF);
+        header.num_chunks = single_chunk ? 1 : 0;
+        header.format = static_cast<std::uint8_t>(enc.format);
+        if (enc.format == comm::WireFormat::Dense && enc.all_set)
+          header.flags |= comm::kFlagDenseFull;
+        header.finalize();
+        if (!lease) reserve(0);  // clean single-chunk message: header only
+        std::memcpy(lease.data, &header, sizeof(header));
+        {
+          telemetry::Span send_span("abelian", "send", me);
+          dispatch_chunk(dst, lease, comm::kChunkHeaderBytes + enc.bytes,
+                         scatter);
+        }
+        pp.chunks_sent.fetch_add(1, std::memory_order_release);
+        switch (enc.format) {
+          case comm::WireFormat::Varint:
+            stats_.fmt_varint.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case comm::WireFormat::Dense:
+            stats_.fmt_dense.fetch_add(1, std::memory_order_relaxed);
+            break;
+          default:
+            stats_.fmt_sparse.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        const std::size_t sparse_worst = enc.records * rec_bytes;
+        if (enc.bytes < sparse_worst)
+          stats_.bytes_saved.fetch_add(sparse_worst - enc.bytes,
+                                       std::memory_order_relaxed);
+      } else if (lease) {
+        if (direct_send)
+          backend_->abandon(lease);
+        else
+          lease = comm::BufferLease{};
       }
-      gathers_left.fetch_sub(1, std::memory_order_acq_rel);
+
+      if (!single_chunk &&
+          pp.ranges_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last range for this peer: every chunks_sent increment happened
+        // before its release decrement, so the acquire load sees the total.
+        send_tail(dst, pp.chunks_sent.load(std::memory_order_acquire),
+                  scatter);
+      }
+      work_left.fetch_sub(1, std::memory_order_acq_rel);
     }
 
     // Thread 0 flushes once every send of the phase has been handed over.
     if (tid == 0) {
       telemetry::Span flush_span("abelian", "flush", me);
       rt::Backoff backoff;
-      while (gathers_left.load(std::memory_order_acquire) != 0 ||
+      while (work_left.load(std::memory_order_acquire) != 0 ||
              sends_pending_.load(std::memory_order_acquire) != 0) {
         if (!drain_one(scatter)) backoff.pause();
       }

@@ -52,6 +52,17 @@ struct EngineStats {
   std::uint64_t rounds = 0;
   std::atomic<std::uint64_t> messages_sent{0};
   std::atomic<std::uint64_t> bytes_sent{0};
+  /// Wall nanoseconds spent serializing (gather/encode), summed over the
+  /// compute threads - the Fig-6 "serialization" share.
+  std::atomic<std::uint64_t> gather_ns{0};
+  /// Wire bytes avoided by adaptive formats vs worst-case sparse records.
+  std::atomic<std::uint64_t> bytes_saved{0};
+  /// Format-choice counters (chunks shipped per encoding).
+  std::atomic<std::uint64_t> fmt_sparse{0};
+  std::atomic<std::uint64_t> fmt_varint{0};
+  std::atomic<std::uint64_t> fmt_dense{0};
+  /// Malformed chunks dropped by the unified scatter (fuzzed/garbage frames).
+  std::atomic<std::uint64_t> decode_rejects{0};
   /// Non-overlapped communication time: wall time of sync phases (Fig 6).
   double comm_s = 0.0;
   /// Computation time, accumulated by the app drivers (Fig 6).
@@ -74,20 +85,27 @@ class HostEngine {
   comm::Backend& backend() noexcept { return *backend_; }
   EngineStats& stats() noexcept { return stats_; }
 
-  /// Serializes records for one peer into `out` (records only, no header).
-  using GatherFn =
-      std::function<void(int peer, std::vector<std::byte>& out)>;
-  /// Applies one received payload from `peer`. Must be thread-safe across
-  /// messages (different messages may scatter concurrently).
-  using ScatterFn =
-      std::function<void(int peer, const std::byte* data, std::size_t size)>;
+  /// Hands out payload memory for one chunk: reserve(bytes) returns where
+  /// the encoder writes (a leased backend buffer, past the chunk header).
+  using ReserveFn = std::function<std::byte*(std::size_t)>;
+  /// Encodes the dirty entries of shared-list range [lo, hi) for `peer`
+  /// directly into memory from `reserve`; returns what was encoded. Called
+  /// concurrently from compute threads on disjoint ranges.
+  using GatherFn = std::function<comm::EncodedChunk(
+      int peer, std::uint32_t lo, std::uint32_t hi, const ReserveFn& reserve)>;
+  /// Applies one received chunk from `peer`; false = malformed payload.
+  /// Must be thread-safe across messages (different messages may scatter
+  /// concurrently).
+  using ScatterFn = std::function<bool(
+      int peer, const comm::ChunkHeader& header, const std::byte* payload)>;
 
-  /// Runs one full communication phase: parallel gathers to every peer with
-  /// a non-empty `send_lists` entry, then receive+scatter until one message
-  /// stream from every peer with a non-empty `recv_lists` entry completed.
-  /// `pattern` (0 = reduce, 1 = broadcast) and `rec_bytes` key the RMA
-  /// window sets; max message sizes derive from the list sizes
-  /// (all-nodes-active upper bound).
+  /// Runs one full communication phase: the shared list of every peer with
+  /// a non-empty `send_lists` entry is split into ranges gathered in
+  /// parallel by the compute team straight into leased send buffers, then
+  /// receive+scatter until one message stream from every peer with a
+  /// non-empty `recv_lists` entry completed. `pattern` (0 = reduce,
+  /// 1 = broadcast) and `rec_bytes` key the RMA window sets; max message
+  /// sizes derive from the list sizes (all-nodes-active upper bound).
   void execute_phase(
       std::uint32_t pattern, std::size_t rec_bytes,
       const std::vector<std::vector<graph::VertexId>>& send_lists,
@@ -106,20 +124,22 @@ class HostEngine {
     execute_phase(
         0, comm::record_bytes<T>(), graph_.mirror_to_master,
         graph_.master_to_mirror,
-        [&](int peer, std::vector<std::byte>& out) {
-          comm::gather_records<T>(
+        [&](int peer, std::uint32_t lo, std::uint32_t hi,
+            const ReserveFn& reserve) {
+          return comm::encode_dirty_range<T>(
               graph_.mirror_to_master[static_cast<std::size_t>(peer)], dirty,
-              labels, out);
+              labels, lo, hi, reserve);
         },
-        [&](int peer, const std::byte* data, std::size_t size) {
+        [&](int peer, const comm::ChunkHeader& header,
+            const std::byte* payload) {
           const auto& shared =
               graph_.master_to_mirror[static_cast<std::size_t>(peer)];
-          comm::scatter_records<T>(data, size,
-                                   [&](std::uint32_t pos, const T& value) {
-                                     const graph::VertexId lid = shared[pos];
-                                     if (combine(labels[lid], value))
-                                       on_update(lid);
-                                   });
+          return comm::decode_chunk<T>(
+              header, payload, shared.size(),
+              [&](std::uint32_t pos, const T& value) {
+                const graph::VertexId lid = shared[pos];
+                if (combine(labels[lid], value)) on_update(lid);
+              });
         });
   }
 
@@ -131,25 +151,32 @@ class HostEngine {
     execute_phase(
         1, comm::record_bytes<T>(), graph_.master_to_mirror,
         graph_.mirror_to_master,
-        [&](int peer, std::vector<std::byte>& out) {
-          comm::gather_records<T>(
+        [&](int peer, std::uint32_t lo, std::uint32_t hi,
+            const ReserveFn& reserve) {
+          return comm::encode_dirty_range<T>(
               graph_.master_to_mirror[static_cast<std::size_t>(peer)], dirty,
-              labels, out);
+              labels, lo, hi, reserve);
         },
-        [&](int peer, const std::byte* data, std::size_t size) {
+        [&](int peer, const comm::ChunkHeader& header,
+            const std::byte* payload) {
           const auto& shared =
               graph_.mirror_to_master[static_cast<std::size_t>(peer)];
-          comm::scatter_records<T>(data, size,
-                                   [&](std::uint32_t pos, const T& value) {
-                                     const graph::VertexId lid = shared[pos];
-                                     labels[lid] = value;  // single writer
-                                     on_set(lid);
-                                   });
+          return comm::decode_chunk<T>(header, payload, shared.size(),
+                                       [&](std::uint32_t pos, const T& value) {
+                                         const graph::VertexId lid =
+                                             shared[pos];
+                                         labels[lid] = value;  // single writer
+                                         on_set(lid);
+                                       });
         });
   }
 
  private:
-  /// Tracks completion of the receive side of one phase.
+  /// Tracks completion of the receive side of one phase. Streaming
+  /// protocol: data chunks carry num_chunks == 0; one tail per peer carries
+  /// the total (data chunks + itself). Chunks may arrive in any order -
+  /// multi-lane LCI reorders freely - so the tail can land before its data.
+  /// Single-message backends (RMA) send num_chunks == 1, no tail.
   struct PhaseState {
     std::uint32_t phase_id = 0;
     rt::Spinlock lock;
@@ -172,11 +199,15 @@ class HostEngine {
 
   void comm_thread_loop();
   void post_cmd(Cmd cmd, const comm::PhaseSpec* spec);
-  void submit_send(int dst, std::vector<std::byte> payload,
-                   const ScatterFn& scatter);
-  void send_chunks(int dst, std::vector<std::byte>&& records,
-                   std::size_t chunk_cap, std::size_t rec_bytes,
-                   const ScatterFn& scatter);
+  /// Ships one framed chunk held in `lease` (header at offset 0): commits
+  /// leased buffers directly for thread-safe backends, or hands the heap
+  /// buffer to the comm thread's send queue. Relieves back pressure by
+  /// scattering while it waits.
+  void dispatch_chunk(int dst, comm::BufferLease& lease,
+                      std::size_t total_bytes, const ScatterFn& scatter);
+  /// Sends the streaming tail for `dst`: a header-only chunk whose
+  /// num_chunks carries the per-peer total (data chunks + itself).
+  void send_tail(int dst, std::uint32_t data_chunks, const ScatterFn& scatter);
   /// Receives and processes at most one message; returns whether one was
   /// handled (scattered or stashed).
   bool drain_one(const ScatterFn& scatter);

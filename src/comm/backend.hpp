@@ -46,6 +46,20 @@ struct PhaseSpec {
   std::vector<std::size_t> max_recv_bytes;
 };
 
+/// A writable send buffer handed out by a backend so gather can serialize
+/// records (and the chunk header) directly into wire memory - an LCI packet
+/// from the pre-registered pool, or plain heap for backends without native
+/// buffers. Move-only; exactly one of commit()/abandon() must consume it.
+struct BufferLease {
+  std::byte* data = nullptr;
+  std::size_t capacity = 0;
+  bool pooled = false;   ///< true when `data` is backend-owned wire memory
+  void* token = nullptr; ///< backend-private handle (e.g. the lci::Packet*)
+  std::vector<std::byte> heap;  ///< backing store for the fallback lease
+
+  explicit operator bool() const noexcept { return data != nullptr; }
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -72,6 +86,22 @@ class Backend {
   /// internally instead (the "lack of back pressure" of Section III-B).
   /// If !thread_safe(), only the communication thread may call.
   virtual bool try_send(int dst, std::vector<std::byte>& payload) = 0;
+
+  /// Leases a writable buffer of at least `max_bytes` for a message to
+  /// `dst`. The default implementation hands out heap memory that commit()
+  /// forwards through try_send(); LCI overrides it to lease a registered
+  /// packet so the payload is serialized in place (zero-copy). Thread-safety
+  /// matches try_send: if !thread_safe_send(), comm thread only.
+  virtual BufferLease acquire(int dst, std::size_t max_bytes);
+
+  /// Submits the first `bytes` of a leased buffer (header already written at
+  /// offset 0). Returns false - leaving the lease intact for retry - when
+  /// the network layer is saturated; the caller must make progress and call
+  /// again. On success the lease is emptied and ownership transfers.
+  virtual bool commit(int dst, BufferLease& lease, std::size_t bytes);
+
+  /// Returns an unused lease to the backend (e.g. the range was clean).
+  virtual void abandon(BufferLease& lease);
 
   /// Called once per phase by the communication thread after every send for
   /// the phase has been issued.

@@ -1,5 +1,6 @@
 #include "comm/lci_backend.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "runtime/cpu_relax.hpp"
@@ -48,6 +49,7 @@ bool LciBackend::try_send(int dst, std::vector<std::byte>& payload) {
                        static_cast<fabric::Rank>(dst), kDataTag, slot->req)) {
     return false;
   }
+  slot->bytes = payload.size();
   slot->payload = std::move(payload);
   {
     std::lock_guard<rt::Spinlock> guard(send_lock_);
@@ -57,11 +59,51 @@ bool LciBackend::try_send(int dst, std::vector<std::byte>& payload) {
   return true;
 }
 
+BufferLease LciBackend::acquire(int dst, std::size_t max_bytes) {
+  if (max_bytes <= queue_.eager_limit()) {
+    if (lci::Packet* p = queue_.lease_tx_packet(); p != nullptr) {
+      BufferLease lease;
+      lease.data = p->data;
+      lease.capacity = std::min(p->capacity, queue_.eager_limit());
+      lease.pooled = true;
+      lease.token = p;
+      return lease;
+    }
+    // Pool at the lease floor: fall through to a heap lease rather than
+    // making the caller spin; commit() then pays one copy via try_send.
+  }
+  return Backend::acquire(dst, max_bytes);
+}
+
+bool LciBackend::commit(int dst, BufferLease& lease, std::size_t bytes) {
+  if (!lease.pooled) return Backend::commit(dst, lease, bytes);
+  auto* p = static_cast<lci::Packet*>(lease.token);
+  auto slot = std::make_unique<SendSlot>();
+  slot->bytes = bytes;
+  if (!queue_.send_leased(p, bytes, static_cast<fabric::Rank>(dst), kDataTag,
+                          slot->req)) {
+    return false;  // packet stays leased, payload intact; caller retries
+  }
+  {
+    std::lock_guard<rt::Spinlock> guard(send_lock_);
+    in_flight_sends_.push_back(std::move(slot));
+  }
+  reap_sends();
+  lease = BufferLease{};
+  return true;
+}
+
+void LciBackend::abandon(BufferLease& lease) {
+  if (lease.pooled)
+    queue_.return_tx_packet(static_cast<lci::Packet*>(lease.token));
+  lease = BufferLease{};
+}
+
 void LciBackend::reap_sends() {
   std::lock_guard<rt::Spinlock> guard(send_lock_);
   while (!in_flight_sends_.empty() && in_flight_sends_.front()->req.done()) {
     if (tracker_ != nullptr)
-      tracker_->on_free(in_flight_sends_.front()->payload.size());
+      tracker_->on_free(in_flight_sends_.front()->bytes);
     in_flight_sends_.pop_front();
   }
 }

@@ -29,6 +29,15 @@ class LciBackend final : public Backend {
 
   void begin_phase(const PhaseSpec& spec) override;
   bool try_send(int dst, std::vector<std::byte>& payload) override;
+
+  /// Zero-copy lease path: messages that fit an eager packet are serialized
+  /// directly into pool memory and sent without any backend copy; larger
+  /// requests fall back to the base-class heap lease (which funnels through
+  /// try_send and the rendezvous path).
+  BufferLease acquire(int dst, std::size_t max_bytes) override;
+  bool commit(int dst, BufferLease& lease, std::size_t bytes) override;
+  void abandon(BufferLease& lease) override;
+
   void flush() override;
   bool try_recv(InMessage& out) override;
   void progress() override;
@@ -38,7 +47,8 @@ class LciBackend final : public Backend {
 
  private:
   struct SendSlot {
-    std::vector<std::byte> payload;
+    std::vector<std::byte> payload;  // empty for leased-packet sends
+    std::size_t bytes = 0;           // wire bytes (tracker accounting)
     lci::Request req;
   };
 

@@ -3,19 +3,75 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <vector>
 
 namespace lcr::comm {
 
-/// Header prepended to every engine message (one chunk of a phase's payload
-/// from one host to another).
-struct ChunkHeader {
-  std::uint32_t phase_id = 0;   // global BSP phase counter
-  std::uint16_t chunk_idx = 0;  // this chunk's index
-  std::uint16_t num_chunks = 1; // total chunks from this sender this phase
-  std::uint32_t payload_bytes = 0;  // bytes following the header
+/// Wire encoding of a chunk's record payload, negotiated per message through
+/// the header's one-byte format tag (DESIGN.md §11). The sender picks the
+/// cheapest encoding from the dirty popcount of the range it covers; the
+/// receiver's unified scatter dispatches on the tag, so mixed-format senders
+/// and receivers always interoperate.
+enum class WireFormat : std::uint8_t {
+  Raw = 0,     ///< opaque payload (gemini signal records, control tails)
+  Sparse = 1,  ///< [u32 rel_pos][value] fixed-stride records (status quo)
+  Varint = 2,  ///< [varint pos-delta][value] records for mid density
+  Dense = 3,   ///< [bitmap][packed values] when most of the span is dirty
 };
+
+inline constexpr std::size_t kWireFormatCount = 4;
+
+/// ChunkHeader flag bits.
+inline constexpr std::uint8_t kFlagDenseFull = 0x01;  ///< Dense, bitmap elided
+inline constexpr std::uint8_t kFlagMaskKnown = 0x01;
+
+/// Header prepended to every engine message (one chunk of a phase's payload
+/// from one host to another). `base_pos`/`span` name the shared-list range
+/// [base_pos, base_pos + span) this chunk covers; record positions on the
+/// wire are relative to base_pos so they fit the adaptive encodings.
+/// `check` is a cheap self-check so a scatter never parses a garbage header
+/// (fuzzed tags, truncated frames); finalize() computes it, valid() verifies.
+struct ChunkHeader {
+  std::uint32_t phase_id = 0;       // global BSP phase counter
+  std::uint32_t payload_bytes = 0;  // bytes following the header
+  std::uint32_t base_pos = 0;       // first shared-list position covered
+  std::uint32_t span = 0;           // positions covered from base_pos
+  std::uint16_t chunk_idx = 0;      // this chunk's index (diagnostic)
+  std::uint16_t num_chunks = 1;     // total chunks this phase; 0 = streaming
+                                    // chunk, the total arrives in a tail
+  std::uint8_t format = 0;          // WireFormat tag
+  std::uint8_t flags = 0;           // kFlag* bits
+  std::uint16_t check = 0;          // Fletcher-style header self-check
+
+  void finalize() noexcept { check = compute_check(); }
+
+  /// True when the self-check matches and every tagged field is parsable.
+  bool valid() const noexcept {
+    return check == compute_check() &&
+           format < static_cast<std::uint8_t>(kWireFormatCount) &&
+           (flags & ~kFlagMaskKnown) == 0;
+  }
+
+ private:
+  std::uint16_t compute_check() const noexcept {
+    // Fletcher-16 over every header byte except the check field itself.
+    ChunkHeader copy;
+    std::memcpy(&copy, this, sizeof(ChunkHeader));
+    copy.check = 0;
+    unsigned char bytes[sizeof(ChunkHeader)];
+    std::memcpy(bytes, &copy, sizeof(copy));
+    std::uint32_t s1 = 0xA5, s2 = 0xC3;
+    for (const unsigned char b : bytes) {
+      s1 = (s1 + b) % 255;
+      s2 = (s2 + s1) % 255;
+    }
+    return static_cast<std::uint16_t>((s2 << 8) | s1);
+  }
+};
+
+static_assert(sizeof(ChunkHeader) == 24, "wire layout is part of the ABI");
 
 inline constexpr std::size_t kChunkHeaderBytes = sizeof(ChunkHeader);
 
@@ -28,8 +84,12 @@ struct InMessage {
   std::size_t size = 0;             // header + payload bytes
   std::function<void()> release;
 
-  const ChunkHeader& header() const {
-    return *reinterpret_cast<const ChunkHeader*>(data);
+  /// Copied out by value: probe aggregates cut record views at arbitrary
+  /// byte offsets, so the header may not be aligned for an in-place read.
+  ChunkHeader header() const {
+    ChunkHeader h;
+    std::memcpy(&h, data, sizeof(h));
+    return h;
   }
   const std::byte* payload() const { return data + kChunkHeaderBytes; }
   std::size_t payload_size() const { return size - kChunkHeaderBytes; }

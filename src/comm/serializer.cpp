@@ -1,11 +1,50 @@
-// Intentionally small: the serializer is header-only templates
-// (comm/serializer.hpp); this TU anchors the target and provides a
-// compile-time check that the record layout is as documented.
+// The serializer is mostly header-only templates (comm/serializer.hpp);
+// this TU holds the wire-format override state plus compile-time checks
+// that the record layout is as documented.
 #include "comm/serializer.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
 
 namespace lcr::comm {
 
 static_assert(record_bytes<std::uint32_t>() == 8);
 static_assert(record_bytes<double>() == 12);
+
+namespace {
+
+// -2 = environment not read yet, -1 = auto, otherwise a WireFormat value.
+std::atomic<int> g_wire_override{-2};
+
+int parse_env() {
+  const char* raw = std::getenv("LCR_WIRE_FORMAT");
+  if (raw == nullptr) return -1;
+  const std::string_view s(raw);
+  if (s == "sparse") return static_cast<int>(WireFormat::Sparse);
+  if (s == "varint") return static_cast<int>(WireFormat::Varint);
+  if (s == "dense") return static_cast<int>(WireFormat::Dense);
+  return -1;  // "auto" and anything unrecognized
+}
+
+}  // namespace
+
+std::optional<WireFormat> forced_wire_format() {
+  int v = g_wire_override.load(std::memory_order_relaxed);
+  if (v == -2) {
+    int expected = -2;
+    g_wire_override.compare_exchange_strong(expected, parse_env(),
+                                            std::memory_order_relaxed);
+    v = g_wire_override.load(std::memory_order_relaxed);
+  }
+  if (v < 0) return std::nullopt;
+  return static_cast<WireFormat>(v);
+}
+
+void set_wire_format_override(std::optional<WireFormat> format) {
+  // nullopt reverts to "unread" so the environment decides again.
+  g_wire_override.store(format ? static_cast<int>(*format) : -2,
+                        std::memory_order_relaxed);
+}
 
 }  // namespace lcr::comm

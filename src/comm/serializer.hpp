@@ -1,16 +1,30 @@
 // Gather/scatter record serialization for proxy synchronization.
 //
-// A sync message's payload is a sequence of fixed-size records
-// [u32 position][label value], where `position` indexes the memoized shared
-// vertex list both endpoints hold for this (pair, direction) - the paper's
-// "minimizes the communication meta-data while synchronizing only the
-// updated labels": only dirty entries are shipped and no global ids travel.
+// A sync payload names which entries of the memoized shared vertex list
+// changed this round and their new label values - the paper's "minimizes the
+// communication meta-data while synchronizing only the updated labels": no
+// global ids travel. Three adaptive encodings trade meta-data bytes against
+// dirty density (DESIGN.md §11), chosen per message from the range popcount
+// and tagged in the chunk header:
+//
+//   Sparse  [u32 rel_pos][value]...            4+sizeof(T) bytes/record
+//   Varint  [varint pos_delta][value]...       1..5+sizeof(T) bytes/record
+//   Dense   [span-bit bitmap][packed values]   span/8 + count*sizeof(T) total
+//           (bitmap elided entirely when every position is dirty -
+//            header flag kFlagDenseFull)
+//
+// Positions on the wire are relative to the header's base_pos so chunk
+// ranges partition freely. encode_dirty_range() serializes straight into
+// caller-provided memory (a backend BufferLease) - no intermediate vector.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <optional>
 #include <vector>
 
+#include "comm/message.hpp"
 #include "graph/csr.hpp"
 #include "runtime/bitset.hpp"
 
@@ -21,7 +35,8 @@ constexpr std::size_t record_bytes() {
   return sizeof(std::uint32_t) + sizeof(T);
 }
 
-/// Appends one record to `out`.
+/// Appends one sparse record to `out`. (Legacy path; the engines encode
+/// through encode_dirty_range into leased buffers.)
 template <typename T>
 void append_record(std::vector<std::byte>& out, std::uint32_t pos,
                    const T& value) {
@@ -31,7 +46,7 @@ void append_record(std::vector<std::byte>& out, std::uint32_t pos,
   std::memcpy(out.data() + old + sizeof(pos), &value, sizeof(T));
 }
 
-/// Gather: serialize dirty entries of the shared list into records.
+/// Gather: serialize dirty entries of the shared list into sparse records.
 /// `shared[pos]` is a local vertex id; an entry is shipped iff
 /// dirty.test(shared[pos]). Returns the number of records written.
 template <typename T>
@@ -49,7 +64,8 @@ std::size_t gather_records(const std::vector<graph::VertexId>& shared,
   return count;
 }
 
-/// Scatter: invoke fn(pos, value) for every record in [data, data+size).
+/// Scatter: invoke fn(pos, value) for every sparse record in
+/// [data, data+size).
 template <typename T, typename Fn>
 void scatter_records(const std::byte* data, std::size_t size, Fn&& fn) {
   std::size_t off = 0;
@@ -60,6 +76,262 @@ void scatter_records(const std::byte* data, std::size_t size, Fn&& fn) {
     std::memcpy(&value, data + off + sizeof(pos), sizeof(T));
     fn(pos, value);
     off += record_bytes<T>();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive formats
+// ---------------------------------------------------------------------------
+
+/// Dirty popcount of shared-list range [lo, hi) - exact reservation sizing.
+inline std::size_t count_dirty(const std::vector<graph::VertexId>& shared,
+                               const rt::ConcurrentBitset& dirty,
+                               std::size_t lo, std::size_t hi) {
+  std::size_t count = 0;
+  for (std::size_t pos = lo; pos < hi; ++pos)
+    if (dirty.test(shared[pos])) ++count;
+  return count;
+}
+
+/// LCR_WIRE_FORMAT={auto,sparse,varint,dense} debugging override; env is
+/// read once, then cached. Tests force formats programmatically instead.
+std::optional<WireFormat> forced_wire_format();
+
+/// Programmatic override: a concrete format forces every subsequent encode;
+/// nullopt reverts to the environment/auto behavior.
+void set_wire_format_override(std::optional<WireFormat> format);
+
+inline std::size_t sparse_bytes(std::size_t count, std::size_t value_bytes) {
+  return count * (sizeof(std::uint32_t) + value_bytes);
+}
+
+inline std::size_t dense_bytes(std::size_t count, std::size_t span,
+                               std::size_t value_bytes, bool all_set) {
+  return (all_set ? 0 : (span + 7) / 8) + count * value_bytes;
+}
+
+/// Upper bound for the varint encoding. Each delta costs one byte plus at
+/// most gap/64 continuation bytes (a gap g >= 128 never needs more than
+/// g/64 extra); the gaps sum to at most span, hence the span/64 + 1 slack.
+/// Always <= span * (4 + value_bytes), the sparse worst case, so every
+/// format fits a lease sized for worst-case sparse.
+inline std::size_t varint_bound(std::size_t count, std::size_t span,
+                                std::size_t value_bytes) {
+  return count * (1 + value_bytes) + span / 64 + 1;
+}
+
+/// Density-threshold format choice (override wins). Dense pays off once
+/// >= 1/8 of the span is dirty (the 4-byte position exceeds the amortized
+/// bitmap cost); varint helps from ~1/64 up, where deltas stay short.
+inline WireFormat choose_format(std::size_t count, std::size_t span,
+                                std::size_t value_bytes) {
+  (void)value_bytes;
+  if (const auto forced = forced_wire_format()) return *forced;
+  if (count == 0 || span == 0) return WireFormat::Sparse;
+  if (count * 8 >= span) return WireFormat::Dense;
+  if (count * 64 >= span) return WireFormat::Varint;
+  return WireFormat::Sparse;
+}
+
+/// LEB128 append; returns bytes written (<= 5 for u32).
+inline std::size_t put_varint(std::byte* dst, std::uint32_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  dst[n++] = static_cast<std::byte>(v);
+  return n;
+}
+
+/// LEB128 read with strict truncation/overflow checks.
+inline bool get_varint(const std::byte* data, std::size_t size,
+                       std::size_t& off, std::uint32_t& out) {
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (off >= size) return false;  // truncated mid-varint
+    const auto b = static_cast<std::uint8_t>(data[off++]);
+    if (i == 4 && (b & ~0x0FU) != 0) return false;  // > 32 bits
+    value |= static_cast<std::uint32_t>(b & 0x7F) << (7 * i);
+    if ((b & 0x80) == 0) {
+      out = value;
+      return true;
+    }
+  }
+  return false;  // continuation bit never cleared
+}
+
+/// Result of encoding one shared-list range.
+struct EncodedChunk {
+  WireFormat format = WireFormat::Sparse;
+  std::size_t bytes = 0;    ///< payload bytes actually written
+  std::size_t records = 0;  ///< dirty entries encoded
+  bool all_set = false;     ///< every position in the range was dirty
+};
+
+/// Encodes the dirty entries of shared[lo, hi) directly into memory obtained
+/// from `reserve(max_bytes)` - called at most once (with worst-case sparse
+/// sizing for the range), and not at all when the range is clean. The caller
+/// points `reserve` at a leased backend buffer (offset past the header) so
+/// records land in wire memory with zero copies. Safe to run concurrently
+/// from compute threads on disjoint ranges.
+///
+/// Format strategy: one pass over the range writes sparse records while
+/// counting - the low-density common case finishes right there, with no
+/// separate popcount pass. When the final count crosses a density
+/// threshold, the records are spilled to a thread-local scratch buffer and
+/// re-encoded into the lease as varint or dense. The upgrade pass reads the
+/// compact record stream sequentially - it never re-walks shared/dirty/
+/// labels with their random indirection - and every format fits the
+/// worst-case sparse reservation (dense_bytes, varint_bound <=
+/// sparse_bytes for any span).
+template <typename T, typename ReserveFn>
+EncodedChunk encode_dirty_range(const std::vector<graph::VertexId>& shared,
+                                const rt::ConcurrentBitset& dirty,
+                                const T* labels, std::uint32_t lo,
+                                std::uint32_t hi, ReserveFn&& reserve) {
+  constexpr std::size_t vb = sizeof(T);
+  constexpr std::size_t rec = record_bytes<T>();
+  EncodedChunk enc;
+  const std::uint32_t span = hi - lo;
+
+  std::byte* dst = nullptr;
+  std::size_t off = 0;
+  std::size_t count = 0;
+  for (std::uint32_t pos = lo; pos < hi; ++pos) {
+    const graph::VertexId lid = shared[pos];
+    if (!dirty.test(lid)) continue;
+    if (dst == nullptr) dst = reserve(sparse_bytes(span, vb));
+    const std::uint32_t rel = pos - lo;
+    std::memcpy(dst + off, &rel, sizeof(rel));
+    std::memcpy(dst + off + sizeof(rel), &labels[lid], vb);
+    off += rec;
+    ++count;
+  }
+  if (count == 0) return enc;
+  enc.records = count;
+  enc.all_set = count == span;
+  enc.format = choose_format(count, span, vb);
+  if (enc.format != WireFormat::Dense && enc.format != WireFormat::Varint) {
+    enc.format = WireFormat::Sparse;  // forced Raw falls back to records
+    enc.bytes = off;
+    return enc;
+  }
+
+  // Upgrade pass: spill the sparse records and re-encode sequentially.
+  static thread_local std::vector<std::byte> scratch;
+  if (scratch.size() < off) scratch.resize(off);
+  std::memcpy(scratch.data(), dst, off);
+  const std::byte* src = scratch.data();
+  if (enc.format == WireFormat::Dense) {
+    const std::size_t bitmap = enc.all_set ? 0 : (span + 7) / 8;
+    enc.bytes = dense_bytes(count, span, vb, enc.all_set);
+    if (bitmap != 0) std::memset(dst, 0, bitmap);
+    std::byte* values = dst + bitmap;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (bitmap != 0) {
+        std::uint32_t rel = 0;
+        std::memcpy(&rel, src + i * rec, sizeof(rel));
+        dst[rel >> 3] |= static_cast<std::byte>(1U << (rel & 7));
+      }
+      std::memcpy(values, src + i * rec + sizeof(std::uint32_t), vb);
+      values += vb;
+    }
+  } else {  // Varint
+    off = 0;
+    std::uint32_t prev_next = 0;  // rel position one past the last record
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint32_t rel = 0;
+      std::memcpy(&rel, src + i * rec, sizeof(rel));
+      off += put_varint(dst + off, rel - prev_next);
+      prev_next = rel + 1;
+      std::memcpy(dst + off, src + i * rec + sizeof(std::uint32_t), vb);
+      off += vb;
+    }
+    enc.bytes = off;
+  }
+  return enc;
+}
+
+/// Unified scatter: decodes one chunk's payload according to its header tag
+/// and invokes fn(absolute_pos, value) per record, where absolute_pos =
+/// header.base_pos + relative position. Returns false - without invoking fn
+/// beyond the point of failure - on any malformed input: bad size modulus,
+/// out-of-span position, truncated varint, bitmap/value length mismatch, or
+/// set bitmap bits beyond the span. Raw payloads are not typed records.
+template <typename T, typename Fn>
+bool decode_chunk(const ChunkHeader& h, const std::byte* payload,
+                  std::size_t shared_size, Fn&& fn) {
+  constexpr std::size_t vb = sizeof(T);
+  const std::size_t size = h.payload_bytes;
+  const std::uint64_t base = h.base_pos;
+  const std::uint64_t span = h.span;
+  if (base + span > shared_size) return false;
+  switch (static_cast<WireFormat>(h.format)) {
+    case WireFormat::Sparse: {
+      if (size % record_bytes<T>() != 0) return false;
+      std::size_t off = 0;
+      while (off < size) {
+        std::uint32_t rel = 0;
+        T value;
+        std::memcpy(&rel, payload + off, sizeof(rel));
+        std::memcpy(&value, payload + off + sizeof(rel), vb);
+        if (rel >= span) return false;
+        fn(static_cast<std::uint32_t>(base + rel), value);
+        off += record_bytes<T>();
+      }
+      return true;
+    }
+    case WireFormat::Varint: {
+      std::size_t off = 0;
+      std::uint64_t next = 0;  // rel position one past the last record
+      while (off < size) {
+        std::uint32_t delta = 0;
+        if (!get_varint(payload, size, off, delta)) return false;
+        const std::uint64_t rel = next + delta;
+        if (rel >= span) return false;
+        if (off + vb > size) return false;
+        T value;
+        std::memcpy(&value, payload + off, vb);
+        off += vb;
+        fn(static_cast<std::uint32_t>(base + rel), value);
+        next = rel + 1;
+      }
+      return true;
+    }
+    case WireFormat::Dense: {
+      if ((h.flags & kFlagDenseFull) != 0) {
+        if (size != span * vb) return false;
+        for (std::uint64_t rel = 0; rel < span; ++rel) {
+          T value;
+          std::memcpy(&value, payload + rel * vb, vb);
+          fn(static_cast<std::uint32_t>(base + rel), value);
+        }
+        return true;
+      }
+      const std::size_t bitmap = (span + 7) / 8;
+      if (size < bitmap || (size - bitmap) % vb != 0) return false;
+      const std::size_t count = (size - bitmap) / vb;
+      std::size_t seen = 0;
+      const std::byte* values = payload + bitmap;
+      for (std::size_t byte = 0; byte < bitmap; ++byte) {
+        std::uint8_t bits = static_cast<std::uint8_t>(payload[byte]);
+        while (bits != 0) {
+          const int b = __builtin_ctz(bits);
+          bits = static_cast<std::uint8_t>(bits & (bits - 1));
+          const std::uint64_t rel = byte * 8 + static_cast<std::uint64_t>(b);
+          if (rel >= span) return false;  // stray bit past the span
+          if (seen == count) return false;
+          T value;
+          std::memcpy(&value, values + seen * vb, vb);
+          ++seen;
+          fn(static_cast<std::uint32_t>(base + rel), value);
+        }
+      }
+      return seen == count;  // every shipped value must have a bitmap bit
+    }
+    default:
+      return false;  // Raw payloads carry no typed records
   }
 }
 

@@ -19,6 +19,27 @@ const char* to_string(CommKind k) {
   return "?";
 }
 
+comm::BufferLease GeminiComm::acquire(int /*dst*/, std::size_t max_bytes) {
+  comm::BufferLease lease;
+  lease.heap.resize(max_bytes);
+  lease.data = lease.heap.data();
+  lease.capacity = max_bytes;
+  return lease;
+}
+
+bool GeminiComm::commit(int dst, comm::BufferLease& lease,
+                        std::size_t bytes) {
+  // Shrink-only; regrowing would value-initialize over serialized records.
+  if (lease.heap.size() != bytes) lease.heap.resize(bytes);
+  if (!try_send(dst, lease.heap)) return false;
+  lease = comm::BufferLease{};
+  return true;
+}
+
+void GeminiComm::abandon(comm::BufferLease& lease) {
+  lease = comm::BufferLease{};
+}
+
 namespace {
 
 constexpr int kTag = 11;
@@ -38,6 +59,18 @@ class GeminiLciComm final : public GeminiComm {
   const char* name() const override { return "lci"; }
   bool try_send(int dst, std::vector<std::byte>& payload) override {
     return backend_->try_send(dst, payload);
+  }
+  comm::BufferLease acquire(int dst, std::size_t max_bytes) override {
+    return backend_->acquire(dst, max_bytes);
+  }
+  bool commit(int dst, comm::BufferLease& lease, std::size_t bytes) override {
+    return backend_->commit(dst, lease, bytes);
+  }
+  void abandon(comm::BufferLease& lease) override {
+    backend_->abandon(lease);
+  }
+  std::size_t preferred_chunk() const override {
+    return backend_->chunk_bytes();
   }
   bool try_recv(comm::InMessage& out) override {
     if (backend_->try_recv(out)) return true;
@@ -90,7 +123,9 @@ class GeminiMpiComm final : public GeminiComm {
     if (!guard.owns_lock()) return false;
     mpi::Status st;
     if (!comm_.iprobe(mpi::kAnySource, kTag, &st)) return false;
-    auto* buf = new std::vector<std::byte>(st.size);
+    // shared_ptr staging: the buffer is freed on every path, including when
+    // the InMessage is destroyed without release() being called.
+    auto buf = std::make_shared<std::vector<std::byte>>(st.size);
     comm_.recv(buf->data(), st.size, st.source, st.tag);
     guard.unlock();
     if (tracker_ != nullptr) tracker_->on_alloc(st.size);
@@ -100,7 +135,6 @@ class GeminiMpiComm final : public GeminiComm {
     rt::MemTracker* tracker = tracker_;
     out.release = [buf, tracker] {
       if (tracker != nullptr) tracker->on_free(buf->size());
-      delete buf;
     };
     return true;
   }

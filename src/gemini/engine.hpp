@@ -32,6 +32,7 @@
 
 #include "abelian/cluster.hpp"
 #include "apps/atomic_ops.hpp"
+#include "comm/backend.hpp"
 #include "comm/message.hpp"
 #include "graph/dist_graph.hpp"
 #include "runtime/bitset.hpp"
@@ -87,6 +88,15 @@ class GeminiComm {
   virtual const char* name() const = 0;
   /// Thread-safe; false = resources exhausted, retry after receiving.
   virtual bool try_send(int dst, std::vector<std::byte>& payload) = 0;
+  /// Buffer-lease path (see comm::Backend): producers serialize signal
+  /// records straight into leased wire memory. Defaults funnel a heap
+  /// buffer through try_send; the LCI shim leases pool packets (zero-copy).
+  virtual comm::BufferLease acquire(int dst, std::size_t max_bytes);
+  virtual bool commit(int dst, comm::BufferLease& lease, std::size_t bytes);
+  virtual void abandon(comm::BufferLease& lease);
+  /// Preferred chunk size for leased sends (0 = no preference); batches are
+  /// capped to this so LCI chunks stay within one eager packet.
+  virtual std::size_t preferred_chunk() const { return 0; }
   /// Thread-safe receive of any arrived chunk.
   virtual bool try_recv(comm::InMessage& out) = 0;
   /// Dedicated progress loop body (LCI server); MPI progresses inside calls.
@@ -218,34 +228,55 @@ void GeminiHost::stream_round(
   for (auto& c : chunks_sent_) c->store(0, std::memory_order_relaxed);
 
   constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
-  const std::size_t batch = std::max<std::size_t>(rec, cfg_.batch_bytes);
+  // Cap batches at the comm's preferred chunk so leased LCI chunks fit one
+  // eager packet and stay zero-copy end to end.
+  const std::size_t pref = comm_->preferred_chunk();
+  std::size_t batch = std::max<std::size_t>(rec, cfg_.batch_bytes);
+  if (pref > comm::kChunkHeaderBytes + rec)
+    batch = std::min(batch, pref - comm::kChunkHeaderBytes);
 
   std::atomic<std::size_t> producers_left{team_->size()};
   std::atomic<std::uint64_t> produce_end_ns{0};
   const std::uint64_t round_start_ns = rt::now_ns();
 
   team_->run([&](std::size_t tid) {
-    std::vector<std::vector<std::byte>> buf(static_cast<std::size_t>(p));
+    // Per-destination open lease: records are serialized directly into the
+    // leased send buffer (header space reserved at the front), so shipping
+    // writes the header in place and commits - no intermediate copy.
+    struct Open {
+      comm::BufferLease lease;
+      std::size_t bytes = 0;  // payload bytes written past the header
+    };
+    std::vector<Open> open(static_cast<std::size_t>(p));
     auto drain = [&] {
       if (!drain_one_typed<T>(apply)) rt::cpu_pause();
     };
     auto ship = [&](int dst) {
-      auto& b = buf[static_cast<std::size_t>(dst)];
-      if (b.empty()) return;
-      std::vector<std::byte> chunk(comm::kChunkHeaderBytes + b.size());
+      Open& o = open[static_cast<std::size_t>(dst)];
+      if (o.bytes == 0) {
+        if (o.lease) comm_->abandon(o.lease);
+        return;
+      }
       comm::ChunkHeader header;
       header.phase_id = round_.round_id;
+      header.payload_bytes = static_cast<std::uint32_t>(o.bytes);
       header.chunk_idx = 0;   // scatter is order-free
       header.num_chunks = 0;  // streaming: total only known at the tail
-      header.payload_bytes = static_cast<std::uint32_t>(b.size());
-      std::memcpy(chunk.data(), &header, sizeof(header));
-      std::memcpy(chunk.data() + comm::kChunkHeaderBytes, b.data(), b.size());
-      b.clear();
+      header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
+      header.finalize();
+      std::memcpy(o.lease.data, &header, sizeof(header));
+      const std::size_t total = comm::kChunkHeaderBytes + o.bytes;
+      o.bytes = 0;
       chunks_sent_[static_cast<std::size_t>(dst)]->fetch_add(
           1, std::memory_order_acq_rel);
       stats_.messages.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes.fetch_add(chunk.size(), std::memory_order_relaxed);
-      send_with_backpressure(dst, chunk, drain);
+      stats_.bytes.fetch_add(total, std::memory_order_relaxed);
+      if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(total);
+      rt::Backoff backoff;
+      while (!comm_->commit(dst, o.lease, total)) {
+        drain();  // relieve back pressure by consuming incoming records
+        backoff.pause();
+      }
     };
     auto emit = [&](graph::VertexId gid, const T& value) {
       const int owner = g_.owner_of(gid);
@@ -253,12 +284,21 @@ void GeminiHost::stream_round(
         apply(gid, value);
         return;
       }
-      auto& b = buf[static_cast<std::size_t>(owner)];
-      const std::size_t old = b.size();
-      b.resize(old + rec);
-      std::memcpy(b.data() + old, &gid, sizeof(gid));
-      std::memcpy(b.data() + old + sizeof(gid), &value, sizeof(T));
-      if (b.size() >= batch) ship(owner);
+      Open& o = open[static_cast<std::size_t>(owner)];
+      for (;;) {
+        if (!o.lease) {
+          o.lease = comm_->acquire(owner, comm::kChunkHeaderBytes + batch);
+          o.bytes = 0;
+        }
+        const std::size_t cap =
+            std::min(o.lease.capacity, comm::kChunkHeaderBytes + batch);
+        if (comm::kChunkHeaderBytes + o.bytes + rec <= cap) break;
+        ship(owner);  // full: ship and re-acquire
+      }
+      std::byte* at = o.lease.data + comm::kChunkHeaderBytes + o.bytes;
+      std::memcpy(at, &gid, sizeof(gid));
+      std::memcpy(at + sizeof(gid), &value, sizeof(T));
+      o.bytes += rec;
     };
 
     produce(tid, emit);
@@ -282,6 +322,8 @@ void GeminiHost::stream_round(
         header.chunk_idx = 0;
         header.num_chunks = static_cast<std::uint16_t>(sent + 1);  // + tail
         header.payload_bytes = 0;
+        header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
+        header.finalize();
         std::memcpy(tail.data(), &header, sizeof(header));
         stats_.messages.fetch_add(1, std::memory_order_relaxed);
         stats_.bytes.fetch_add(tail.size(), std::memory_order_relaxed);
@@ -351,11 +393,8 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
 
   for (;;) {
     frontier.clear_all();
-    std::size_t frontier_size = 0;
-    active.for_each([&](std::size_t i) {
-      frontier.set(i);
-      ++frontier_size;
-    });
+    active.for_each([&](std::size_t i) { frontier.set(i); });
+    const std::size_t frontier_size = frontier.count_range(0, n_masters);
     active.clear_all();
 
     const bool dense =

@@ -50,6 +50,9 @@ class Device {
 
   /// Transmit-side packet staging (flow control): nullptr = exhausted, retry.
   Packet* tx_alloc() { return tx_pool_.alloc(); }
+  /// Same, but refuses to drop the pool below `floor` free packets; used by
+  /// buffer leases, which hold packets longer than an inline send does.
+  Packet* tx_alloc_reserve(std::size_t floor) { return tx_pool_.alloc(floor); }
   void tx_free(Packet* p) { tx_pool_.free(p); }
 
   /// Eager send; payload must be <= eager_limit(). Non-blocking; a soft

@@ -14,6 +14,7 @@
 // fetch-and-add MPMC free list (paper ref [26]).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -70,8 +71,13 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
-  /// Non-blocking allocation; nullptr when the pool is exhausted.
-  Packet* alloc();
+  /// Non-blocking allocation; nullptr when the pool is exhausted, or when
+  /// taking a packet would leave fewer than `keep_free` in the pool. Callers
+  /// holding packets for long (buffer leases) pass a floor so short-lived
+  /// control traffic (RTS/RTR) can always allocate. The floor check reads an
+  /// approximate counter; racy over-admission by a packet or two is fine -
+  /// it is a starvation heuristic, not an invariant.
+  Packet* alloc(std::size_t keep_free = 0);
 
   /// Return a packet to the pool. Does NOT re-post its slab to any endpoint;
   /// the Queue layer does that, because the pool does not know the endpoint.
@@ -98,6 +104,7 @@ class PacketPool {
   std::vector<Packet> packets_;
   rt::MpmcQueue<Packet*> global_;
   std::vector<std::unique_ptr<Cache>> caches_;
+  std::atomic<std::size_t> free_count_{0};  // approximate, for alloc floors
 };
 
 }  // namespace lcr::lci

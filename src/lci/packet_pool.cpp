@@ -18,6 +18,7 @@ PacketPool::PacketPool(std::size_t count, std::size_t payload_size,
     packets_[i].index = static_cast<std::uint32_t>(i);
     global_.push(&packets_[i]);
   }
+  free_count_.store(count, std::memory_order_relaxed);
   caches_.reserve(num_caches);
   for (std::size_t c = 0; c < num_caches; ++c) {
     caches_.emplace_back(new Cache);
@@ -32,20 +33,28 @@ PacketPool::Cache* PacketPool::my_cache() {
   return caches_[h % caches_.size()].get();
 }
 
-Packet* PacketPool::alloc() {
+Packet* PacketPool::alloc(std::size_t keep_free) {
+  if (keep_free != 0 &&
+      free_count_.load(std::memory_order_relaxed) <= keep_free)
+    return nullptr;  // below the floor: leave packets for control traffic
   if (Cache* cache = my_cache(); cache != nullptr) {
     std::unique_lock<rt::Spinlock> guard(cache->lock, std::try_to_lock);
     if (guard.owns_lock() && !cache->items.empty()) {
       Packet* p = cache->items.back();
       cache->items.pop_back();
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
       return p;
     }
   }
-  if (auto p = global_.try_pop()) return *p;
+  if (auto p = global_.try_pop()) {
+    free_count_.fetch_sub(1, std::memory_order_relaxed);
+    return *p;
+  }
   return nullptr;  // pool exhausted: caller retries later (non-fatal)
 }
 
 void PacketPool::free(Packet* p) {
+  free_count_.fetch_add(1, std::memory_order_relaxed);
   if (Cache* cache = my_cache(); cache != nullptr) {
     std::unique_lock<rt::Spinlock> guard(cache->lock, std::try_to_lock);
     if (guard.owns_lock() && cache->items.size() < kCacheCap) {

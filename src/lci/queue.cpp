@@ -28,6 +28,12 @@ inline void mark_done(Request& req) {
 /// Ops a server posts from one lane per visit. Large enough to amortize the
 /// consumer-lock acquisition, small enough that stealers are not starved.
 constexpr std::size_t kLaneBurst = 64;
+
+/// Free tx packets a buffer lease may not consume: leases are held across
+/// the whole gather of a range, so without a floor a wide parallel gather
+/// could drain the pool and deadlock against the RTS/RTR control sends that
+/// would free it.
+constexpr std::size_t kTxLeaseFloor = 8;
 }  // namespace
 
 Queue::Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg)
@@ -45,6 +51,7 @@ Queue::Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg)
       {"lci.lane_posts", &stats_.lane_posts},
       {"lci.lane_steals", &stats_.lane_steals},
       {"lci.lane_full", &stats_.lane_full},
+      {"lci.lease_sends", &stats_.lease_sends},
   });
   lanes_.reserve(cfg.lanes);
   for (std::size_t l = 0; l < cfg.lanes; ++l)
@@ -189,6 +196,68 @@ bool Queue::send_lane(const void* buf, std::size_t size, fabric::Rank dst,
       lane.depth.fetch_add(1, std::memory_order_relaxed) + 1;
   stats_.lane_posts.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::enabled()) lane_depth_->record(depth);
+  return true;
+}
+
+Packet* Queue::lease_tx_packet() {
+  return device_.tx_alloc_reserve(kTxLeaseFloor);
+}
+
+bool Queue::send_leased(Packet* p, std::size_t size, fabric::Rank dst,
+                        std::uint32_t tag, Request& req) {
+  assert(size <= device_.eager_limit());
+  req.reset();
+  req.peer = dst;
+  req.tag = tag;
+  req.buffer = p->data;
+  req.size = size;
+
+  if (!lanes_.empty()) {
+    TxOp op;
+    op.packet = p;
+    op.dst = dst;
+    op.req = &req;
+    op.meta.kind = static_cast<std::uint8_t>(PacketType::EGR);
+    op.meta.tag = tag;
+    op.meta.size = static_cast<std::uint32_t>(size);
+    req.status.store(ReqStatus::Pending, std::memory_order_release);
+    Lane& lane = *lanes_[lane_index()];
+    bool pushed;
+    {
+      std::lock_guard<rt::Spinlock> guard(lane.producer);
+      pushed = lane.ring.try_push(op);
+    }
+    if (!pushed) {
+      // Lane back-pressure. The packet stays leased (contents intact); the
+      // caller makes progress and retries the commit.
+      req.status.store(ReqStatus::Invalid, std::memory_order_release);
+      stats_.lane_full.fetch_add(1, std::memory_order_relaxed);
+      stats_.send_retries.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const std::size_t depth =
+        lane.depth.fetch_add(1, std::memory_order_relaxed) + 1;
+    stats_.lane_posts.fetch_add(1, std::memory_order_relaxed);
+    stats_.lease_sends.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) lane_depth_->record(depth);
+    return true;
+  }
+
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(PacketType::EGR);
+  meta.tag = tag;
+  meta.size = static_cast<std::uint32_t>(size);
+  const fabric::PostResult r = device_.lc_send(dst, p->data, meta);
+  if (r != fabric::PostResult::Ok) {
+    // Soft failure: unlike send_enq, keep the packet leased so the
+    // already-serialized payload is not lost.
+    stats_.send_retries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  device_.tx_free(p);  // retransmit buffering lives below lc_send
+  stats_.eager_sends.fetch_add(1, std::memory_order_relaxed);
+  stats_.lease_sends.fetch_add(1, std::memory_order_relaxed);
+  mark_done(req);
   return true;
 }
 

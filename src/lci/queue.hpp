@@ -69,6 +69,7 @@ struct QueueStats {
   std::atomic<std::uint64_t> lane_posts{0};   // ops staged into lanes
   std::atomic<std::uint64_t> lane_steals{0};  // lanes drained by a non-home server
   std::atomic<std::uint64_t> lane_full{0};    // send_enq rejected: lane ring full
+  std::atomic<std::uint64_t> lease_sends{0};  // zero-copy leased-packet sends
 };
 
 class Queue {
@@ -92,6 +93,24 @@ class Queue {
   /// requests are already done() at return.
   bool send_enq(const void* buf, std::size_t size, fabric::Rank dst,
                 std::uint32_t tag, Request& req);
+
+  /// Zero-copy send path: lease a tx packet so the caller serializes the
+  /// wire payload directly into registered pool memory (no send-side
+  /// memcpy). The lease respects a free-packet floor so long-held leases
+  /// cannot starve RTS/RTR control traffic. nullptr = retry later.
+  Packet* lease_tx_packet();
+
+  /// Returns an unsent leased packet to the pool.
+  void return_tx_packet(Packet* p) { device_.tx_free(p); }
+
+  /// Sends the first `size` bytes of a leased packet's slab (size must be
+  /// <= eager_limit()). Mirrors the eager half of send_enq minus the copy.
+  /// On soft failure returns false and - unlike send_enq - the packet STAYS
+  /// LEASED with its contents intact, so the caller retries the commit
+  /// without re-serializing. On success the packet returns to the pool and
+  /// `req` completes with the usual lane-mode/inline semantics.
+  bool send_leased(Packet* p, std::size_t size, fabric::Rank dst,
+                   std::uint32_t tag, Request& req);
 
   /// Algorithm 2. Returns false when no packet is pending. On true, `req`
   /// describes the incoming message; data at req.buffer is valid (EGR) or

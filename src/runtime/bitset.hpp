@@ -57,6 +57,21 @@ class ConcurrentBitset {
     return total;
   }
 
+  /// Population count of [lo, hi). Not thread-safe against concurrent set().
+  std::size_t count_range(std::size_t lo, std::size_t hi) const noexcept {
+    if (lo >= hi) return 0;
+    const std::size_t first = lo >> 6;
+    const std::size_t last = (hi - 1) >> 6;
+    std::size_t total = 0;
+    for (std::size_t wi = first; wi <= last && wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+      if (wi == first) w &= ~0ULL << (lo & 63);
+      if (wi == last && ((hi & 63) != 0)) w &= (1ULL << (hi & 63)) - 1;
+      total += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
   bool any() const noexcept {
     for (const auto& w : words_)
       if (w.load(std::memory_order_relaxed) != 0) return true;

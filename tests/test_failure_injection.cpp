@@ -2,8 +2,12 @@
 // break correctness - LCI retries, MPI backlogs, RMA epochs throttle.
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <tuple>
+
 #include "apps/reference.hpp"
 #include "bench_support/runner.hpp"
+#include "comm/serializer.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
 
@@ -190,6 +194,79 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.01, 0.05),
                        ::testing::Values(0)),
     lossy_name);
+
+// ---------------------------------------------------------------------------
+// Forced wire formats under chaos: corruption, drops and duplicates must be
+// format-agnostic - the reliability channel retransmits leased chunk frames
+// verbatim, and the unified scatter's header/payload validation has to hold
+// for every encoding. Dense is the sensitive one (bitmap framing), so the
+// chaos matrix re-runs with each format pinned programmatically (the
+// LCR_WIRE_FORMAT env value is read once and cached, so setenv in-process
+// would be a no-op here).
+// ---------------------------------------------------------------------------
+
+class ForcedFormatChaos
+    : public ::testing::TestWithParam<
+          std::tuple<comm::BackendKind, comm::WireFormat>> {
+ protected:
+  void SetUp() override {
+    comm::set_wire_format_override(std::get<1>(GetParam()));
+  }
+  void TearDown() override { comm::set_wire_format_override(std::nullopt); }
+};
+
+TEST_P(ForcedFormatChaos, BfsExactUnderLoss) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  bench::RunSpec spec;
+  spec.app = "bfs";
+  spec.backend = std::get<0>(GetParam());
+  spec.hosts = 3;
+  spec.policy = graph::PartitionPolicy::CartesianVertexCut;
+  spec.fabric = lossy_config(0.05);
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+  EXPECT_GT(result.rel_retransmits, 0u);
+}
+
+TEST_P(ForcedFormatChaos, CcExactUnderLoss) {
+  graph::Csr g = graph::symmetrize(graph::rmat(6, 8.0));
+  bench::RunSpec spec;
+  spec.app = "cc";
+  spec.backend = std::get<0>(GetParam());
+  spec.hosts = 3;
+  spec.policy = graph::PartitionPolicy::OutgoingEdgeCut;
+  spec.fabric = lossy_config(0.05);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_cc(g));
+}
+
+std::string forced_format_name(
+    const ::testing::TestParamInfo<
+        std::tuple<comm::BackendKind, comm::WireFormat>>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case comm::BackendKind::Lci: name = "lci"; break;
+    case comm::BackendKind::MpiProbe: name = "mpi_probe"; break;
+    default: name = "mpi_rma"; break;
+  }
+  switch (std::get<1>(info.param)) {
+    case comm::WireFormat::Varint: name += "_varint"; break;
+    case comm::WireFormat::Dense: name += "_dense"; break;
+    default: name += "_sparse"; break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllFormats, ForcedFormatChaos,
+    ::testing::Combine(::testing::Values(comm::BackendKind::Lci,
+                                         comm::BackendKind::MpiProbe,
+                                         comm::BackendKind::MpiRma),
+                       ::testing::Values(comm::WireFormat::Sparse,
+                                         comm::WireFormat::Varint,
+                                         comm::WireFormat::Dense)),
+    forced_format_name);
 
 /// Single compute thread per host (comm thread still separate).
 TEST(FailureModes, SingleComputeThreadWorks) {
