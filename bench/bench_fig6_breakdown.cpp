@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
   graph::Csr sym = graph::symmetrize(base);
 
   bench::Table table({"app", "backend", "compute(s)", "comm(s)", "total(s)",
-                      "comm %", "ser %"});
+                      "comm %", "ser %", "apply %"});
   std::map<std::string, std::uint64_t> last_snapshot;
   std::map<std::string, double> measured_shares;
   for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
@@ -170,12 +170,26 @@ int main(int argc, char** argv) {
       const double ser_share = gather_s / std::max(thread_s, 1e-9);
       measured_shares[std::string(app) + "/" + comm::to_string(kind)] =
           ser_share;
+      // Receive-side apply share: cluster-wide decode/scatter nanoseconds
+      // over the same compute-thread-seconds denominator. Guarded like the
+      // serialization share so a decode/apply slowdown trips CI.
+      const auto apply_it = r.telemetry.find("sync.apply_ns");
+      const double apply_s =
+          apply_it != r.telemetry.end()
+              ? static_cast<double>(apply_it->second) * 1e-9
+              : 0.0;
+      const double apply_share = apply_s / std::max(thread_s, 1e-9);
+      measured_shares[std::string(app) + "/" + comm::to_string(kind) +
+                      "#apply"] = apply_share;
       char ser_pct[16];
       std::snprintf(ser_pct, sizeof(ser_pct), "%.1f%%", 100.0 * ser_share);
+      char apply_pct[16];
+      std::snprintf(apply_pct, sizeof(apply_pct), "%.1f%%",
+                    100.0 * apply_share);
       table.add_row({app, comm::to_string(kind),
                      bench::fmt_seconds(r.compute_s),
                      bench::fmt_seconds(r.comm_s),
-                     bench::fmt_seconds(r.total_s), pct, ser_pct});
+                     bench::fmt_seconds(r.total_s), pct, ser_pct, apply_pct});
       if (!trace_path.empty()) {
         print_span_check(app, comm::to_string(kind), r);
         last_snapshot = r.telemetry;
@@ -215,7 +229,7 @@ int main(int argc, char** argv) {
       if (it == baseline.end()) continue;
       const double limit = it->second * 1.25 + 0.02;
       const bool bad = share > limit;
-      std::printf("  [perf] %-16s ser share %.4f vs baseline %.4f "
+      std::printf("  [perf] %-22s share %.4f vs baseline %.4f "
                   "(limit %.4f) %s\n",
                   key.c_str(), share, it->second, limit,
                   bad ? "REGRESSED" : "ok");
@@ -223,7 +237,7 @@ int main(int argc, char** argv) {
     }
     if (regressions > 0) {
       std::fprintf(stderr,
-                   "%d configuration(s) regressed serialization share > 25%% "
+                   "%d configuration(s) regressed gather/apply share > 25%% "
                    "over %s\n",
                    regressions, baseline_path.c_str());
       return 1;

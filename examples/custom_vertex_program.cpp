@@ -89,9 +89,10 @@ int main() {
     eng.sync_reduce<std::uint32_t>(
         counts.data(), dirty,
         [](std::uint32_t& current, std::uint32_t incoming) {
-          // Add-combine; atomic because two peers' messages may scatter into
-          // the same master concurrently.
-          apps::atomic_add(current, incoming);
+          // Add-combine; plain because the engine serializes combines on the
+          // same destination shard even when two peers' messages apply
+          // concurrently (DESIGN.md §12).
+          apps::plain_add(current, incoming);
           return true;
         },
         [](graph::VertexId) {});

@@ -32,7 +32,14 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
                                   graph.host_id, cfg_.backend_options)),
       team_(std::make_unique<rt::ThreadTeam>(cfg.compute_threads)),
       send_queue_(1024),
-      recv_queue_(cfg.recv_queue_capacity) {
+      recv_queue_(cfg.recv_queue_capacity),
+      apply_queue_(4096),
+      shard_locks_(graph.num_local) {
+  apply_workers_ = cfg_.apply_workers == 0 ? team_->size()
+                                           : cfg_.apply_workers;
+  apply_workers_ = std::min(std::max<std::size_t>(apply_workers_, 1),
+                            team_->size());
+  stats_.apply_threads.store(apply_workers_, std::memory_order_relaxed);
   stat_reg_ = cluster.fabric().telemetry().register_probes({
       {"abelian.messages_sent", &stats_.messages_sent},
       {"abelian.bytes_sent", &stats_.bytes_sent},
@@ -42,6 +49,11 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
       {"sync.fmt_varint", &stats_.fmt_varint},
       {"sync.fmt_dense", &stats_.fmt_dense},
       {"sync.decode_rejects", &stats_.decode_rejects},
+      {"sync.apply_ns", &stats_.apply_ns},
+      {"sync.apply_threads", &stats_.apply_threads},
+      {"sync.shard_contended", &stats_.shard_contended},
+      {"sync.stash_peak", &stats_.stash_peak},
+      {"sync.stash_drops", &stats_.stash_drops},
   });
   comm_thread_ = std::thread([this] { comm_thread_loop(); });
 }
@@ -50,9 +62,23 @@ HostEngine::~HostEngine() {
   stop_.store(true, std::memory_order_release);
   if (comm_thread_.joinable()) comm_thread_.join();
   // Drop anything still queued (teardown only; release() recycles backend
-  // resources which are about to be destroyed anyway).
+  // resources which are about to be destroyed anyway). The apply queue is
+  // provably empty after every phase - each enqueued slice ran before its
+  // chunk was noted - so this loop is pure defense.
+  while (auto s = apply_queue_.try_pop()) {
+    ApplyJob* job = s->job;
+    if (job != nullptr &&
+        job->slices_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete job;
+  }
   while (auto m = recv_queue_.try_pop()) delete *m;
   while (auto w = send_queue_.try_pop()) delete *w;
+  // Future-phase messages still stashed hold live backend resources (e.g.
+  // LCI receive requests); release them before the backend goes away.
+  for (auto& [phase, queue] : stash_)
+    for (auto& msg : queue)
+      if (msg.release) msg.release();
+  stash_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -177,7 +203,7 @@ void HostEngine::comm_thread_loop() {
 
 void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
                                 std::size_t total_bytes,
-                                const ScatterFn& scatter) {
+                                const ScatterFn& scatter, bool can_apply) {
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(total_bytes, std::memory_order_relaxed);
   if (cfg_.backend_options.tracker != nullptr)
@@ -187,7 +213,7 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
     while (!backend_->commit(dst, lease, total_bytes)) {
       // Back pressure: relieve it by receiving/scattering, then retry; the
       // lease (and its serialized payload) stays intact across retries.
-      if (!drain_one(scatter)) backoff.pause();
+      if (!drain_one(scatter, can_apply)) backoff.pause();
     }
     return;
   }
@@ -199,12 +225,12 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
   sends_pending_.fetch_add(1, std::memory_order_acq_rel);
   rt::Backoff backoff;
   while (!send_queue_.try_push(sw)) {
-    if (!drain_one(scatter)) backoff.pause();
+    if (!drain_one(scatter, can_apply)) backoff.pause();
   }
 }
 
 void HostEngine::send_tail(int dst, std::uint32_t data_chunks,
-                           const ScatterFn& scatter) {
+                           const ScatterFn& scatter, bool can_apply) {
   assert(data_chunks + 1 <= 0xFFFF);
   comm::ChunkHeader header;
   header.phase_id = phase_state_.phase_id;
@@ -223,7 +249,7 @@ void HostEngine::send_tail(int dst, std::uint32_t data_chunks,
     lease.capacity = lease.heap.size();
   }
   std::memcpy(lease.data, &header, sizeof(header));
-  dispatch_chunk(dst, lease, comm::kChunkHeaderBytes, scatter);
+  dispatch_chunk(dst, lease, comm::kChunkHeaderBytes, scatter, can_apply);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +263,7 @@ bool HostEngine::next_message(comm::InMessage& out) {
     if (it != stash_.end() && !it->second.empty()) {
       out = std::move(it->second.front());
       it->second.pop_front();
+      --stash_count_;
       if (it->second.empty()) stash_.erase(it);
       return true;
     }
@@ -250,7 +277,124 @@ bool HostEngine::next_message(comm::InMessage& out) {
   return false;
 }
 
-bool HostEngine::drain_one(const ScatterFn& scatter) {
+void HostEngine::stash_message(comm::InMessage&& msg,
+                               const comm::ChunkHeader& header) {
+  // phase_id is monotone per engine, so a simple forward-window compare
+  // separates a peer legitimately racing ahead from a stale or fuzzed id.
+  const std::uint32_t current = phase_state_.phase_id;
+  if (header.phase_id > current &&
+      header.phase_id - current <= kStashPhaseWindow) {
+    std::lock_guard<rt::Spinlock> guard(stash_lock_);
+    if (stash_count_ < cfg_.stash_cap) {
+      stash_[header.phase_id].push_back(std::move(msg));
+      ++stash_count_;
+      if (stash_count_ > stats_.stash_peak.load(std::memory_order_relaxed))
+        stats_.stash_peak.store(stash_count_, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Stale phase, beyond the window, or stash at capacity: drop. release()
+  // recycles the transport resources, which is all the "nack" the reliable
+  // fabric needs - delivery already completed at that layer.
+  stats_.stash_drops.fetch_add(1, std::memory_order_relaxed);
+  if (msg.release) msg.release();
+}
+
+void HostEngine::purge_stale_stash() {
+  std::lock_guard<rt::Spinlock> guard(stash_lock_);
+  auto it = stash_.begin();
+  while (it != stash_.end() && it->first < phase_state_.phase_id) {
+    for (comm::InMessage& m : it->second) {
+      stats_.stash_drops.fetch_add(1, std::memory_order_relaxed);
+      if (m.release) m.release();
+      --stash_count_;
+    }
+    it = stash_.erase(it);
+  }
+}
+
+void HostEngine::run_slice(const ApplySlice& slice) {
+  ApplyJob* job = slice.job;
+  {
+    telemetry::Span apply_span("abelian", "apply", graph_.host_id);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!(*job->scatter)(job->msg.src, job->header, job->msg.payload(),
+                         slice.rec_lo, slice.rec_hi))
+      job->rejected.store(true, std::memory_order_relaxed);
+    stats_.apply_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+  }
+  if (job->slices_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last slice settles the chunk exactly once: one reject count however
+    // many slices failed, one release, then the completion accounting (the
+    // apply-before-note_chunk order is what makes phase completion imply
+    // an empty apply queue).
+    if (job->rejected.load(std::memory_order_relaxed))
+      stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+    if (job->msg.release) job->msg.release();
+    phase_state_.note_chunk(job->msg.src, job->header);
+    delete job;
+  }
+}
+
+void HostEngine::push_slice(const ApplySlice& slice, bool can_apply) {
+  rt::Backoff backoff;
+  while (!apply_queue_.try_push(slice)) {
+    // Queue full. An apply worker makes room by running a slice itself
+    // (never its own job's - slices_left is pre-charged, so the job cannot
+    // settle before every slice is pushed); a pump-only thread waits for
+    // the workers to catch up.
+    if (can_apply) {
+      if (auto s = apply_queue_.try_pop()) {
+        run_slice(*s);
+        backoff.reset();
+        continue;
+      }
+    }
+    backoff.pause();
+  }
+}
+
+void HostEngine::enqueue_apply(comm::InMessage&& msg,
+                               const comm::ChunkHeader& header,
+                               const ScatterFn& scatter, bool can_apply) {
+  std::uint32_t nslices = 1;
+  std::uint32_t records = 0;
+  if (apply_workers_ > 1 && cfg_.apply_slice_records > 0) {
+    const auto info = comm::chunk_slice_info(header, phase_value_bytes_);
+    if (info.sliceable && info.records >= 2 * cfg_.apply_slice_records) {
+      records = info.records;
+      const std::uint32_t want =
+          (records + cfg_.apply_slice_records - 1) / cfg_.apply_slice_records;
+      nslices = std::min(want, static_cast<std::uint32_t>(apply_workers_));
+    }
+  }
+  auto* job = new ApplyJob;
+  job->msg = std::move(msg);
+  job->header = header;
+  job->scatter = &scatter;
+  job->slices_left.store(nslices, std::memory_order_relaxed);
+  if (nslices == 1) {
+    push_slice(ApplySlice{job, 0, kAllChunkRecords}, can_apply);
+    return;
+  }
+  const std::uint32_t per = (records + nslices - 1) / nslices;
+  for (std::uint32_t i = 0; i < nslices; ++i)
+    push_slice(ApplySlice{job, i * per, std::min(records, (i + 1) * per)},
+               can_apply);
+}
+
+bool HostEngine::drain_one(const ScatterFn& scatter, bool can_apply) {
+  if (can_apply) {
+    if (auto s = apply_queue_.try_pop()) {
+      run_slice(*s);
+      return true;
+    }
+  }
   comm::InMessage msg;
   if (!next_message(msg)) return false;
   if (msg.size < comm::kChunkHeaderBytes) {
@@ -267,18 +411,18 @@ bool HostEngine::drain_one(const ScatterFn& scatter) {
     return true;
   }
   if (header.phase_id != phase_state_.phase_id) {
-    // A peer already raced ahead into a later phase; keep for later.
-    std::lock_guard<rt::Spinlock> guard(stash_lock_);
-    stash_[header.phase_id].push_back(std::move(msg));
+    // A peer already raced ahead into a later phase; keep for later
+    // (bounded) or drop a stale/fuzzed id.
+    stash_message(std::move(msg), header);
     return true;
   }
-  if (header.payload_bytes > 0) {
-    telemetry::Span apply_span("abelian", "apply", graph_.host_id);
-    if (!scatter(msg.src, header, msg.payload()))
-      stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+  if (header.payload_bytes == 0) {
+    // Tail or clean single-chunk message: nothing to apply.
+    if (msg.release) msg.release();
+    phase_state_.note_chunk(msg.src, header);
+    return true;
   }
-  if (msg.release) msg.release();
-  phase_state_.note_chunk(msg.src, header);
+  enqueue_apply(std::move(msg), header, scatter, can_apply);
   return true;
 }
 
@@ -320,6 +464,12 @@ void HostEngine::execute_phase(
   }
 
   phase_state_.arm(spec.phase_id, p, spec.recv_from);
+  // Record layout for the apply-slice splitter (records are [u32 pos][T]).
+  phase_value_bytes_ =
+      rec_bytes > sizeof(std::uint32_t) ? rec_bytes - sizeof(std::uint32_t)
+                                        : 0;
+  stats_.apply_threads.store(apply_workers_, std::memory_order_relaxed);
+  purge_stale_stash();
   post_cmd(Cmd::BeginPhase, &spec);
 
   // Work decomposition: each peer's shared list is split into ranges that
@@ -364,6 +514,10 @@ void HostEngine::execute_phase(
   const bool direct_send = backend_->thread_safe_send();
 
   team_->run([&](std::size_t tid) {
+    // Threads below the apply-worker count run received-chunk applies
+    // whenever they touch the receive side; the rest only pump messages
+    // (apply_workers == 1 reproduces the serial apply path exactly).
+    const bool can_apply = tid < apply_workers_;
     // Stage 1: range-parallel gather. Each range is encoded directly into
     // an independent leased send buffer (records are position-indexed and
     // order-free), so serialization scales with the compute team instead of
@@ -429,7 +583,7 @@ void HostEngine::execute_phase(
         {
           telemetry::Span send_span("abelian", "send", me);
           dispatch_chunk(dst, lease, comm::kChunkHeaderBytes + enc.bytes,
-                         scatter);
+                         scatter, can_apply);
         }
         pp.chunks_sent.fetch_add(1, std::memory_order_release);
         switch (enc.format) {
@@ -459,7 +613,7 @@ void HostEngine::execute_phase(
         // Last range for this peer: every chunks_sent increment happened
         // before its release decrement, so the acquire load sees the total.
         send_tail(dst, pp.chunks_sent.load(std::memory_order_acquire),
-                  scatter);
+                  scatter, can_apply);
       }
       work_left.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -470,16 +624,19 @@ void HostEngine::execute_phase(
       rt::Backoff backoff;
       while (work_left.load(std::memory_order_acquire) != 0 ||
              sends_pending_.load(std::memory_order_acquire) != 0) {
-        if (!drain_one(scatter)) backoff.pause();
+        if (!drain_one(scatter, can_apply)) backoff.pause();
       }
       post_cmd(Cmd::Flush, nullptr);
     }
 
-    // Stage 2: scatter incoming messages until the phase completes.
+    // Stage 2: every thread turns into a receive-side worker until the
+    // phase completes - apply workers pop decode/apply slices off the work
+    // queue (and pump when it is empty); the rest keep the transport
+    // drained and feed the queue.
     telemetry::Span recv_span("abelian", "recv", me);
     rt::Backoff backoff;
     while (!phase_state_.complete.load(std::memory_order_acquire)) {
-      if (drain_one(scatter))
+      if (drain_one(scatter, can_apply))
         backoff.reset();
       else
         backoff.pause();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "abelian/cluster.hpp"
+#include "abelian/sync.hpp"
 #include "comm/backend.hpp"
 #include "comm/serializer.hpp"
 #include "graph/dist_graph.hpp"
@@ -40,11 +41,29 @@
 
 namespace lcr::abelian {
 
+/// How many phases ahead of the current one a received chunk may be and
+/// still be stashed. Legitimate skew is tiny - every app round ends in an
+/// OOB collective and runs at most a reduce + a broadcast phase, so a peer
+/// can race at most a couple of phases ahead; anything further is a fuzzed
+/// or corrupted phase id and is dropped instead of stashed.
+inline constexpr std::uint32_t kStashPhaseWindow = 8;
+
 struct EngineConfig {
   comm::BackendKind backend = comm::BackendKind::Lci;
   comm::BackendOptions backend_options;
   std::size_t compute_threads = 2;
   std::size_t recv_queue_capacity = 8192;
+  /// Compute threads that run received-chunk applies during a sync phase
+  /// (DESIGN.md §12). 0 = all of them; 1 reproduces the serial apply path.
+  /// Clamped to [1, compute_threads].
+  std::size_t apply_workers = 0;
+  /// Record granularity for splitting one chunk into parallel apply slices
+  /// (random-access wire formats only). A chunk is sliced once it holds at
+  /// least twice this many records.
+  std::uint32_t apply_slice_records = 4096;
+  /// Bound on stashed out-of-order (future-phase) messages; beyond it new
+  /// arrivals are dropped and counted (sync.stash_drops).
+  std::size_t stash_cap = 8192;
 };
 
 struct EngineStats {
@@ -62,7 +81,20 @@ struct EngineStats {
   std::atomic<std::uint64_t> fmt_varint{0};
   std::atomic<std::uint64_t> fmt_dense{0};
   /// Malformed chunks dropped by the unified scatter (fuzzed/garbage frames).
+  /// A chunk rejected mid-decode by any of its apply slices counts once.
   std::atomic<std::uint64_t> decode_rejects{0};
+  /// Wall nanoseconds spent decoding/applying received chunks, summed over
+  /// the apply workers - the Fig-6 "apply" share.
+  std::atomic<std::uint64_t> apply_ns{0};
+  /// Gauge: apply workers active in the most recent phase.
+  std::atomic<std::uint64_t> apply_threads{0};
+  /// Contended shard-lock acquires on the parallel apply path.
+  std::atomic<std::uint64_t> shard_contended{0};
+  /// Gauge: most future-phase messages ever stashed at once.
+  std::atomic<std::uint64_t> stash_peak{0};
+  /// Future-phase messages dropped: stash at capacity, phase id beyond the
+  /// stash window, or stale (behind the current phase).
+  std::atomic<std::uint64_t> stash_drops{0};
   /// Non-overlapped communication time: wall time of sync phases (Fig 6).
   double comm_s = 0.0;
   /// Computation time, accumulated by the app drivers (Fig 6).
@@ -93,11 +125,16 @@ class HostEngine {
   /// concurrently from compute threads on disjoint ranges.
   using GatherFn = std::function<comm::EncodedChunk(
       int peer, std::uint32_t lo, std::uint32_t hi, const ReserveFn& reserve)>;
-  /// Applies one received chunk from `peer`; false = malformed payload.
-  /// Must be thread-safe across messages (different messages may scatter
-  /// concurrently).
+  /// Sentinel rec_hi: apply every record of the chunk (unsliced).
+  static constexpr std::uint32_t kAllChunkRecords = 0xFFFFFFFFu;
+  /// Applies record slice [rec_lo, rec_hi) of one received chunk from
+  /// `peer`; false = malformed payload. rec_hi == kAllChunkRecords means
+  /// "through the end" (always the case for formats that cannot be sliced).
+  /// Must be thread-safe across messages and across disjoint slices of the
+  /// same message - the apply workers decode and apply concurrently.
   using ScatterFn = std::function<bool(
-      int peer, const comm::ChunkHeader& header, const std::byte* payload)>;
+      int peer, const comm::ChunkHeader& header, const std::byte* payload,
+      std::uint32_t rec_lo, std::uint32_t rec_hi)>;
 
   /// Runs one full communication phase: the shared list of every peer with
   /// a non-empty `send_lists` entry is split into ranges gathered in
@@ -116,8 +153,10 @@ class HostEngine {
 
   /// Reduce: ship dirty mirror labels to their masters and combine there.
   /// combine(T& current, T incoming) -> bool (true if current changed);
-  /// on_update(master_lid) fires when a master's value changed. Must be safe
-  /// under concurrent invocation for different messages (use atomic ops).
+  /// on_update(master_lid) fires when a master's value changed. The engine
+  /// holds the destination lid's shard lock around each combine (DESIGN.md
+  /// §12), so combines run exclusively and plain stores (apps::plain_min /
+  /// plain_add) suffice; atomic combiners remain correct, just slower.
   template <typename T, typename Combine, typename OnUpdate>
   void sync_reduce(T* labels, const rt::ConcurrentBitset& dirty,
                    Combine&& combine, OnUpdate&& on_update) {
@@ -131,20 +170,36 @@ class HostEngine {
               labels, lo, hi, reserve);
         },
         [&](int peer, const comm::ChunkHeader& header,
-            const std::byte* payload) {
+            const std::byte* payload, std::uint32_t rec_lo,
+            std::uint32_t rec_hi) {
           const auto& shared =
               graph_.master_to_mirror[static_cast<std::size_t>(peer)];
-          return comm::decode_chunk<T>(
-              header, payload, shared.size(),
+          comm::DecodeCursor cur;
+          if (!comm::seek_record<T>(header, shared.size(), rec_lo, cur))
+            return false;
+          // The same master may receive from several peers concurrently
+          // (and slices of different chunks interleave): exclusion comes
+          // from the destination-lid shard lock, amortized by the shared
+          // list's sort order.
+          ShardLocks::Guard guard(shard_locks_, &stats_.shard_contended);
+          const auto status = comm::decode_chunk_resume<T>(
+              header, payload, shared.size(), cur,
+              static_cast<std::size_t>(rec_hi - rec_lo),
               [&](std::uint32_t pos, const T& value) {
                 const graph::VertexId lid = shared[pos];
+                guard.enter(static_cast<std::size_t>(lid) >>
+                            kApplyShardShift);
                 if (combine(labels[lid], value)) on_update(lid);
               });
+          return status != comm::DecodeStatus::Error;
         });
   }
 
   /// Broadcast: ship dirty master labels to every host holding a mirror.
-  /// on_set(mirror_lid) fires after the mirror label was overwritten.
+  /// on_set(mirror_lid) fires after the mirror label was overwritten. No
+  /// shard lock here: every local mirror has exactly one master host and
+  /// chunk ranges partition the shared list, so each lid has one writer
+  /// even under the parallel apply pipeline.
   template <typename T, typename OnSet>
   void sync_broadcast(T* labels, const rt::ConcurrentBitset& dirty,
                       OnSet&& on_set) {
@@ -158,16 +213,22 @@ class HostEngine {
               labels, lo, hi, reserve);
         },
         [&](int peer, const comm::ChunkHeader& header,
-            const std::byte* payload) {
+            const std::byte* payload, std::uint32_t rec_lo,
+            std::uint32_t rec_hi) {
           const auto& shared =
               graph_.mirror_to_master[static_cast<std::size_t>(peer)];
-          return comm::decode_chunk<T>(header, payload, shared.size(),
-                                       [&](std::uint32_t pos, const T& value) {
-                                         const graph::VertexId lid =
-                                             shared[pos];
-                                         labels[lid] = value;  // single writer
-                                         on_set(lid);
-                                       });
+          comm::DecodeCursor cur;
+          if (!comm::seek_record<T>(header, shared.size(), rec_lo, cur))
+            return false;
+          const auto status = comm::decode_chunk_resume<T>(
+              header, payload, shared.size(), cur,
+              static_cast<std::size_t>(rec_hi - rec_lo),
+              [&](std::uint32_t pos, const T& value) {
+                const graph::VertexId lid = shared[pos];
+                labels[lid] = value;  // single writer
+                on_set(lid);
+              });
+          return status != comm::DecodeStatus::Error;
         });
   }
 
@@ -197,6 +258,25 @@ class HostEngine {
 
   enum class Cmd : std::uint8_t { None, BeginPhase, Flush, EndPhase };
 
+  /// One received data chunk in flight through the apply pipeline. Owns the
+  /// message; the last slice to finish settles the chunk (reject accounting,
+  /// release, note_chunk) exactly once.
+  struct ApplyJob {
+    comm::InMessage msg;
+    comm::ChunkHeader header;
+    const ScatterFn* scatter = nullptr;
+    std::atomic<std::uint32_t> slices_left{0};
+    std::atomic<bool> rejected{false};
+  };
+
+  /// Work-queue element: decode/apply records [rec_lo, rec_hi) of job's
+  /// chunk (kAllChunkRecords = through the end).
+  struct ApplySlice {
+    ApplyJob* job = nullptr;
+    std::uint32_t rec_lo = 0;
+    std::uint32_t rec_hi = kAllChunkRecords;
+  };
+
   void comm_thread_loop();
   void post_cmd(Cmd cmd, const comm::PhaseSpec* spec);
   /// Ships one framed chunk held in `lease` (header at offset 0): commits
@@ -204,14 +284,31 @@ class HostEngine {
   /// buffer to the comm thread's send queue. Relieves back pressure by
   /// scattering while it waits.
   void dispatch_chunk(int dst, comm::BufferLease& lease,
-                      std::size_t total_bytes, const ScatterFn& scatter);
+                      std::size_t total_bytes, const ScatterFn& scatter,
+                      bool can_apply);
   /// Sends the streaming tail for `dst`: a header-only chunk whose
   /// num_chunks carries the per-peer total (data chunks + itself).
-  void send_tail(int dst, std::uint32_t data_chunks, const ScatterFn& scatter);
-  /// Receives and processes at most one message; returns whether one was
-  /// handled (scattered or stashed).
-  bool drain_one(const ScatterFn& scatter);
+  void send_tail(int dst, std::uint32_t data_chunks, const ScatterFn& scatter,
+                 bool can_apply);
+  /// Makes receive-side progress: an apply worker (can_apply) prefers
+  /// running one queued apply slice; otherwise pumps one message off the
+  /// transport - validating, stashing, or splitting it into apply slices.
+  /// Returns whether any work was done.
+  bool drain_one(const ScatterFn& scatter, bool can_apply);
   bool next_message(comm::InMessage& out);
+  /// Splits one current-phase data chunk into apply slices on the work
+  /// queue (sliced only for random-access formats past the configured
+  /// record threshold).
+  void enqueue_apply(comm::InMessage&& msg, const comm::ChunkHeader& header,
+                     const ScatterFn& scatter, bool can_apply);
+  void push_slice(const ApplySlice& slice, bool can_apply);
+  /// Decodes and applies one slice; the last slice of a job settles it.
+  void run_slice(const ApplySlice& slice);
+  /// Stashes a future-phase message (bounded; beyond the cap or the phase
+  /// window it is dropped and counted) or drops a stale one.
+  void stash_message(comm::InMessage&& msg, const comm::ChunkHeader& header);
+  /// Drops stashed messages for phases the engine has already moved past.
+  void purge_stale_stash();
 
   Cluster& cluster_;
   const graph::DistGraph& graph_;
@@ -231,9 +328,16 @@ class HostEngine {
   std::atomic<std::size_t> sends_pending_{0};
   rt::MpmcQueue<comm::InMessage*> recv_queue_;
 
-  // Messages that arrived for a future phase.
+  // Messages that arrived for a future phase (bounded by cfg_.stash_cap).
   rt::Spinlock stash_lock_;
   std::map<std::uint32_t, std::deque<comm::InMessage>> stash_;
+  std::size_t stash_count_ = 0;  // guarded by stash_lock_
+
+  // Parallel apply pipeline (DESIGN.md §12).
+  rt::MpmcQueue<ApplySlice> apply_queue_;
+  ShardLocks shard_locks_;
+  std::size_t apply_workers_ = 1;     // effective count, clamped to the team
+  std::size_t phase_value_bytes_ = 0; // sizeof(T) for the phase in flight
 
   PhaseState phase_state_;
   std::uint32_t phase_counter_ = 0;

@@ -15,9 +15,88 @@
 //    recomputed master value when mirrors read it next round (vertex cut).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
 #include "graph/dist_graph.hpp"
+#include "runtime/cpu_relax.hpp"
 
 namespace lcr::abelian {
+
+/// Destination-lid shard granularity for the parallel apply path: workers
+/// applying received reduce records lock labels in blocks of
+/// 2^kApplyShardShift local ids (DESIGN.md §12). Shared lists are sorted by
+/// global id, so consecutive records of a chunk nearly always stay in one
+/// shard and the lock is amortized over hundreds of records.
+inline constexpr unsigned kApplyShardShift = 9;
+
+/// Striped TTAS spinlocks guarding label shards during concurrent reduce
+/// application. A Guard holds at most one shard at a time (release-before-
+/// acquire), so workers can never deadlock regardless of record order, and
+/// while a shard is held the holder has exclusive write access to every
+/// label in it - combines run as plain loads/stores (apps::plain_min /
+/// plain_add), not CAS loops.
+class ShardLocks {
+ public:
+  explicit ShardLocks(std::size_t num_items)
+      : count_((num_items >> kApplyShardShift) + 1),
+        locks_(std::make_unique<Lock[]>(count_)) {}
+
+  ShardLocks(const ShardLocks&) = delete;
+  ShardLocks& operator=(const ShardLocks&) = delete;
+
+  /// RAII cursor over shards. enter() is a no-op while the wanted shard is
+  /// already held - the common case for position-sorted records.
+  class Guard {
+   public:
+    Guard(ShardLocks& locks, std::atomic<std::uint64_t>* contended) noexcept
+        : locks_(locks), contended_(contended) {}
+    ~Guard() { release(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    void enter(std::size_t shard) {
+      if (shard == held_) return;
+      release();
+      locks_.acquire(shard, contended_);
+      held_ = shard;
+    }
+
+    void release() noexcept {
+      if (held_ == kNone) return;
+      locks_.locks_[held_].flag.store(0, std::memory_order_release);
+      held_ = kNone;
+    }
+
+   private:
+    static constexpr std::size_t kNone = ~std::size_t{0};
+    ShardLocks& locks_;
+    std::atomic<std::uint64_t>* contended_;
+    std::size_t held_ = kNone;
+  };
+
+ private:
+  struct alignas(64) Lock {
+    std::atomic<std::uint8_t> flag{0};
+  };
+
+  void acquire(std::size_t shard, std::atomic<std::uint64_t>* contended) {
+    Lock& l = locks_[shard % count_];
+    if (l.flag.exchange(1, std::memory_order_acquire) == 0) return;
+    if (contended != nullptr)
+      contended->fetch_add(1, std::memory_order_relaxed);
+    rt::Backoff backoff;
+    for (;;) {
+      while (l.flag.load(std::memory_order_relaxed) != 0) backoff.pause();
+      if (l.flag.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+
+  std::size_t count_;
+  std::unique_ptr<Lock[]> locks_;
+};
 
 /// Which sync phases a round needs.
 struct SyncPlan {

@@ -32,4 +32,26 @@ void atomic_add(T& target, T value) {
   }
 }
 
+// Plain (non-atomic) counterparts for contexts where the caller already
+// guarantees exclusive access to the target - the engine's sharded apply
+// path (DESIGN.md §12) holds a per-shard lock around reduce combines, so
+// apps pass these and skip the CAS loop entirely.
+
+/// target = min(target, value) under caller-provided exclusion. Returns true
+/// if the stored value decreased.
+template <typename T>
+bool plain_min(T& target, T value) {
+  if (value < target) {
+    target = value;
+    return true;
+  }
+  return false;
+}
+
+/// target += value under caller-provided exclusion.
+template <typename T>
+void plain_add(T& target, T value) {
+  target += value;
+}
+
 }  // namespace lcr::apps

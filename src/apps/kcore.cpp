@@ -81,7 +81,8 @@ std::vector<std::uint32_t> run_kcore(abelian::HostEngine& eng,
     eng.sync_reduce<std::uint32_t>(
         delta.data(), dirty_delta,
         [&](std::uint32_t& current, std::uint32_t incoming) {
-          atomic_add(current, incoming);
+          // Exclusive under the engine's shard lock (DESIGN.md §12).
+          plain_add(current, incoming);
           return true;
         },
         [](graph::VertexId) {});

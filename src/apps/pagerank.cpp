@@ -53,7 +53,8 @@ std::vector<double> run_pagerank(abelian::HostEngine& eng,
       eng.sync_reduce<double>(
           accum.data(), dirty,
           [&](double& current, double incoming) {
-            atomic_add(current, incoming);
+            // Exclusive under the engine's shard lock (DESIGN.md §12).
+            plain_add(current, incoming);
             return true;
           },
           [](graph::VertexId) {});

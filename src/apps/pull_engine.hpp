@@ -75,7 +75,8 @@ std::vector<typename Traits::Label> run_pull(
       eng.sync_reduce<Label>(
           labels.data(), dirty,
           [&](Label& current, Label incoming) {
-            return atomic_min(current, incoming);
+            // Exclusive under the engine's shard lock (DESIGN.md §12).
+            return plain_min(current, incoming);
           },
           [&](graph::VertexId lid) {
             dirty.set(lid);

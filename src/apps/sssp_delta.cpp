@@ -99,7 +99,8 @@ std::vector<std::uint32_t> run_sssp_delta(abelian::HostEngine& eng,
         eng.sync_reduce<std::uint32_t>(
             dist.data(), dirty,
             [&](std::uint32_t& current, std::uint32_t incoming) {
-              return atomic_min(current, incoming);
+              // Exclusive under the engine's shard lock (DESIGN.md §12).
+              return plain_min(current, incoming);
             },
             [&](graph::VertexId lid) {
               dirty.set(lid);

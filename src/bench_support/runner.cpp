@@ -171,6 +171,9 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     cfg.backend_options.lci_lanes = spec.lci_lanes;
     cfg.backend_options.lci_servers = spec.lci_servers;
     cfg.compute_threads = spec.threads;
+    cfg.apply_workers = spec.apply_workers;
+    if (spec.apply_slice_records != 0)
+      cfg.apply_slice_records = spec.apply_slice_records;
     abelian::HostEngine eng(cluster, part, cfg);
 
     warmup_engine(eng, spec.app, policy);

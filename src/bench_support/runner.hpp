@@ -24,6 +24,12 @@ struct RunSpec {
   graph::PartitionPolicy policy = graph::PartitionPolicy::CartesianVertexCut;
   int hosts = 4;
   std::size_t threads = 2;
+  /// Abelian receive-side apply workers (0 = all compute threads; see
+  /// abelian::EngineConfig::apply_workers).
+  std::size_t apply_workers = 0;
+  /// Abelian apply-slice granularity (records); 0 = engine default. Tests
+  /// shrink it so small graphs still exercise sliced parallel applies.
+  std::uint32_t apply_slice_records = 0;
   graph::VertexId source = 0;
   std::uint32_t pagerank_iters = 20;
   std::uint32_t kcore_k = 4;  // for app == "kcore" (abelian engine only)

@@ -253,86 +253,226 @@ EncodedChunk encode_dirty_range(const std::vector<graph::VertexId>& shared,
   return enc;
 }
 
+// ---------------------------------------------------------------------------
+// Re-entrant decode (parallel receive-side apply, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Resumable decode state. All fields are format-private; callers only
+/// default-construct a cursor (or position one via seek_record) and hand it
+/// back unchanged between decode_chunk_resume calls on the same chunk.
+struct DecodeCursor {
+  /// Sparse/Varint: payload byte offset. Dense: bitmap byte index.
+  /// DenseFull: record (= relative position) index.
+  std::size_t off = 0;
+  std::uint64_t next = 0;      ///< Varint: next expected relative position
+  std::size_t seen = 0;        ///< Dense: packed values consumed so far
+  std::uint8_t pending = 0;    ///< Dense: unconsumed bits of byte `off`
+  bool pending_valid = false;  ///< Dense: `pending` holds byte `off`'s bits
+  bool started = false;        ///< structural validation already ran
+};
+
+enum class DecodeStatus : std::uint8_t {
+  Done,   ///< payload fully consumed, all records emitted
+  More,   ///< record budget exhausted; call again with the same cursor
+  Error,  ///< malformed payload; fn was not invoked past the failure point
+};
+
+inline constexpr std::size_t kAllRecords = ~std::size_t{0};
+
+/// Random-access sliceability of one chunk: fixed-stride formats (Sparse and
+/// bitmap-elided Dense) expose their record count up front, so disjoint
+/// [rec_lo, rec_hi) slices can be decoded independently via seek_record.
+/// Varint (positions are deltas) and bitmap Dense (values index by popcount
+/// prefix) must be walked sequentially: records == 0, sliceable == false.
+/// A bad size modulus also reports non-sliceable; the (single) decode call
+/// then surfaces the Error.
+struct ChunkSliceInfo {
+  bool sliceable = false;
+  std::uint32_t records = 0;
+};
+
+inline ChunkSliceInfo chunk_slice_info(const ChunkHeader& h,
+                                       std::size_t value_bytes) {
+  const std::size_t size = h.payload_bytes;
+  switch (static_cast<WireFormat>(h.format)) {
+    case WireFormat::Sparse: {
+      const std::size_t rec = sizeof(std::uint32_t) + value_bytes;
+      if (size % rec != 0) return {};
+      return {true, static_cast<std::uint32_t>(size / rec)};
+    }
+    case WireFormat::Dense:
+      if ((h.flags & kFlagDenseFull) == 0) return {};
+      if (value_bytes == 0 || size != h.span * value_bytes) return {};
+      return {true, h.span};
+    default:
+      return {};
+  }
+}
+
+/// Positions `cur` at record index `rec_idx` of a sliceable chunk (see
+/// chunk_slice_info) and runs the structural validation a first decode call
+/// would. Returns false on a non-sliceable format (unless rec_idx == 0, which
+/// just resets the cursor), an out-of-range index, or a malformed chunk.
+template <typename T>
+bool seek_record(const ChunkHeader& h, std::size_t shared_size,
+                 std::size_t rec_idx, DecodeCursor& cur) {
+  constexpr std::size_t vb = sizeof(T);
+  cur = DecodeCursor{};
+  if (rec_idx == 0) return true;  // fresh cursor; decode validates
+  if (static_cast<std::uint64_t>(h.base_pos) + h.span > shared_size)
+    return false;
+  const std::size_t size = h.payload_bytes;
+  switch (static_cast<WireFormat>(h.format)) {
+    case WireFormat::Sparse: {
+      constexpr std::size_t rec = record_bytes<T>();
+      if (size % rec != 0 || rec_idx > size / rec) return false;
+      cur.off = rec_idx * rec;
+      cur.started = true;
+      return true;
+    }
+    case WireFormat::Dense: {
+      if ((h.flags & kFlagDenseFull) == 0) return false;
+      if (size != static_cast<std::size_t>(h.span) * vb || rec_idx > h.span)
+        return false;
+      cur.off = rec_idx;
+      cur.started = true;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Re-entrant unified scatter: decodes up to `max_records` records starting
+/// from `cur` and invokes fn(absolute_pos, value) per record, where
+/// absolute_pos = header.base_pos + relative position. Structural checks
+/// (size modulus, bitmap/value length agreement, span bounds) run on the
+/// first call for a cursor; per-record checks (out-of-span position,
+/// truncated varint, stray bitmap bits) run as records stream. Returns Error
+/// - without invoking fn beyond the failure point - on any malformed input,
+/// More when the budget ran out with payload left, Done at the end. Raw
+/// payloads carry no typed records and always Error.
+template <typename T, typename Fn>
+DecodeStatus decode_chunk_resume(const ChunkHeader& h,
+                                 const std::byte* payload,
+                                 std::size_t shared_size, DecodeCursor& cur,
+                                 std::size_t max_records, Fn&& fn) {
+  constexpr std::size_t vb = sizeof(T);
+  const std::size_t size = h.payload_bytes;
+  const std::uint64_t base = h.base_pos;
+  const std::uint64_t span = h.span;
+  if (base + span > shared_size) return DecodeStatus::Error;
+  std::size_t emitted = 0;
+  switch (static_cast<WireFormat>(h.format)) {
+    case WireFormat::Sparse: {
+      constexpr std::size_t rec = record_bytes<T>();
+      if (!cur.started) {
+        if (size % rec != 0) return DecodeStatus::Error;
+        cur.started = true;
+      }
+      while (cur.off < size) {
+        if (emitted == max_records) return DecodeStatus::More;
+        std::uint32_t rel = 0;
+        T value;
+        std::memcpy(&rel, payload + cur.off, sizeof(rel));
+        std::memcpy(&value, payload + cur.off + sizeof(rel), vb);
+        if (rel >= span) return DecodeStatus::Error;
+        cur.off += rec;
+        ++emitted;
+        fn(static_cast<std::uint32_t>(base + rel), value);
+      }
+      return DecodeStatus::Done;
+    }
+    case WireFormat::Varint: {
+      cur.started = true;
+      while (cur.off < size) {
+        if (emitted == max_records) return DecodeStatus::More;
+        std::size_t off = cur.off;
+        std::uint32_t delta = 0;
+        if (!get_varint(payload, size, off, delta))
+          return DecodeStatus::Error;
+        const std::uint64_t rel = cur.next + delta;
+        if (rel >= span) return DecodeStatus::Error;
+        if (off + vb > size) return DecodeStatus::Error;
+        T value;
+        std::memcpy(&value, payload + off, vb);
+        cur.off = off + vb;
+        cur.next = rel + 1;
+        ++emitted;
+        fn(static_cast<std::uint32_t>(base + rel), value);
+      }
+      return DecodeStatus::Done;
+    }
+    case WireFormat::Dense: {
+      if ((h.flags & kFlagDenseFull) != 0) {
+        if (!cur.started) {
+          if (size != span * vb) return DecodeStatus::Error;
+          cur.started = true;
+        }
+        while (cur.off < span) {
+          if (emitted == max_records) return DecodeStatus::More;
+          T value;
+          std::memcpy(&value, payload + cur.off * vb, vb);
+          const auto rel = static_cast<std::uint64_t>(cur.off);
+          ++cur.off;
+          ++emitted;
+          fn(static_cast<std::uint32_t>(base + rel), value);
+        }
+        return DecodeStatus::Done;
+      }
+      const std::size_t bitmap = (span + 7) / 8;
+      if (!cur.started) {
+        if (size < bitmap || (size - bitmap) % vb != 0)
+          return DecodeStatus::Error;
+        cur.started = true;
+      }
+      const std::size_t count = (size - bitmap) / vb;
+      const std::byte* values = payload + bitmap;
+      for (;;) {
+        if (!cur.pending_valid) {
+          if (cur.off >= bitmap) break;
+          cur.pending = static_cast<std::uint8_t>(payload[cur.off]);
+          cur.pending_valid = true;
+        }
+        while (cur.pending != 0) {
+          if (emitted == max_records) return DecodeStatus::More;
+          const int b = __builtin_ctz(cur.pending);
+          cur.pending = static_cast<std::uint8_t>(cur.pending &
+                                                  (cur.pending - 1));
+          const std::uint64_t rel =
+              cur.off * 8 + static_cast<std::uint64_t>(b);
+          if (rel >= span) return DecodeStatus::Error;  // stray bit past span
+          if (cur.seen == count) return DecodeStatus::Error;
+          T value;
+          std::memcpy(&value, values + cur.seen * vb, vb);
+          ++cur.seen;
+          ++emitted;
+          fn(static_cast<std::uint32_t>(base + rel), value);
+        }
+        cur.pending_valid = false;
+        ++cur.off;
+      }
+      // Every shipped value must have a bitmap bit.
+      return cur.seen == count ? DecodeStatus::Done : DecodeStatus::Error;
+    }
+    default:
+      return DecodeStatus::Error;  // Raw payloads carry no typed records
+  }
+}
+
 /// Unified scatter: decodes one chunk's payload according to its header tag
 /// and invokes fn(absolute_pos, value) per record, where absolute_pos =
 /// header.base_pos + relative position. Returns false - without invoking fn
 /// beyond the point of failure - on any malformed input: bad size modulus,
 /// out-of-span position, truncated varint, bitmap/value length mismatch, or
 /// set bitmap bits beyond the span. Raw payloads are not typed records.
+/// (One-shot wrapper over decode_chunk_resume.)
 template <typename T, typename Fn>
 bool decode_chunk(const ChunkHeader& h, const std::byte* payload,
                   std::size_t shared_size, Fn&& fn) {
-  constexpr std::size_t vb = sizeof(T);
-  const std::size_t size = h.payload_bytes;
-  const std::uint64_t base = h.base_pos;
-  const std::uint64_t span = h.span;
-  if (base + span > shared_size) return false;
-  switch (static_cast<WireFormat>(h.format)) {
-    case WireFormat::Sparse: {
-      if (size % record_bytes<T>() != 0) return false;
-      std::size_t off = 0;
-      while (off < size) {
-        std::uint32_t rel = 0;
-        T value;
-        std::memcpy(&rel, payload + off, sizeof(rel));
-        std::memcpy(&value, payload + off + sizeof(rel), vb);
-        if (rel >= span) return false;
-        fn(static_cast<std::uint32_t>(base + rel), value);
-        off += record_bytes<T>();
-      }
-      return true;
-    }
-    case WireFormat::Varint: {
-      std::size_t off = 0;
-      std::uint64_t next = 0;  // rel position one past the last record
-      while (off < size) {
-        std::uint32_t delta = 0;
-        if (!get_varint(payload, size, off, delta)) return false;
-        const std::uint64_t rel = next + delta;
-        if (rel >= span) return false;
-        if (off + vb > size) return false;
-        T value;
-        std::memcpy(&value, payload + off, vb);
-        off += vb;
-        fn(static_cast<std::uint32_t>(base + rel), value);
-        next = rel + 1;
-      }
-      return true;
-    }
-    case WireFormat::Dense: {
-      if ((h.flags & kFlagDenseFull) != 0) {
-        if (size != span * vb) return false;
-        for (std::uint64_t rel = 0; rel < span; ++rel) {
-          T value;
-          std::memcpy(&value, payload + rel * vb, vb);
-          fn(static_cast<std::uint32_t>(base + rel), value);
-        }
-        return true;
-      }
-      const std::size_t bitmap = (span + 7) / 8;
-      if (size < bitmap || (size - bitmap) % vb != 0) return false;
-      const std::size_t count = (size - bitmap) / vb;
-      std::size_t seen = 0;
-      const std::byte* values = payload + bitmap;
-      for (std::size_t byte = 0; byte < bitmap; ++byte) {
-        std::uint8_t bits = static_cast<std::uint8_t>(payload[byte]);
-        while (bits != 0) {
-          const int b = __builtin_ctz(bits);
-          bits = static_cast<std::uint8_t>(bits & (bits - 1));
-          const std::uint64_t rel = byte * 8 + static_cast<std::uint64_t>(b);
-          if (rel >= span) return false;  // stray bit past the span
-          if (seen == count) return false;
-          T value;
-          std::memcpy(&value, values + seen * vb, vb);
-          ++seen;
-          fn(static_cast<std::uint32_t>(base + rel), value);
-        }
-      }
-      return seen == count;  // every shipped value must have a bitmap bit
-    }
-    default:
-      return false;  // Raw payloads carry no typed records
-  }
+  DecodeCursor cur;
+  return decode_chunk_resume<T>(h, payload, shared_size, cur, kAllRecords,
+                                std::forward<Fn>(fn)) == DecodeStatus::Done;
 }
 
 }  // namespace lcr::comm

@@ -218,6 +218,12 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
 GeminiHost::~GeminiHost() {
   stop_.store(true, std::memory_order_release);
   if (server_thread_.joinable()) server_thread_.join();
+  // Defensive: round completion implies the apply queue drained (chunks are
+  // applied before note_chunk), so this only fires after an aborted round.
+  while (auto m = apply_queue_.try_pop()) {
+    if ((*m)->release) (*m)->release();
+    delete *m;
+  }
 }
 
 void GeminiHost::RoundState::arm(std::uint32_t id, int num_hosts) {
@@ -245,12 +251,16 @@ void GeminiHost::RoundState::note_chunk(int src,
 
 void GeminiHost::send_with_backpressure(int dst,
                                         std::vector<std::byte>& payload,
-                                        const std::function<void()>& drain) {
+                                        const std::function<bool()>& drain) {
   if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(payload.size());
   rt::Backoff backoff;
   while (!comm_->try_send(dst, payload)) {
-    drain();  // relieve back pressure by consuming incoming records
-    backoff.pause();
+    // Relieve back pressure by consuming incoming records; back off only
+    // when the drain made no progress.
+    if (drain())
+      backoff.reset();
+    else
+      backoff.pause();
   }
 }
 

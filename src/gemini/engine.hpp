@@ -36,7 +36,9 @@
 #include "comm/message.hpp"
 #include "graph/dist_graph.hpp"
 #include "runtime/bitset.hpp"
+#include "runtime/cpu_relax.hpp"
 #include "runtime/mem_tracker.hpp"
+#include "runtime/mpmc_queue.hpp"
 #include "runtime/spinlock.hpp"
 #include "runtime/thread_team.hpp"
 #include "runtime/timer.hpp"
@@ -139,8 +141,17 @@ class GeminiHost {
   bool drain_one_typed(
       const std::function<void(graph::VertexId, const T&)>& apply);
 
+  /// Decodes one received chunk's signal records, applies them, and settles
+  /// the chunk (release + note_chunk). Takes ownership of `m`.
+  template <typename T>
+  void apply_chunk_typed(
+      comm::InMessage* m,
+      const std::function<void(graph::VertexId, const T&)>& apply);
+
+  /// `drain` returns whether it made progress, so blocked producers can
+  /// back off (rt::Backoff) instead of burning a core on a busy loop.
   void send_with_backpressure(int dst, std::vector<std::byte>& payload,
-                              const std::function<void()>& drain);
+                              const std::function<bool()>& drain);
 
   struct RoundState {
     std::uint32_t round_id = 0;
@@ -167,6 +178,12 @@ class GeminiHost {
   rt::Spinlock stash_lock_;
   std::deque<comm::InMessage> stash_;  // next-round chunks
 
+  /// Parallel-drain handoff: the thread that pops a chunk off the comm shim
+  /// publishes it here so any compute thread can decode/apply it, instead of
+  /// serializing decode behind the receiver (DESIGN.md §12). Entries are
+  /// heap-owned; the applier deletes after settling.
+  rt::MpmcQueue<comm::InMessage*> apply_queue_{1024};
+
   // Per-destination chunk counters for the current round.
   std::vector<std::unique_ptr<std::atomic<std::uint32_t>>> chunks_sent_;
 
@@ -179,8 +196,37 @@ class GeminiHost {
 // ---------------------------------------------------------------------------
 
 template <typename T>
+void GeminiHost::apply_chunk_typed(
+    comm::InMessage* m,
+    const std::function<void(graph::VertexId, const T&)>& apply) {
+  const comm::ChunkHeader header = m->header();
+  const std::byte* p = m->payload();
+  constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
+  for (std::size_t off = 0; off + rec <= header.payload_bytes; off += rec) {
+    graph::VertexId gid;
+    T value;
+    std::memcpy(&gid, p + off, sizeof(gid));
+    std::memcpy(&value, p + off + sizeof(gid), sizeof(T));
+    // Gemini applies stay atomic (atomic_min/atomic_add in the app's slot
+    // function): signal records arrive keyed by arbitrary unsorted gids, so
+    // destination sharding would thrash a lock per record instead of
+    // amortizing it like Abelian's sorted shared lists do.
+    apply(gid, value);
+  }
+  if (m->release) m->release();
+  round_.note_chunk(m->src, header);
+  delete m;
+}
+
+template <typename T>
 bool GeminiHost::drain_one_typed(
     const std::function<void(graph::VertexId, const T&)>& apply) {
+  // Prefer published work: another thread already paid the recv cost.
+  if (auto queued = apply_queue_.try_pop()) {
+    apply_chunk_typed<T>(*queued, apply);
+    return true;
+  }
+
   comm::InMessage msg;
   bool have = false;
   {
@@ -195,24 +241,17 @@ bool GeminiHost::drain_one_typed(
   if (!have) have = comm_->try_recv(msg);
   if (!have) return false;
 
-  const comm::ChunkHeader header = msg.header();
-  if (header.phase_id != round_.round_id) {
+  if (msg.header().phase_id != round_.round_id) {
     // A peer raced ahead into the next round (it can be at most one ahead).
     std::lock_guard<rt::Spinlock> guard(stash_lock_);
     stash_.push_back(std::move(msg));
     return true;
   }
-  const std::byte* p = msg.payload();
-  constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
-  for (std::size_t off = 0; off + rec <= header.payload_bytes; off += rec) {
-    graph::VertexId gid;
-    T value;
-    std::memcpy(&gid, p + off, sizeof(gid));
-    std::memcpy(&value, p + off + sizeof(gid), sizeof(T));
-    apply(gid, value);
-  }
-  if (msg.release) msg.release();
-  round_.note_chunk(msg.src, header);
+  // Hand the chunk to the shared apply queue so the decode/apply work spreads
+  // across every draining thread; apply inline only when the queue is full
+  // (applying is the very thing that makes room).
+  auto* m = new comm::InMessage(std::move(msg));
+  if (!apply_queue_.try_push(m)) apply_chunk_typed<T>(m, apply);
   return true;
 }
 
@@ -248,9 +287,7 @@ void GeminiHost::stream_round(
       std::size_t bytes = 0;  // payload bytes written past the header
     };
     std::vector<Open> open(static_cast<std::size_t>(p));
-    auto drain = [&] {
-      if (!drain_one_typed<T>(apply)) rt::cpu_pause();
-    };
+    auto drain = [&]() -> bool { return drain_one_typed<T>(apply); };
     auto ship = [&](int dst) {
       Open& o = open[static_cast<std::size_t>(dst)];
       if (o.bytes == 0) {
@@ -274,8 +311,12 @@ void GeminiHost::stream_round(
       if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(total);
       rt::Backoff backoff;
       while (!comm_->commit(dst, o.lease, total)) {
-        drain();  // relieve back pressure by consuming incoming records
-        backoff.pause();
+        // Relieve back pressure by consuming incoming records; only back off
+        // when there was nothing to drain.
+        if (drain())
+          backoff.reset();
+        else
+          backoff.pause();
       }
     };
     auto emit = [&](graph::VertexId gid, const T& value) {
@@ -310,7 +351,13 @@ void GeminiHost::stream_round(
     // Thread 0 emits the tail chunks once every producer finished, telling
     // each peer how many chunks to expect from us this round.
     if (tid == 0) {
-      while (producers_left.load(std::memory_order_acquire) != 0) drain();
+      rt::Backoff wait_backoff;
+      while (producers_left.load(std::memory_order_acquire) != 0) {
+        if (drain())
+          wait_backoff.reset();
+        else
+          wait_backoff.pause();
+      }
       for (int dst = 0; dst < p; ++dst) {
         if (dst == me) continue;
         const std::uint32_t sent =

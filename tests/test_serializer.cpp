@@ -732,6 +732,177 @@ TEST(WireFormatProperty, GarbagePayloadsNeverEscapeTheSpan) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Re-entrant decode (DESIGN.md §12): stepwise decode_chunk_resume must agree
+// with one-shot decode_chunk under every format, and seek_record slices of a
+// sliceable chunk must reassemble to the full record set.
+// ---------------------------------------------------------------------------
+
+/// Decodes `f` in randomly-sized budget steps and demands the exact record
+/// map a one-shot decode produces, with More on every non-final step.
+template <typename T>
+void resume_matches_one_shot(rt::Rng& rng, const EncodedFrame& f,
+                             std::size_t shared_size) {
+  std::map<std::uint32_t, T> reference;
+  ASSERT_TRUE(comm::decode_chunk<T>(
+      f.header, f.payload.data(), shared_size,
+      [&](std::uint32_t pos, const T& v) { reference[pos] = v; }));
+
+  std::map<std::uint32_t, T> got;
+  comm::DecodeCursor cur;
+  for (int steps = 0;; ++steps) {
+    ASSERT_LT(steps, 1 << 16) << "resume never reached Done";
+    const std::size_t budget = 1 + rng.below(7);
+    std::size_t emitted = 0;
+    const auto status = comm::decode_chunk_resume<T>(
+        f.header, f.payload.data(), shared_size, cur, budget,
+        [&](std::uint32_t pos, const T& v) {
+          got[pos] = v;
+          ++emitted;
+        });
+    ASSERT_NE(status, comm::DecodeStatus::Error);
+    if (status == comm::DecodeStatus::Done) break;
+    // More must mean the budget was the limiting factor.
+    ASSERT_EQ(emitted, budget);
+  }
+  ASSERT_EQ(got.size(), reference.size());
+  for (const auto& [pos, v] : reference) {
+    ASSERT_EQ(got.count(pos), 1u);
+    EXPECT_EQ(std::memcmp(&got[pos], &v, sizeof(T)), 0)
+        << "value bits differ at pos " << pos;
+  }
+}
+
+TEST(DecodeCursorProperty, ResumeMatchesOneShotAcrossFormats) {
+  SCOPED_TRACE(fuzz_trace("ResumeMatchesOneShot"));
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x0C));
+  const std::optional<comm::WireFormat> modes[] = {
+      std::nullopt, comm::WireFormat::Sparse, comm::WireFormat::Varint,
+      comm::WireFormat::Dense};
+  // Density 1.0 under forced Dense yields DenseFull (bitmap elided), so all
+  // four wire layouts are exercised.
+  for (const double density : {0.02, 0.3, 1.0}) {
+    for (const auto& mode : modes) {
+      std::optional<FormatOverrideGuard> guard;
+      if (mode) guard.emplace(*mode);
+      const std::size_t local = 64 + rng.below(512);
+      std::vector<graph::VertexId> shared(local);
+      for (std::size_t i = 0; i < local; ++i)
+        shared[i] = static_cast<graph::VertexId>(i);
+      rt::ConcurrentBitset dirty(local);
+      std::vector<std::uint64_t> labels(local);
+      const auto threshold = static_cast<std::uint64_t>(density * 1000.0);
+      for (std::size_t i = 0; i < local; ++i) {
+        labels[i] = random_bits<std::uint64_t>(rng);
+        if (rng.below(1000) < threshold) dirty.set(i);
+      }
+      const auto n = static_cast<std::uint32_t>(local);
+      const EncodedFrame f =
+          encode_frame<std::uint64_t>(shared, dirty, labels.data(), 0, n);
+      if (f.enc.records == 0) continue;
+      resume_matches_one_shot<std::uint64_t>(rng, f, shared.size());
+    }
+  }
+}
+
+TEST(DecodeCursorProperty, SeekSlicesMatchFullDecode) {
+  SCOPED_TRACE(fuzz_trace("SeekSlices"));
+  rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x0D));
+  // Sparse (random density) and DenseFull (all dirty): the two random-access
+  // layouts the apply pipeline slices.
+  for (const auto mode : {comm::WireFormat::Sparse, comm::WireFormat::Dense}) {
+    FormatOverrideGuard guard(mode);
+    const std::size_t local = 128 + rng.below(512);
+    std::vector<graph::VertexId> shared(local);
+    for (std::size_t i = 0; i < local; ++i)
+      shared[i] = static_cast<graph::VertexId>(i);
+    rt::ConcurrentBitset dirty(local);
+    std::vector<std::uint32_t> labels(local);
+    for (std::size_t i = 0; i < local; ++i) {
+      labels[i] = static_cast<std::uint32_t>(rng());
+      if (mode == comm::WireFormat::Dense || rng.below(4) == 0) dirty.set(i);
+    }
+    const auto n = static_cast<std::uint32_t>(local);
+    const EncodedFrame f =
+        encode_frame<std::uint32_t>(shared, dirty, labels.data(), 0, n);
+    const comm::ChunkSliceInfo info =
+        comm::chunk_slice_info(f.header, sizeof(std::uint32_t));
+    ASSERT_TRUE(info.sliceable);
+    ASSERT_EQ(info.records, f.enc.records);
+
+    std::map<std::uint32_t, std::uint32_t> whole;
+    ASSERT_TRUE(comm::decode_chunk<std::uint32_t>(
+        f.header, f.payload.data(), shared.size(),
+        [&](std::uint32_t pos, const std::uint32_t& v) { whole[pos] = v; }));
+
+    // Three random cut points -> up to four disjoint record slices.
+    std::vector<std::uint32_t> cuts = {
+        0, static_cast<std::uint32_t>(rng.below(info.records + 1)),
+        static_cast<std::uint32_t>(rng.below(info.records + 1)),
+        static_cast<std::uint32_t>(rng.below(info.records + 1)),
+        info.records};
+    std::sort(cuts.begin(), cuts.end());
+    std::map<std::uint32_t, std::uint32_t> sliced;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      const std::uint32_t rec_lo = cuts[s];
+      const std::uint32_t rec_hi = cuts[s + 1];
+      if (rec_lo == rec_hi) continue;
+      comm::DecodeCursor cur;
+      ASSERT_TRUE(comm::seek_record<std::uint32_t>(f.header, shared.size(),
+                                                   rec_lo, cur));
+      const auto status = comm::decode_chunk_resume<std::uint32_t>(
+          f.header, f.payload.data(), shared.size(), cur, rec_hi - rec_lo,
+          [&](std::uint32_t pos, const std::uint32_t& v) {
+            ASSERT_EQ(sliced.count(pos), 0u) << "slice overlap at " << pos;
+            sliced[pos] = v;
+          });
+      ASSERT_NE(status, comm::DecodeStatus::Error);
+      // The final slice consumes the payload; earlier ones stop on budget.
+      ASSERT_EQ(status, rec_hi == info.records ? comm::DecodeStatus::Done
+                                               : comm::DecodeStatus::More);
+    }
+    EXPECT_EQ(sliced, whole);
+  }
+}
+
+TEST(DecodeCursor, SeekRejectsNonSliceableFormats) {
+  const std::size_t local = 256;
+  std::vector<graph::VertexId> shared(local);
+  for (std::size_t i = 0; i < local; ++i)
+    shared[i] = static_cast<graph::VertexId>(i);
+  rt::ConcurrentBitset dirty(local);
+  std::vector<std::uint32_t> labels(local, 9);
+  for (std::size_t i = 0; i < local; i += 2) dirty.set(i);  // half dirty
+
+  // Varint and bitmap Dense (not all-set) are sequential-only.
+  for (const auto mode :
+       {comm::WireFormat::Varint, comm::WireFormat::Dense}) {
+    FormatOverrideGuard guard(mode);
+    const EncodedFrame f = encode_frame<std::uint32_t>(
+        shared, dirty, labels.data(), 0, static_cast<std::uint32_t>(local));
+    ASSERT_EQ(f.header.flags & comm::kFlagDenseFull, 0);
+    EXPECT_FALSE(comm::chunk_slice_info(f.header, sizeof(std::uint32_t))
+                     .sliceable);
+    comm::DecodeCursor cur;
+    // rec_idx == 0 just resets the cursor and is always allowed...
+    EXPECT_TRUE(
+        comm::seek_record<std::uint32_t>(f.header, shared.size(), 0, cur));
+    // ...but a real seek into a sequential-only layout must fail.
+    EXPECT_FALSE(
+        comm::seek_record<std::uint32_t>(f.header, shared.size(), 4, cur));
+  }
+
+  // Out-of-range seeks on a sliceable chunk fail too.
+  {
+    FormatOverrideGuard guard(comm::WireFormat::Sparse);
+    const EncodedFrame f = encode_frame<std::uint32_t>(
+        shared, dirty, labels.data(), 0, static_cast<std::uint32_t>(local));
+    comm::DecodeCursor cur;
+    EXPECT_FALSE(comm::seek_record<std::uint32_t>(
+        f.header, shared.size(), f.enc.records + 1, cur));
+  }
+}
+
 TEST(Bitset, CountRangeMatchesManualPopcount) {
   SCOPED_TRACE(fuzz_trace("CountRange"));
   rt::Rng rng(rt::hash64(fuzz_seed() ^ 0x0A));
