@@ -1,0 +1,131 @@
+// Recovery experiments (DESIGN.md §13, EXPERIMENTS.md "Recovery"):
+//
+//   1. Asynchronous checkpoint overhead: failure-free runs with the
+//      double-buffered per-host checkpoint staged every K rounds vs the
+//      K=0 baseline. Target: < 10% total-time overhead at K=8 - the save
+//      path is a bounded memcpy, the checksum seals off-thread.
+//
+//   2. Recovery latency vs K: kill one host mid-run, roll the cluster back
+//      to the last stable checkpoint, re-admit the victim under a new
+//      fabric epoch and re-execute. Smaller K = less re-executed work but
+//      more staging; the table shows both sides of the trade.
+//
+// Every failure run prints its kill schedule via to_string(FaultProfile)
+// so the exact fault configuration is part of the record.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "bench_support/cluster_configs.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "fabric/config.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+using namespace lcr;
+
+namespace {
+
+std::string fmt_pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned scale = bench::env_scale(10);
+  const int hosts = bench::env_hosts(4);
+  const std::uint32_t pr_iters = bench::env_pr_iters(16);
+
+  const bench::ClusterProfile profile = bench::stampede2_like();
+  graph::Csr g = graph::rmat(scale, 8.0);
+  graph::Csr sym = graph::symmetrize(g);
+
+  std::printf("=== Recovery: async checkpoint overhead + rollback latency "
+              "===\n");
+  std::printf("(rmat scale %u, %d hosts, %zu threads/host, %s fabric)\n\n",
+              scale, hosts, profile.compute_threads, profile.name.c_str());
+
+  auto base_spec = [&](const char* app) {
+    bench::RunSpec spec;
+    spec.app = app;
+    spec.hosts = hosts;
+    spec.threads = profile.compute_threads;
+    spec.fabric = profile.fabric;
+    spec.pagerank_iters = pr_iters;
+    if (std::string(app) == "cc" || std::string(app) == "labelprop")
+      spec.policy = graph::PartitionPolicy::OutgoingEdgeCut;
+    else
+      spec.source = bench::choose_source(g);
+    return spec;
+  };
+  auto graph_for = [&](const char* app) -> const graph::Csr& {
+    return (std::string(app) == "cc" || std::string(app) == "labelprop")
+               ? sym
+               : g;
+  };
+
+  // ------------------------------------------------------------------
+  // 1. Failure-free checkpoint overhead vs interval K.
+  // ------------------------------------------------------------------
+  std::printf("--- checkpoint overhead (failure-free, vs K=0 baseline) "
+              "---\n");
+  for (const char* app : {"pagerank", "labelprop"}) {
+    bench::Table table({"K", "total(s)", "overhead", "rounds"});
+    double baseline = 0.0;
+    for (std::int64_t k : {0, 16, 8, 4, 2}) {
+      bench::RunSpec spec = base_spec(app);
+      spec.ckpt_interval = k;
+      const auto r = bench::run_app(graph_for(app), spec);
+      if (k == 0) baseline = r.total_s;
+      table.add_row({std::to_string(k), bench::fmt_seconds(r.total_s),
+                     k == 0 ? "-" : fmt_pct(r.total_s / baseline - 1.0),
+                     std::to_string(r.rounds)});
+    }
+    std::printf("%s:\n", app);
+    table.print(std::cout);
+    std::printf("(target: < 10%% at K=8)\n\n");
+  }
+
+  // ------------------------------------------------------------------
+  // 2. Kill + rollback: recovery latency and re-execution cost vs K.
+  // ------------------------------------------------------------------
+  const std::int64_t kill_round =
+      static_cast<std::int64_t>(pr_iters) / 2 + 1;
+  std::printf("--- recovery latency vs checkpoint interval (pagerank) "
+              "---\n");
+  {
+    bench::RunSpec probe = base_spec("pagerank");
+    probe.fabric.fault.kill_host = 1;
+    probe.fabric.fault.kill_at_round = kill_round;
+    std::printf("fault profile: %s\n",
+                fabric::to_string(probe.fabric.fault).c_str());
+  }
+  bench::Table table({"K", "total(s)", "recovery(s)", "rollback@",
+                      "replayed", "kills", "unfailed(s)"});
+  bench::RunSpec clean = base_spec("pagerank");
+  const double unfailed = bench::run_app(g, clean).total_s;
+  for (std::int64_t k : {2, 4, 8, 16}) {
+    bench::RunSpec spec = base_spec("pagerank");
+    spec.ckpt_interval = k;
+    spec.fabric.fault.kill_host = 1;
+    spec.fabric.fault.kill_at_round = kill_round;
+    const auto r = bench::run_app(g, spec);
+    const std::int64_t replayed =
+        r.rollback_round >= 0 ? kill_round - r.rollback_round : kill_round;
+    table.add_row({std::to_string(k), bench::fmt_seconds(r.total_s),
+                   bench::fmt_seconds(r.recovery_s),
+                   std::to_string(r.rollback_round),
+                   std::to_string(replayed), std::to_string(r.kills),
+                   bench::fmt_seconds(unfailed)});
+  }
+  table.print(std::cout);
+  std::printf("(kill fires at round %lld of %u; 'replayed' = rounds "
+              "re-executed after rollback)\n",
+              static_cast<long long>(kill_round), pr_iters);
+  return 0;
+}

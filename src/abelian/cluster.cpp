@@ -10,7 +10,31 @@ namespace lcr::abelian {
 Cluster::Cluster(int num_hosts, fabric::FabricConfig config)
     : num_hosts_(num_hosts),
       fabric_(static_cast<std::size_t>(num_hosts), std::move(config)),
-      barrier_(static_cast<std::size_t>(num_hosts)) {}
+      barrier_(static_cast<std::size_t>(num_hosts)),
+      membership_(static_cast<std::size_t>(num_hosts)),
+      checkpoints_(static_cast<std::size_t>(num_hosts)) {
+  // Ground-truth kill reports flow fabric -> membership (with the kill
+  // logged into the deterministic recovery trace); watchdog suspicions flow
+  // reliability channel -> fabric -> membership (state only, never logged).
+  fabric_.set_kill_observer([this](fabric::Rank victim) {
+    membership_.report_kill(static_cast<int>(victim));
+    membership_.log_event({comm::RecoveryEvent::Kind::Kill,
+                           static_cast<int>(victim), -1, fabric_.epoch()});
+  });
+  fabric_.set_suspect_observer([this](fabric::Rank reporter,
+                                      fabric::Rank peer) {
+    membership_.report_suspect(static_cast<int>(reporter),
+                               static_cast<int>(peer));
+  });
+  rt::CheckpointStats& cs = checkpoints_.stats();
+  ckpt_reg_ = fabric_.telemetry().register_probes({
+      {"ckpt.saves", &cs.saves},
+      {"ckpt.bytes", &cs.bytes},
+      {"ckpt.stage_ns", &cs.stage_ns},
+      {"ckpt.seal_ns", &cs.seal_ns},
+      {"ckpt.restores", &cs.restores},
+  });
+}
 
 void Cluster::run(const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;
@@ -31,13 +55,69 @@ void Cluster::run(const std::function<void(int)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void Cluster::throw_failure() const {
+  // Surface which peer died when membership knows; -1 = detector-only.
+  for (int h = 0; h < num_hosts_; ++h)
+    if (membership_.state(static_cast<std::size_t>(h)) ==
+        comm::PeerState::Dead)
+      throw comm::PeerFailedError(h);
+  throw comm::PeerFailedError(-1);
+}
+
+void Cluster::oob_wait() {
+  if (membership_.failure_pending()) throw_failure();
+  if (!barrier_.arrive_and_wait_abortable(
+          [this] { return membership_.failure_pending(); }))
+    throw_failure();
+}
+
+void Cluster::round_tick(int host, std::int64_t round) {
+  fabric_.note_round(static_cast<fabric::Rank>(host), round);
+  if (!fabric_.is_alive(static_cast<fabric::Rank>(host)))
+    throw comm::HostKilledError(host);
+  if (membership_.failure_pending()) throw_failure();
+}
+
+std::int64_t Cluster::recover(int self) {
+  membership_.recovery_barrier(static_cast<std::size_t>(self), [this] {
+    const std::int64_t rollback = checkpoints_.stable_round();
+    rollback_round_.store(rollback, std::memory_order_release);
+    membership_.log_event({comm::RecoveryEvent::Kind::Rollback, -1, rollback,
+                           fabric_.epoch()});
+    for (int h = 0; h < num_hosts_; ++h) {
+      const auto r = static_cast<fabric::Rank>(h);
+      if (!fabric_.is_alive(r)) {
+        fabric_.revive(r);
+        membership_.mark_alive(static_cast<std::size_t>(h));
+        membership_.log_event({comm::RecoveryEvent::Kind::Readmit, h, -1,
+                               fabric_.epoch()});
+      } else if (membership_.state(static_cast<std::size_t>(h)) !=
+                 comm::PeerState::Alive) {
+        // Stale watchdog suspicion of a survivor: cleared by recovery.
+        membership_.mark_alive(static_cast<std::size_t>(h));
+      }
+    }
+    // The OOB plane may be torn mid-collective: restore the barrier and
+    // the allreduce scratch to their initial states.
+    barrier_.reset();
+    acc_u64_.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<rt::Spinlock> guard(acc_lock_);
+      acc_double_ = 0.0;
+      acc_u64_min_ = ~std::uint64_t{0};
+    }
+    membership_.clear_failure();
+  });
+  return rollback_round_.load(std::memory_order_acquire);
+}
+
 std::uint64_t Cluster::oob_allreduce_sum(std::uint64_t value) {
   acc_u64_.fetch_add(value, std::memory_order_acq_rel);
-  barrier_.arrive_and_wait();
+  oob_wait();
   const std::uint64_t result = acc_u64_.load(std::memory_order_acquire);
-  barrier_.arrive_and_wait();
+  oob_wait();
   acc_u64_.store(0, std::memory_order_relaxed);  // idempotent across hosts
-  barrier_.arrive_and_wait();
+  oob_wait();
   return result;
 }
 
@@ -46,18 +126,38 @@ double Cluster::oob_allreduce_sum(double value) {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     acc_double_ += value;
   }
-  barrier_.arrive_and_wait();
+  oob_wait();
   double result;
   {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     result = acc_double_;
   }
-  barrier_.arrive_and_wait();
+  oob_wait();
   {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     acc_double_ = 0.0;
   }
-  barrier_.arrive_and_wait();
+  oob_wait();
+  return result;
+}
+
+double Cluster::oob_allreduce_max(double value) {
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ = std::max(acc_double_, value);
+  }
+  oob_wait();
+  double result;
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    result = acc_double_;
+  }
+  oob_wait();
+  {
+    std::lock_guard<rt::Spinlock> guard(acc_lock_);
+    acc_double_ = 0.0;
+  }
+  oob_wait();
   return result;
 }
 
@@ -67,38 +167,18 @@ std::uint64_t Cluster::oob_allreduce_min(std::uint64_t value) {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     acc_u64_min_ = std::min(acc_u64_min_, value);
   }
-  barrier_.arrive_and_wait();
+  oob_wait();
   std::uint64_t result;
   {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     result = acc_u64_min_;
   }
-  barrier_.arrive_and_wait();
+  oob_wait();
   {
     std::lock_guard<rt::Spinlock> guard(acc_lock_);
     acc_u64_min_ = ~std::uint64_t{0};
   }
-  barrier_.arrive_and_wait();
-  return result;
-}
-
-double Cluster::oob_allreduce_max(double value) {
-  {
-    std::lock_guard<rt::Spinlock> guard(acc_lock_);
-    acc_double_ = std::max(acc_double_, value);
-  }
-  barrier_.arrive_and_wait();
-  double result;
-  {
-    std::lock_guard<rt::Spinlock> guard(acc_lock_);
-    result = acc_double_;
-  }
-  barrier_.arrive_and_wait();
-  {
-    std::lock_guard<rt::Spinlock> guard(acc_lock_);
-    acc_double_ = 0.0;
-  }
-  barrier_.arrive_and_wait();
+  oob_wait();
   return result;
 }
 

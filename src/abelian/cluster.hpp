@@ -8,6 +8,13 @@
 // only for BSP round control (termination detection), identically for every
 // backend, so it never contributes to the measured differences between
 // communication layers (see DESIGN.md).
+//
+// The cluster also owns the failure-handling pieces of DESIGN.md §13: the
+// membership layer (fed by the fabric's kill observer and the reliability
+// watchdog), the cluster-wide checkpoint store, and the recovery rendezvous
+// that re-admits a killed host under a new fabric epoch. All OOB collectives
+// are abortable: when a failure is pending they throw instead of deadlocking
+// on the dead participant.
 #pragma once
 
 #include <atomic>
@@ -15,8 +22,10 @@
 #include <functional>
 #include <vector>
 
+#include "comm/membership.hpp"
 #include "fabric/fabric.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/spinlock.hpp"
 
 namespace lcr::abelian {
@@ -30,14 +39,17 @@ class Cluster {
 
   int num_hosts() const noexcept { return num_hosts_; }
   fabric::Fabric& fabric() noexcept { return fabric_; }
+  comm::Membership& membership() noexcept { return membership_; }
+  rt::CheckpointStore& checkpoints() noexcept { return checkpoints_; }
 
   /// Runs fn(host_id) on one thread per host and joins them all. Any
   /// exception thrown by a host is rethrown (first one wins).
   void run(const std::function<void(int)>& fn);
 
   // --- Out-of-band control plane (host-main threads only) ---
+  // All collectives abort with PeerFailedError when a failure is pending.
 
-  void oob_barrier() { barrier_.arrive_and_wait(); }
+  void oob_barrier() { oob_wait(); }
 
   /// Sum-allreduce over all hosts. Collective: every host-main must call.
   std::uint64_t oob_allreduce_sum(std::uint64_t value);
@@ -49,10 +61,32 @@ class Cluster {
   /// Min-allreduce over all hosts (u64).
   std::uint64_t oob_allreduce_min(std::uint64_t value);
 
+  // --- Failure handling (DESIGN.md §13) ---
+
+  /// Driver hook at each BSP round boundary: fires scheduled round kills
+  /// deterministically and aborts the caller when this host is dead
+  /// (HostKilledError) or a peer failure is pending (PeerFailedError).
+  void round_tick(int host, std::int64_t round);
+
+  /// Cluster-wide recovery rendezvous: every host thread calls this after
+  /// unwinding its engine. The leader (host 0) revives dead hosts under a
+  /// new fabric epoch, clears stale suspicions, resets the torn OOB plane
+  /// and logs the deterministic Rollback/Readmit trace. Returns the
+  /// cluster-wide rollback round (-1 = restart from scratch).
+  std::int64_t recover(int self);
+
  private:
+  /// Abortable barrier arrival; throws PeerFailedError on pending failure.
+  void oob_wait();
+  [[noreturn]] void throw_failure() const;
+
   int num_hosts_;
   fabric::Fabric fabric_;
   rt::SenseBarrier barrier_;
+  comm::Membership membership_;
+  rt::CheckpointStore checkpoints_;
+  telemetry::Registration ckpt_reg_;
+  std::atomic<std::int64_t> rollback_round_{-1};
 
   // Allreduce scratch (host 0 resets between uses; barriers sequence it).
   std::atomic<std::uint64_t> acc_u64_{0};

@@ -28,8 +28,17 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
     : cluster_(cluster),
       graph_(graph),
       cfg_(with_lane_defaults(std::move(cfg))),
-      backend_(comm::make_backend(cfg_.backend, cluster.fabric(),
-                                  graph.host_id, cfg_.backend_options)),
+      backend_(comm::make_backend(
+          cfg_.backend, cluster.fabric(), graph.host_id,
+          [&] {
+            // Blocking backend synchronization (MPI-RMA epochs) must unwind
+            // when a host dies, or survivors wedge waiting on the victim.
+            auto opt = cfg_.backend_options;
+            opt.abort_check = [&m = cluster.membership()] {
+              return m.failure_pending();
+            };
+            return opt;
+          }())),
       team_(std::make_unique<rt::ThreadTeam>(cfg.compute_threads)),
       send_queue_(1024),
       recv_queue_(cfg.recv_queue_capacity),
@@ -63,14 +72,10 @@ HostEngine::~HostEngine() {
   if (comm_thread_.joinable()) comm_thread_.join();
   // Drop anything still queued (teardown only; release() recycles backend
   // resources which are about to be destroyed anyway). The apply queue is
-  // provably empty after every phase - each enqueued slice ran before its
-  // chunk was noted - so this loop is pure defense.
-  while (auto s = apply_queue_.try_pop()) {
-    ApplyJob* job = s->job;
-    if (job != nullptr &&
-        job->slices_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
-      delete job;
-  }
+  // provably empty after every completed phase - each enqueued slice ran
+  // before its chunk was noted - but an aborted phase (host failure) leaves
+  // unfinished slices behind.
+  while (auto s = apply_queue_.try_pop()) abort_slice(*s);
   while (auto m = recv_queue_.try_pop()) delete *m;
   while (auto w = send_queue_.try_pop()) delete *w;
   // Future-phase messages still stashed hold live backend resources (e.g.
@@ -162,6 +167,7 @@ void HostEngine::comm_thread_loop() {
         SendWork* sw = *work;
         rt::Backoff send_backoff;
         while (!backend_->try_send(sw->dst, sw->payload)) {
+          if (aborting()) break;  // abandon the send, phase is unwinding
           backend_->progress();
           send_backoff.pause();
         }
@@ -211,6 +217,10 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
   if (backend_->thread_safe_send()) {
     rt::Backoff backoff;
     while (!backend_->commit(dst, lease, total_bytes)) {
+      if (aborting()) {
+        backend_->abandon(lease);
+        return;
+      }
       // Back pressure: relieve it by receiving/scattering, then retry; the
       // lease (and its serialized payload) stays intact across retries.
       if (!drain_one(scatter, can_apply)) backoff.pause();
@@ -225,6 +235,11 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
   sends_pending_.fetch_add(1, std::memory_order_acq_rel);
   rt::Backoff backoff;
   while (!send_queue_.try_push(sw)) {
+    if (aborting()) {
+      delete sw;
+      sends_pending_.fetch_sub(1, std::memory_order_release);
+      return;
+    }
     if (!drain_one(scatter, can_apply)) backoff.pause();
   }
 }
@@ -341,9 +356,26 @@ void HostEngine::run_slice(const ApplySlice& slice) {
   }
 }
 
+bool HostEngine::aborting() const noexcept {
+  return cluster_.membership().failure_pending();
+}
+
+void HostEngine::abort_slice(const ApplySlice& slice) {
+  ApplyJob* job = slice.job;
+  if (job != nullptr &&
+      job->slices_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (job->msg.release) job->msg.release();
+    delete job;
+  }
+}
+
 void HostEngine::push_slice(const ApplySlice& slice, bool can_apply) {
   rt::Backoff backoff;
   while (!apply_queue_.try_push(slice)) {
+    if (aborting()) {
+      abort_slice(slice);
+      return;
+    }
     // Queue full. An apply worker makes room by running a slice itself
     // (never its own job's - slices_left is pre-charged, so the job cannot
     // settle before every slice is pushed); a pump-only thread waits for
@@ -624,6 +656,7 @@ void HostEngine::execute_phase(
       rt::Backoff backoff;
       while (work_left.load(std::memory_order_acquire) != 0 ||
              sends_pending_.load(std::memory_order_acquire) != 0) {
+        if (aborting()) break;
         if (!drain_one(scatter, can_apply)) backoff.pause();
       }
       post_cmd(Cmd::Flush, nullptr);
@@ -636,6 +669,9 @@ void HostEngine::execute_phase(
     telemetry::Span recv_span("abelian", "recv", me);
     rt::Backoff backoff;
     while (!phase_state_.complete.load(std::memory_order_acquire)) {
+      // A dead peer's chunks never arrive: unwind instead of spinning. The
+      // host-main driver raises the failure at its next round boundary.
+      if (aborting()) break;
       if (drain_one(scatter, can_apply))
         backoff.reset();
       else

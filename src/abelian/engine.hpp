@@ -304,6 +304,14 @@ class HostEngine {
   void push_slice(const ApplySlice& slice, bool can_apply);
   /// Decodes and applies one slice; the last slice of a job settles it.
   void run_slice(const ApplySlice& slice);
+  /// Whether a cluster-wide failure is pending: every potentially-unbounded
+  /// engine wait checks this so worker threads unwind instead of spinning on
+  /// a dead peer (they never throw; the host-main driver raises the error).
+  bool aborting() const noexcept;
+  /// Settles a slice without running it (abort paths): decrements the job's
+  /// slice count and, on the last slice, releases the message and deletes
+  /// the job - no note_chunk, the phase is being abandoned.
+  void abort_slice(const ApplySlice& slice);
   /// Stashes a future-phase message (bounded; beyond the cap or the phase
   /// window it is dropped and counted) or drops a stale one.
   void stash_message(comm::InMessage&& msg, const comm::ChunkHeader& header);

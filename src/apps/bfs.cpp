@@ -5,8 +5,10 @@
 namespace lcr::apps {
 
 std::vector<std::uint32_t> run_bfs(abelian::HostEngine& eng,
-                                   graph::VertexId source) {
-  return run_push<BfsTraits>(eng, source);
+                                   graph::VertexId source,
+                                   rt::RecoveryCtx* rec) {
+  return run_push<BfsTraits>(
+      eng, source, std::numeric_limits<std::uint64_t>::max(), rec);
 }
 
 }  // namespace lcr::apps

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "abelian/engine.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace lcr::apps {
 
@@ -28,6 +29,7 @@ struct BfsTraits {
 /// Runs distributed BFS from `source`; returns this host's local labels
 /// (hop counts; kInf = unreachable). eng.stats() carries timings.
 std::vector<std::uint32_t> run_bfs(abelian::HostEngine& eng,
-                                   graph::VertexId source);
+                                   graph::VertexId source,
+                                   rt::RecoveryCtx* rec = nullptr);
 
 }  // namespace lcr::apps

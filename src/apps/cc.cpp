@@ -4,8 +4,10 @@
 
 namespace lcr::apps {
 
-std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng) {
-  return run_push<CcTraits>(eng, /*source=*/0);
+std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng,
+                                  rt::RecoveryCtx* rec) {
+  return run_push<CcTraits>(
+      eng, /*source=*/0, std::numeric_limits<std::uint64_t>::max(), rec);
 }
 
 }  // namespace lcr::apps

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "abelian/engine.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace lcr::apps {
 
@@ -26,6 +27,7 @@ struct CcTraits {
 
 /// Distributed connected components; returns local component labels
 /// (the minimum global vertex id in each component).
-std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng);
+std::vector<std::uint32_t> run_cc(abelian::HostEngine& eng,
+                                  rt::RecoveryCtx* rec = nullptr);
 
 }  // namespace lcr::apps

@@ -1,0 +1,54 @@
+// Label propagation on Abelian: min-propagation over hashed labels.
+//
+// Every vertex starts with a pseudo-random label (a murmur3-style hash of
+// its global id) and repeatedly adopts the minimum label among itself and
+// its neighbors. The fixpoint assigns each connected component the minimum
+// hashed label it contains - semantically a connected-components variant,
+// but with propagation order uncorrelated with vertex ids. That makes it a
+// high-churn broadcast workload: labels keep improving for many rounds
+// across the whole graph instead of radiating once from low ids, which is
+// exactly the stress profile wanted for sync-phase and recovery testing.
+//
+// Defined on undirected graphs: callers should symmetrize the input
+// (graph::symmetrize) before partitioning, as the benchmarks do.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "abelian/engine.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace lcr::apps {
+
+/// 32-bit murmur3 finalizer: a bijective mixer, so distinct vertices get
+/// distinct hashes before masking.
+inline std::uint32_t fmix32(std::uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+struct LabelPropTraits {
+  using Label = std::uint32_t;
+  static constexpr Label kInf = std::numeric_limits<Label>::max();
+  static constexpr const char* kName = "labelprop";
+
+  static Label init_label(graph::VertexId gid, graph::VertexId) {
+    // Mask to 31 bits so no hash collides with kInf.
+    return fmix32(static_cast<std::uint32_t>(gid)) & 0x7fffffffu;
+  }
+  static bool init_active(graph::VertexId, graph::VertexId) { return true; }
+  static Label relax(Label src_label, graph::Weight) { return src_label; }
+};
+
+/// Distributed label propagation; returns the local labels at fixpoint
+/// (minimum hashed label per connected component).
+std::vector<std::uint32_t> run_labelprop(abelian::HostEngine& eng,
+                                         rt::RecoveryCtx* rec = nullptr);
+
+}  // namespace lcr::apps

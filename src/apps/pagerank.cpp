@@ -1,6 +1,8 @@
 #include "apps/pagerank.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <mutex>
 
 #include "abelian/sync.hpp"
@@ -11,7 +13,7 @@
 namespace lcr::apps {
 
 std::vector<double> run_pagerank(abelian::HostEngine& eng,
-                                 PagerankOptions opt) {
+                                 PagerankOptions opt, rt::RecoveryCtx* rec) {
   const graph::DistGraph& g = eng.graph();
   const std::size_t n_local = g.num_local;
   const double n_global = static_cast<double>(g.global_nodes);
@@ -23,7 +25,30 @@ std::vector<double> run_pagerank(abelian::HostEngine& eng,
 
   const abelian::SyncPlan plan = abelian::plan_accumulate(g.policy);
 
-  for (std::uint32_t iter = 0; iter < opt.max_iterations; ++iter) {
+  std::uint32_t iter = 0;
+  std::uint32_t resumed_at = std::numeric_limits<std::uint32_t>::max();
+
+  // Recovery: the per-iteration transient state (accum, dirty sets) is
+  // rebuilt every round, so the checkpoint is just the rank vector.
+  if (rec != nullptr && rec->resume && rec->resume_round >= 0) {
+    std::vector<std::vector<std::uint8_t>> arrays;
+    if (rec->store->load(rec->host, rec->resume_round, arrays) &&
+        arrays.size() == 1 && arrays[0].size() == n_local * sizeof(double)) {
+      if (n_local > 0)
+        std::memcpy(rank.data(), arrays[0].data(), arrays[0].size());
+      iter = static_cast<std::uint32_t>(rec->resume_round);
+      resumed_at = iter;
+    }
+  }
+
+  for (; iter < opt.max_iterations; ++iter) {
+    eng.cluster().round_tick(g.host_id, static_cast<std::int64_t>(iter));
+    if (rec != nullptr && rec->interval > 0 &&
+        iter % static_cast<std::uint32_t>(rec->interval) == 0 &&
+        iter != resumed_at) {
+      rec->store->save(rec->host, static_cast<std::int64_t>(iter),
+                       {{rank.data(), n_local * sizeof(double)}});
+    }
     telemetry::Span round_span("app", "round", g.host_id);
     // --- Computation: scatter contributions along local out-edges ---
     rt::Timer compute_timer;

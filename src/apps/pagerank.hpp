@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "abelian/engine.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace lcr::apps {
 
@@ -25,6 +26,7 @@ struct PagerankOptions {
 
 /// Runs distributed PageRank; returns this host's local rank values.
 std::vector<double> run_pagerank(abelian::HostEngine& eng,
-                                 PagerankOptions opt = {});
+                                 PagerankOptions opt = {},
+                                 rt::RecoveryCtx* rec = nullptr);
 
 }  // namespace lcr::apps

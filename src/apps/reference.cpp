@@ -81,6 +81,37 @@ std::vector<std::uint32_t> reference_cc(const graph::Csr& g) {
   return label;
 }
 
+std::vector<std::uint32_t> reference_labelprop(const graph::Csr& g) {
+  // Min-propagation to fixpoint over hashed initial labels; the hash must
+  // match LabelPropTraits::init_label exactly (fmix32 masked to 31 bits).
+  auto fmix32 = [](std::uint32_t h) {
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    h *= 0xc2b2ae35u;
+    h ^= h >> 16;
+    return h;
+  };
+  const graph::VertexId n = g.num_nodes();
+  std::vector<std::uint32_t> label(n);
+  for (graph::VertexId v = 0; v < n; ++v) label[v] = fmix32(v) & 0x7fffffffu;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (graph::VertexId u = 0; u < n; ++u)
+      for (graph::EdgeId e = g.edge_begin(u); e < g.edge_end(u); ++e) {
+        const graph::VertexId v = g.edge_target(e);
+        const std::uint32_t m = std::min(label[u], label[v]);
+        if (label[u] != m || label[v] != m) {
+          label[u] = m;
+          label[v] = m;
+          changed = true;
+        }
+      }
+  }
+  return label;
+}
+
 std::vector<double> reference_pagerank(const graph::Csr& g, double damping,
                                        std::uint32_t max_iterations,
                                        double tolerance) {

@@ -22,6 +22,10 @@ std::vector<std::uint32_t> reference_sssp(const graph::Csr& g,
 /// undirected closure of g.
 std::vector<std::uint32_t> reference_cc(const graph::Csr& g);
 
+/// Label-propagation fixpoint (minimum fmix32-hashed label per component)
+/// over the undirected closure of g; matches apps::run_labelprop.
+std::vector<std::uint32_t> reference_labelprop(const graph::Csr& g);
+
 /// PageRank with the same formula / damping / iteration scheme as the
 /// distributed implementation.
 std::vector<double> reference_pagerank(const graph::Csr& g,

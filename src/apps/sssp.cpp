@@ -5,8 +5,10 @@
 namespace lcr::apps {
 
 std::vector<std::uint32_t> run_sssp(abelian::HostEngine& eng,
-                                    graph::VertexId source) {
-  return run_push<SsspTraits>(eng, source);
+                                    graph::VertexId source,
+                                    rt::RecoveryCtx* rec) {
+  return run_push<SsspTraits>(
+      eng, source, std::numeric_limits<std::uint64_t>::max(), rec);
 }
 
 }  // namespace lcr::apps

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "abelian/engine.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace lcr::apps {
 
@@ -27,6 +28,7 @@ struct SsspTraits {
 
 /// Distributed SSSP from `source` over edge weights; returns local distances.
 std::vector<std::uint32_t> run_sssp(abelian::HostEngine& eng,
-                                    graph::VertexId source);
+                                    graph::VertexId source,
+                                    rt::RecoveryCtx* rec = nullptr);
 
 }  // namespace lcr::apps

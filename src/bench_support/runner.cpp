@@ -1,6 +1,7 @@
 #include "bench_support/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "abelian/cluster.hpp"
@@ -9,11 +10,13 @@
 #include "apps/bfs.hpp"
 #include "apps/cc.hpp"
 #include "apps/kcore.hpp"
+#include "apps/labelprop.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/sssp.hpp"
 #include "apps/sssp_delta.hpp"
 #include "gemini/engine.hpp"
 #include "graph/partition.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/mem_tracker.hpp"
 #include "runtime/timer.hpp"
 #include "telemetry/telemetry.hpp"
@@ -38,6 +41,7 @@ struct HostOutcome {
   double total_s = 0.0;
   double compute_s = 0.0;
   double comm_s = 0.0;
+  double recovery_s = 0.0;
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -112,6 +116,19 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     const graph::DistGraph& part = parts[hs];
     HostOutcome& out = outcomes[hs];
 
+    // Recovery context: every driver checkpoints through the cluster store;
+    // after a failure the retry loop flips `resume` and re-enters the app at
+    // the rollback round (DESIGN.md §13). All hosts abort / recover / resume
+    // in lockstep, so the collective call sequence stays aligned.
+    rt::RecoveryCtx rec;
+    rec.store = &cluster.checkpoints();
+    rec.host = hs;
+    rec.interval = spec.ckpt_interval;
+
+    bool first_attempt = true;
+    std::uint64_t measure_start_ns = 0;
+    std::uint64_t fail_ns = 0;
+
     if (is_gemini) {
       gemini::GeminiConfig cfg;
       cfg.comm = spec.backend == comm::BackendKind::Lci
@@ -124,42 +141,66 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
       cfg.batch_bytes = spec.gemini_batch_bytes;
       cfg.lci_lanes = spec.lci_lanes;
       cfg.lci_servers = spec.lci_servers;
-      gemini::GeminiHost host(cluster, part, cfg);
 
-      cluster.oob_barrier();
-      // Setup spans must not pollute the measured trace (mirrors the
-      // stats zeroing warmup_engine does for the abelian path).
-      if (h == 0) telemetry::reset_trace();
-      cluster.oob_barrier();
-      rt::Timer timer;
-      if (spec.app == "bfs") {
-        auto labels = host.run_push<apps::BfsTraits>(spec.source);
-        write_masters(part, labels, result.labels_u32);
-      } else if (spec.app == "cc") {
-        auto labels = host.run_push<apps::CcTraits>(0);
-        write_masters(part, labels, result.labels_u32);
-      } else if (spec.app == "sssp") {
-        auto labels = host.run_push<apps::SsspTraits>(spec.source);
-        write_masters(part, labels, result.labels_u32);
-      } else if (spec.app == "pagerank") {
-        auto ranks = host.run_pagerank(0.85, spec.pagerank_iters,
-                                       spec.pagerank_tol);
-        write_masters(part, ranks, result.labels_f64);
-      } else {
-        throw std::invalid_argument("unknown app: " + spec.app);
+      std::unique_ptr<gemini::GeminiHost> host;
+      for (;;) {
+        try {
+          host = std::make_unique<gemini::GeminiHost>(cluster, part, cfg);
+          cluster.oob_barrier();
+          // Setup spans must not pollute the measured trace (mirrors the
+          // stats zeroing warmup_engine does for the abelian path).
+          if (h == 0 && first_attempt) telemetry::reset_trace();
+          cluster.oob_barrier();
+          if (measure_start_ns == 0) measure_start_ns = rt::now_ns();
+          if (fail_ns != 0) {
+            out.recovery_s +=
+                static_cast<double>(rt::now_ns() - fail_ns) * 1e-9;
+            fail_ns = 0;
+          }
+          if (spec.app == "bfs") {
+            auto labels = host->run_push<apps::BfsTraits>(spec.source, &rec);
+            write_masters(part, labels, result.labels_u32);
+          } else if (spec.app == "cc") {
+            auto labels = host->run_push<apps::CcTraits>(0, &rec);
+            write_masters(part, labels, result.labels_u32);
+          } else if (spec.app == "labelprop") {
+            auto labels =
+                host->run_push<apps::LabelPropTraits>(0, &rec);
+            write_masters(part, labels, result.labels_u32);
+          } else if (spec.app == "sssp") {
+            auto labels = host->run_push<apps::SsspTraits>(spec.source, &rec);
+            write_masters(part, labels, result.labels_u32);
+          } else if (spec.app == "pagerank") {
+            auto ranks = host->run_pagerank(0.85, spec.pagerank_iters,
+                                            spec.pagerank_tol, &rec);
+            write_masters(part, ranks, result.labels_f64);
+          } else {
+            throw std::invalid_argument("unknown app: " + spec.app);
+          }
+          break;
+        } catch (const comm::HostKilledError&) {
+          fail_ns = rt::now_ns();
+        } catch (const comm::PeerFailedError&) {
+          fail_ns = rt::now_ns();
+        }
+        first_attempt = false;
+        host.reset();  // tear down before re-admission (endpoint detach)
+        rec.resume = true;
+        rec.resume_round = cluster.recover(h);
       }
-      out.total_s = timer.elapsed_s();
+      out.total_s =
+          static_cast<double>(rt::now_ns() - measure_start_ns) * 1e-9;
       cluster.oob_barrier();
       // Snapshot the registry while every host's engine (and therefore
       // every layer's probe registration) is still alive; the trailing
       // barrier keeps peers from tearing down early.
       if (h == 0) result.telemetry = cluster.fabric().telemetry().snapshot();
       cluster.oob_barrier();
-      out.compute_s = host.stats().compute_s;
-      out.comm_s = host.stats().comm_s;
-      out.rounds = host.stats().rounds;
-      out.messages = host.stats().messages.load();
-      out.bytes = host.stats().bytes.load();
+      out.compute_s = host->stats().compute_s;
+      out.comm_s = host->stats().comm_s;
+      out.rounds = host->stats().rounds;
+      out.messages = host->stats().messages.load();
+      out.bytes = host->stats().bytes.load();
       return;
     }
 
@@ -174,46 +215,70 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     cfg.apply_workers = spec.apply_workers;
     if (spec.apply_slice_records != 0)
       cfg.apply_slice_records = spec.apply_slice_records;
-    abelian::HostEngine eng(cluster, part, cfg);
 
-    warmup_engine(eng, spec.app, policy);
-    cluster.oob_barrier();
-    if (h == 0) telemetry::reset_trace();  // drop warm-up spans
-    cluster.oob_barrier();
-    rt::Timer timer;
-    if (spec.app == "bfs") {
-      auto labels = apps::run_bfs(eng, spec.source);
-      write_masters(part, labels, result.labels_u32);
-    } else if (spec.app == "cc") {
-      auto labels = apps::run_cc(eng);
-      write_masters(part, labels, result.labels_u32);
-    } else if (spec.app == "sssp") {
-      auto labels = apps::run_sssp(eng, spec.source);
-      write_masters(part, labels, result.labels_u32);
-    } else if (spec.app == "pagerank") {
-      apps::PagerankOptions opt;
-      opt.max_iterations = spec.pagerank_iters;
-      opt.tolerance = spec.pagerank_tol;
-      auto ranks = apps::run_pagerank(eng, opt);
-      write_masters(part, ranks, result.labels_f64);
-    } else if (spec.app == "kcore") {
-      auto alive = apps::run_kcore(eng, spec.kcore_k);
-      write_masters(part, alive, result.labels_u32);
-    } else if (spec.app == "sssp_delta") {
-      auto labels = apps::run_sssp_delta(eng, spec.source);
-      write_masters(part, labels, result.labels_u32);
-    } else {
-      throw std::invalid_argument("unknown app: " + spec.app);
+    std::unique_ptr<abelian::HostEngine> eng;
+    for (;;) {
+      try {
+        eng = std::make_unique<abelian::HostEngine>(cluster, part, cfg);
+        warmup_engine(*eng, spec.app, policy);
+        cluster.oob_barrier();
+        if (h == 0 && first_attempt)
+          telemetry::reset_trace();  // drop warm-up spans
+        cluster.oob_barrier();
+        if (measure_start_ns == 0) measure_start_ns = rt::now_ns();
+        if (fail_ns != 0) {
+          out.recovery_s +=
+              static_cast<double>(rt::now_ns() - fail_ns) * 1e-9;
+          fail_ns = 0;
+        }
+        if (spec.app == "bfs") {
+          auto labels = apps::run_bfs(*eng, spec.source, &rec);
+          write_masters(part, labels, result.labels_u32);
+        } else if (spec.app == "cc") {
+          auto labels = apps::run_cc(*eng, &rec);
+          write_masters(part, labels, result.labels_u32);
+        } else if (spec.app == "labelprop") {
+          auto labels = apps::run_labelprop(*eng, &rec);
+          write_masters(part, labels, result.labels_u32);
+        } else if (spec.app == "sssp") {
+          auto labels = apps::run_sssp(*eng, spec.source, &rec);
+          write_masters(part, labels, result.labels_u32);
+        } else if (spec.app == "pagerank") {
+          apps::PagerankOptions opt;
+          opt.max_iterations = spec.pagerank_iters;
+          opt.tolerance = spec.pagerank_tol;
+          auto ranks = apps::run_pagerank(*eng, opt, &rec);
+          write_masters(part, ranks, result.labels_f64);
+        } else if (spec.app == "kcore") {
+          auto alive = apps::run_kcore(*eng, spec.kcore_k);
+          write_masters(part, alive, result.labels_u32);
+        } else if (spec.app == "sssp_delta") {
+          auto labels = apps::run_sssp_delta(*eng, spec.source);
+          write_masters(part, labels, result.labels_u32);
+        } else {
+          throw std::invalid_argument("unknown app: " + spec.app);
+        }
+        break;
+      } catch (const comm::HostKilledError&) {
+        fail_ns = rt::now_ns();
+      } catch (const comm::PeerFailedError&) {
+        fail_ns = rt::now_ns();
+      }
+      first_attempt = false;
+      eng.reset();  // tear down before re-admission (endpoint detach)
+      rec.resume = true;
+      rec.resume_round = cluster.recover(h);
     }
-    out.total_s = timer.elapsed_s();
+    out.total_s =
+        static_cast<double>(rt::now_ns() - measure_start_ns) * 1e-9;
     cluster.oob_barrier();
     if (h == 0) result.telemetry = cluster.fabric().telemetry().snapshot();
     cluster.oob_barrier();
-    out.compute_s = eng.stats().compute_s;
-    out.comm_s = eng.stats().comm_s;
-    out.rounds = eng.stats().rounds;
-    out.messages = eng.stats().messages_sent.load();
-    out.bytes = eng.stats().bytes_sent.load();
+    out.compute_s = eng->stats().compute_s;
+    out.comm_s = eng->stats().comm_s;
+    out.rounds = eng->stats().rounds;
+    out.messages = eng->stats().messages_sent.load();
+    out.bytes = eng->stats().bytes_sent.load();
   });
 
   // Second snapshot pass: engine-owned probes (lci.*, abelian.*, ...) died
@@ -261,11 +326,19 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     result.total_s = std::max(result.total_s, outcomes[hs].total_s);
     result.compute_s = std::max(result.compute_s, outcomes[hs].compute_s);
     result.comm_s = std::max(result.comm_s, outcomes[hs].comm_s);
+    result.recovery_s = std::max(result.recovery_s, outcomes[hs].recovery_s);
     result.rounds = std::max(result.rounds, outcomes[hs].rounds);
     result.messages += outcomes[hs].messages;
     result.bytes += outcomes[hs].bytes;
     result.peak_mem[hs] = trackers[hs].peak();
   }
+  result.kills = cluster.membership().kills();
+  result.recoveries = cluster.membership().recoveries();
+  result.recovery_events = cluster.membership().events();
+  result.killed_at_op = cluster.fabric().killed_at_op();
+  for (const auto& ev : result.recovery_events)
+    if (ev.kind == comm::RecoveryEvent::Kind::Rollback)
+      result.rollback_round = ev.round;
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "comm/backend.hpp"
+#include "comm/membership.hpp"
 #include "fabric/config.hpp"
 #include "graph/csr.hpp"
 #include "graph/dist_graph.hpp"
@@ -18,7 +19,7 @@
 namespace lcr::bench {
 
 struct RunSpec {
-  std::string app = "bfs";        // bfs | cc | sssp | pagerank
+  std::string app = "bfs";  // bfs | cc | sssp | pagerank | labelprop | ...
   std::string engine = "abelian"; // abelian | gemini
   comm::BackendKind backend = comm::BackendKind::Lci;
   graph::PartitionPolicy policy = graph::PartitionPolicy::CartesianVertexCut;
@@ -43,6 +44,11 @@ struct RunSpec {
   std::string mpi_personality = "default";
   /// MPI-Probe buffered-layer flush timeout (ablation C).
   std::uint64_t aggregation_timeout_us = 50;
+  /// Asynchronous checkpoint interval in rounds (0 = checkpointing off).
+  /// With a kill schedule in `fabric.fault`, hosts that unwind on a failure
+  /// rendezvous at the cluster recovery barrier, reload the last stable
+  /// checkpoint and resume (DESIGN.md §13).
+  std::int64_t ckpt_interval = 0;
   /// LCI injection lanes; 0 = engine default (one per compute thread).
   std::size_t lci_lanes = 0;
   /// Dedicated LCI progress servers sharding lanes and peer ranks; 0 = the
@@ -89,6 +95,16 @@ struct RunResult {
   /// per histogram). The wire_*/faults_*/rel_* fields above are views
   /// derived from this map, kept for source compatibility.
   std::map<std::string, std::uint64_t> telemetry;
+  /// Fail-stop recovery observables (all zero / empty on an unfailed run).
+  std::uint64_t kills = 0;       // fail-stop kills injected during the run
+  std::uint64_t recoveries = 0;  // completed cluster recovery rendezvous
+  std::int64_t rollback_round = -1;   // last recovery's rollback round
+  std::uint64_t killed_at_op = 0;     // victim's data-op count at the kill
+  /// Max across hosts: wall seconds from unwinding on the failure until the
+  /// host's rebuilt engine was ready to resume (rollback + re-admission).
+  double recovery_s = 0.0;
+  /// Deterministic recovery trace (Kill / Rollback / Readmit order).
+  std::vector<comm::RecoveryEvent> recovery_events;
   /// Global result labels assembled from the masters.
   std::vector<std::uint32_t> labels_u32;  // bfs / cc / sssp
   std::vector<double> labels_f64;         // pagerank

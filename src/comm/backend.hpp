@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -137,6 +138,11 @@ struct BackendOptions {
   /// peer ranks. 0 = none: progress happens only on the threads that call
   /// Backend::progress() (the engine comm/server thread assist path).
   std::size_t lci_servers = 0;
+  /// Cluster failure hook: returns true while a host kill awaits recovery.
+  /// Backends with internally blocking synchronization (MPI-RMA epochs)
+  /// poll it so host threads unwind to the recovery rendezvous instead of
+  /// wedging on a peer that died or already tore down its communicator.
+  std::function<bool()> abort_check;
 };
 
 /// Factory: builds the backend for `rank` on `fabric`.

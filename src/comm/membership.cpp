@@ -1,0 +1,99 @@
+#include "comm/membership.hpp"
+
+#include <cstdio>
+
+namespace lcr::comm {
+
+const char* to_string(PeerState s) {
+  switch (s) {
+    case PeerState::Alive: return "alive";
+    case PeerState::Slow: return "slow";
+    case PeerState::SuspectedDead: return "suspected-dead";
+    case PeerState::Dead: return "dead";
+  }
+  return "?";
+}
+
+std::string to_string(const RecoveryEvent& ev) {
+  char buf[96];
+  switch (ev.kind) {
+    case RecoveryEvent::Kind::Kill:
+      std::snprintf(buf, sizeof(buf), "kill{host=%d epoch=%u}", ev.host,
+                    ev.epoch);
+      break;
+    case RecoveryEvent::Kind::Rollback:
+      std::snprintf(buf, sizeof(buf), "rollback{round=%lld epoch=%u}",
+                    static_cast<long long>(ev.round), ev.epoch);
+      break;
+    case RecoveryEvent::Kind::Readmit:
+      std::snprintf(buf, sizeof(buf), "readmit{host=%d epoch=%u}", ev.host,
+                    ev.epoch);
+      break;
+  }
+  return buf;
+}
+
+Membership::Membership(std::size_t num_hosts)
+    : n_(num_hosts),
+      states_(new std::atomic<std::uint8_t>[num_hosts]),
+      enter_(num_hosts),
+      exit_(num_hosts) {
+  for (std::size_t h = 0; h < n_; ++h)
+    states_[h].store(static_cast<std::uint8_t>(PeerState::Alive),
+                     std::memory_order_relaxed);
+}
+
+PeerState Membership::state(std::size_t host) const {
+  return static_cast<PeerState>(states_[host].load(std::memory_order_acquire));
+}
+
+void Membership::report_kill(int host) {
+  if (host < 0 || static_cast<std::size_t>(host) >= n_) return;
+  states_[static_cast<std::size_t>(host)].store(
+      static_cast<std::uint8_t>(PeerState::Dead), std::memory_order_release);
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  failure_pending_.store(true, std::memory_order_release);
+}
+
+void Membership::report_suspect(int reporter, int peer) {
+  (void)reporter;
+  if (peer < 0 || static_cast<std::size_t>(peer) >= n_) return;
+  // Upgrade only: a ground-truth Dead must never be demoted by a late
+  // detector report, and duplicate suspicions are idempotent.
+  auto& s = states_[static_cast<std::size_t>(peer)];
+  std::uint8_t cur = s.load(std::memory_order_acquire);
+  while (cur < static_cast<std::uint8_t>(PeerState::SuspectedDead)) {
+    if (s.compare_exchange_weak(
+            cur, static_cast<std::uint8_t>(PeerState::SuspectedDead),
+            std::memory_order_acq_rel))
+      break;
+  }
+}
+
+void Membership::recovery_barrier(std::size_t self,
+                                  const std::function<void()>& leader_fix) {
+  enter_.arrive_and_wait();
+  if (self == 0) {
+    leader_fix();
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  exit_.arrive_and_wait();
+}
+
+void Membership::mark_alive(std::size_t host) {
+  if (host >= n_) return;
+  states_[host].store(static_cast<std::uint8_t>(PeerState::Alive),
+                      std::memory_order_release);
+}
+
+void Membership::log_event(const RecoveryEvent& ev) {
+  std::lock_guard<std::mutex> guard(events_lock_);
+  events_.push_back(ev);
+}
+
+std::vector<RecoveryEvent> Membership::events() const {
+  std::lock_guard<std::mutex> guard(events_lock_);
+  return events_;
+}
+
+}  // namespace lcr::comm

@@ -1,0 +1,131 @@
+// Membership / epoch layer: who is alive, who is suspected, and the
+// cluster-wide rendezvous that re-admits a restarted rank.
+//
+// Two kinds of input feed it:
+//   * ground truth from the fabric's fail-stop kill layer (report_kill) -
+//     deterministic, logged into the recovery-event trace;
+//   * detector reports from the reliability watchdog (report_suspect) -
+//     timing-dependent, recorded as peer state but never logged, so the
+//     recovery trace stays bit-identical across runs with the same seed.
+//
+// A pending failure aborts every host's collectives (the cluster's OOB
+// barrier and allreduces check failure_pending()); host threads unwind to
+// the runner, rendezvous at recovery_barrier(), and the leader (host 0 -
+// OS threads survive a *simulated* host death) revives the victim under a
+// new fabric epoch, resets the torn collectives and clears the failure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+
+namespace lcr::comm {
+
+/// Thrown on the victim's host thread: this simulated host died.
+class HostKilledError : public std::runtime_error {
+ public:
+  explicit HostKilledError(int host_)
+      : std::runtime_error("host " + std::to_string(host_) + " killed"),
+        host(host_) {}
+  int host;
+};
+
+/// Thrown on surviving host threads: a peer died mid-computation and the
+/// cluster must roll back together.
+class PeerFailedError : public std::runtime_error {
+ public:
+  explicit PeerFailedError(int peer_)
+      : std::runtime_error("peer " + std::to_string(peer_) + " failed"),
+        peer(peer_) {}
+  int peer;
+};
+
+enum class PeerState : std::uint8_t { Alive, Slow, SuspectedDead, Dead };
+
+const char* to_string(PeerState s);
+
+/// One entry in the deterministic recovery trace.
+struct RecoveryEvent {
+  enum class Kind : std::uint8_t { Kill, Rollback, Readmit };
+  Kind kind = Kind::Kill;
+  int host = -1;            // killed / readmitted host (Rollback: -1)
+  std::int64_t round = -1;  // Rollback: target round; else -1
+  std::uint32_t epoch = 0;  // fabric epoch after the event
+
+  bool operator==(const RecoveryEvent& o) const {
+    return kind == o.kind && host == o.host && round == o.round &&
+           epoch == o.epoch;
+  }
+};
+
+std::string to_string(const RecoveryEvent& ev);
+
+class Membership {
+ public:
+  explicit Membership(std::size_t num_hosts);
+
+  std::size_t num_hosts() const noexcept { return n_; }
+
+  /// True while a kill awaits cluster-wide recovery. Collectives poll this
+  /// to abort instead of deadlocking on a dead participant.
+  bool failure_pending() const noexcept {
+    return failure_pending_.load(std::memory_order_acquire);
+  }
+
+  PeerState state(std::size_t host) const;
+
+  /// Ground truth from the fabric kill layer: `host` is dead. Sets the
+  /// pending failure and logs a Kill event.
+  void report_kill(int host);
+
+  /// Detector report (reliability watchdog): `reporter` suspects `peer`.
+  /// Upgrades Alive -> SuspectedDead; never overrides Dead and is not
+  /// logged (detection timing is nondeterministic).
+  void report_suspect(int reporter, int peer);
+
+  /// Cluster-wide recovery rendezvous. Every host thread calls this after
+  /// unwinding; `leader_fix` runs on host 0 exactly once between arrival
+  /// and release (revive the victim, bump the epoch, reset torn barriers,
+  /// log Rollback/Readmit). clear_failure() must be called inside it.
+  void recovery_barrier(std::size_t self,
+                        const std::function<void()>& leader_fix);
+
+  /// Leader-side helpers for use inside recovery_barrier's leader_fix.
+  void mark_alive(std::size_t host);
+  void clear_failure() {
+    failure_pending_.store(false, std::memory_order_release);
+  }
+
+  void log_event(const RecoveryEvent& ev);
+  std::vector<RecoveryEvent> events() const;
+
+  std::uint64_t kills() const noexcept {
+    return kills_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const noexcept {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> states_;
+  std::atomic<bool> failure_pending_{false};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+
+  mutable std::mutex events_lock_;
+  std::vector<RecoveryEvent> events_;
+
+  rt::SenseBarrier enter_;
+  rt::SenseBarrier exit_;
+};
+
+}  // namespace lcr::comm

@@ -24,7 +24,8 @@ MpiRmaBackend::MpiRmaBackend(fabric::Fabric& fabric, int rank,
             mpi::ThreadLevel::Multiple,
             // Two declared concurrent callers: the put-issuing compute path
             // and the dedicated polling thread.
-            mpi::CommConfig{fabric.config().default_rx_buffers, nullptr, 2}),
+            mpi::CommConfig{fabric.config().default_rx_buffers, nullptr, 2,
+                            options.abort_check}),
       tracker_(options.tracker),
       delivered_(fabric.num_ranks(), false) {}
 

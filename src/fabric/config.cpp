@@ -5,8 +5,8 @@
 namespace lcr::fabric {
 
 std::string to_string(const FaultProfile& fp) {
-  if (!fp.enabled()) return "faults{none}";
-  char buf[256];
+  if (!fp.enabled() && !fp.kill_enabled()) return "faults{none}";
+  char buf[320];
   int n = std::snprintf(buf, sizeof(buf), "faults{seed=%llu",
                         static_cast<unsigned long long>(fp.seed));
   auto append_rate = [&](const char* name, double rate) {
@@ -29,6 +29,17 @@ std::string to_string(const FaultProfile& fp) {
                        fp.brownout_dst,
                        static_cast<unsigned long long>(fp.brownout_start_op),
                        static_cast<unsigned long long>(fp.brownout_ops));
+  if (fp.kill_enabled() && n < static_cast<int>(sizeof(buf))) {
+    n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                       " kill=%d", fp.kill_host);
+    if (fp.kill_at_op > 0 && n < static_cast<int>(sizeof(buf)))
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         "@op%llu",
+                         static_cast<unsigned long long>(fp.kill_at_op));
+    if (fp.kill_at_round >= 0 && n < static_cast<int>(sizeof(buf)))
+      n += std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                         "@round%lld", static_cast<long long>(fp.kill_at_round));
+  }
   if (n < static_cast<int>(sizeof(buf)))
     std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n), "}");
   return buf;

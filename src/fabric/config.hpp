@@ -50,9 +50,25 @@ struct FaultProfile {
   std::uint64_t brownout_start_op = 0;
   std::uint64_t brownout_ops = 0;
 
+  /// Fail-stop host kill schedule. Host `kill_host` (-1 = disabled) dies
+  /// either at its `kill_at_op`-th accepted data operation (1-based; 0
+  /// disables the op trigger) or when its driver reports reaching round
+  /// `kill_at_round` (-1 disables), whichever fires first. Exactly one kill
+  /// fires per run; the victim's endpoint is torn down so peers observe
+  /// PostResult::Down instead of silence, and a later revive() bumps the
+  /// fabric epoch. Op triggers are deterministic per seed on a loss-free
+  /// fabric; round triggers are deterministic always.
+  std::int32_t kill_host = -1;
+  std::uint64_t kill_at_op = 0;
+  std::int64_t kill_at_round = -1;
+
   bool enabled() const noexcept {
     return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
            reorder_rate > 0.0 || delay_rate > 0.0 || brownout_ops > 0;
+  }
+
+  bool kill_enabled() const noexcept {
+    return kill_host >= 0 && (kill_at_op > 0 || kill_at_round >= 0);
   }
 };
 
@@ -101,9 +117,11 @@ struct FabricConfig {
   bool force_reliable = false;
 
   /// True when the communication layers must run the end-to-end reliability
-  /// protocol (sequence numbers, CRC, retransmit) on this fabric.
+  /// protocol (sequence numbers, CRC, retransmit) on this fabric. A kill
+  /// schedule forces it too: PostResult::Down is absorbed by the channel,
+  /// which converts it into a suspected-dead membership report.
   bool reliable() const noexcept {
-    return force_reliable || fault.enabled();
+    return force_reliable || fault.enabled() || fault.kill_enabled();
   }
 };
 

@@ -48,14 +48,25 @@ bool Endpoint::push_cqe(const Cqe& cqe, bool reorder) {
 std::optional<Cqe> Endpoint::poll_cq() {
   stats_.cq_polls.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<rt::Spinlock> guard(cq_lock_);
-  if (cq_.empty()) return std::nullopt;
-  const Cqe& head = cq_.front();
-  if (head.deliver_at_ns > rt::now_ns()) return std::nullopt;  // in flight
-  Cqe out = head;
-  cq_.pop_front();
-  if (out.kind == Cqe::Kind::Recv)
-    stats_.bytes_rx.fetch_add(out.meta.size, std::memory_order_relaxed);
-  return out;
+  while (!cq_.empty()) {
+    const Cqe& head = cq_.front();
+    if (fabric_epoch_ != nullptr &&
+        head.epoch != fabric_epoch_->load(std::memory_order_relaxed)) {
+      // Stale incarnation: the packet was posted before a revive bumped the
+      // epoch. Its rx buffer (if any) belonged to the previous layer's pool,
+      // so it is dropped rather than returned to the receive queue.
+      stats_.epoch_fenced.fetch_add(1, std::memory_order_relaxed);
+      cq_.pop_front();
+      continue;
+    }
+    if (head.deliver_at_ns > rt::now_ns()) return std::nullopt;  // in flight
+    Cqe out = head;
+    cq_.pop_front();
+    if (out.kind == Cqe::Kind::Recv)
+      stats_.bytes_rx.fetch_add(out.meta.size, std::memory_order_relaxed);
+    return out;
+  }
+  return std::nullopt;
 }
 
 RKey Endpoint::register_memory(void* base, std::size_t size) {
@@ -125,6 +136,9 @@ std::vector<telemetry::Probe> endpoint_stat_probes(EndpointStats& s) {
       {"rel.ooo_held", &s.rel_ooo_held},
       {"rel.ooo_dropped", &s.rel_ooo_dropped},
       {"rel.stall_dumps", &s.rel_stall_dumps},
+      {"fault.host_kills", &s.host_kills},
+      {"rel.epoch_fenced", &s.epoch_fenced},
+      {"rel.suspected_dead", &s.rel_suspected_dead},
   };
 }
 

@@ -69,6 +69,11 @@ struct EndpointStats {
   std::atomic<std::uint64_t> rel_ooo_held{0};      // held for reordering
   std::atomic<std::uint64_t> rel_ooo_dropped{0};   // beyond the hold window
   std::atomic<std::uint64_t> rel_stall_dumps{0};   // watchdog firings
+
+  // Fail-stop fault model (fabric kill layer + reliability detector).
+  std::atomic<std::uint64_t> host_kills{0};        // this host was killed
+  std::atomic<std::uint64_t> epoch_fenced{0};      // stale-epoch CQEs dropped
+  std::atomic<std::uint64_t> rel_suspected_dead{0};  // peers declared suspect
 };
 
 /// Telemetry probe set for one EndpointStats: every field under its
@@ -135,6 +140,10 @@ class Endpoint {
 
   Rank rank_;
   const FabricConfig* config_;
+  /// Current fabric epoch (owned by the Fabric). poll_cq drops completions
+  /// stamped with an older epoch: they were posted before a killed host was
+  /// revived and must never reach the new incarnation's layers.
+  const std::atomic<std::uint32_t>* fabric_epoch_ = nullptr;
 
   mutable rt::Spinlock rx_lock_;
   std::deque<RxSlot> rx_slots_;

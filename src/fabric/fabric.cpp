@@ -1,5 +1,6 @@
 #include "fabric/fabric.hpp"
 
+#include <cstdio>
 #include <cstring>
 
 #include "runtime/cpu_relax.hpp"
@@ -18,11 +19,62 @@ Fabric::Fabric(std::size_t num_ranks, FabricConfig config)
   if (config_.fault.enabled())
     link_ops_.reset(
         new std::atomic<std::uint64_t>[num_ranks * num_ranks]());
+  alive_.reset(new std::atomic<bool>[num_ranks]);
+  for (std::size_t r = 0; r < num_ranks; ++r)
+    alive_[r].store(true, std::memory_order_relaxed);
+  if (config_.fault.kill_enabled())
+    host_ops_.reset(new std::atomic<std::uint64_t>[num_ranks]());
+  for (auto& ep : endpoints_) ep->fabric_epoch_ = &epoch_;
   msg_bytes_hist_ = &telemetry_.histogram("fabric.msg_bytes");
   stat_regs_.reserve(num_ranks);
   for (auto& ep : endpoints_)
     stat_regs_.push_back(
         telemetry_.register_probes(endpoint_stat_probes(ep->stats())));
+}
+
+void Fabric::kill_now(Rank victim) {
+  if (victim >= endpoints_.size()) return;
+  if (!alive_[victim].exchange(false, std::memory_order_acq_rel))
+    return;  // already dead
+  killed_at_op_.store(data_ops(victim), std::memory_order_relaxed);
+  // Tear down the victim's endpoint: rx buffers, pending completions and
+  // memory registrations vanish with the host, so in-flight deliveries are
+  // lost exactly like a machine losing power.
+  endpoints_[victim]->detach();
+  endpoints_[victim]->stats().host_kills.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u,\"op\":%llu}",
+                  victim, epoch_.load(std::memory_order_relaxed),
+                  static_cast<unsigned long long>(killed_at_op()));
+    telemetry::instant("fault", "host_kill", victim, buf);
+  }
+  if (kill_observer_) kill_observer_(victim);
+}
+
+void Fabric::revive(Rank host) {
+  if (host >= endpoints_.size()) return;
+  if (alive_[host].exchange(true, std::memory_order_acq_rel))
+    return;  // was not dead
+  // New incarnation: everything stamped with the old epoch is fenced at
+  // poll_cq, so no packet from before the kill can reach the new layers.
+  const std::uint32_t e =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (telemetry::enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u}", host, e);
+    telemetry::instant("fault", "host_revive", host, buf);
+  }
+}
+
+void Fabric::note_round(Rank host, std::int64_t round) {
+  const FaultProfile& fp = config_.fault;
+  if (!fp.kill_enabled() || fp.kill_at_round < 0) return;
+  if (static_cast<std::int32_t>(host) != fp.kill_host) return;
+  if (round < fp.kill_at_round) return;
+  if (kill_fired_.exchange(true, std::memory_order_acq_rel)) return;
+  kill_now(host);
 }
 
 std::uint64_t Fabric::next_link_op(Rank src, Rank dst) {
@@ -83,6 +135,11 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
     return PostResult::Invalid;
   if (meta.size > config_.mtu) return PostResult::TooLarge;
 
+  // Fail-stop semantics: posts from a dead host vanish into its detached
+  // NIC; posts to a dead host report delivery failure instead of silence.
+  if (!alive_[src].load(std::memory_order_acquire)) return PostResult::Ok;
+  if (!alive_[dst].load(std::memory_order_acquire)) return PostResult::Down;
+
   Endpoint& sep = *endpoints_[src];
   Endpoint& dep = *endpoints_[dst];
 
@@ -119,6 +176,22 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
     }
   }
 
+  // Kill-at-op trigger: counts the victim's accepted data operations only
+  // (control traffic retransmits on timing-dependent schedules, data posts
+  // are deterministic per round on a loss-free fabric).
+  if (host_ops_ && !ctrl) {
+    const std::uint64_t op =
+        host_ops_[src].fetch_add(1, std::memory_order_relaxed) + 1;
+    const FaultProfile& fp = config_.fault;
+    if (static_cast<std::int32_t>(src) == fp.kill_host &&
+        fp.kill_at_op > 0 && op == fp.kill_at_op &&
+        !kill_fired_.exchange(true, std::memory_order_acq_rel)) {
+      dep.return_rx_slot(slot);
+      kill_now(src);
+      return PostResult::Ok;  // the operation dies with the host
+    }
+  }
+
   if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
 
   if (meta.size > 0) std::memcpy(slot.buffer, payload, meta.size);
@@ -134,6 +207,7 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
   cqe.buffer = ctrl ? nullptr : slot.buffer;
   cqe.rx_context = ctrl ? kCtrlRxContext : slot.context;
   cqe.deliver_at_ns = delivery_time_ns(meta.size) + roll.delay_ns;
+  cqe.epoch = epoch_.load(std::memory_order_relaxed);
 
   if (!dep.push_cqe(cqe, roll.reorder)) {
     if (!ctrl) dep.return_rx_slot(slot);
@@ -184,6 +258,9 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
   if (src >= endpoints_.size() || dst >= endpoints_.size())
     return PostResult::Invalid;
 
+  if (!alive_[src].load(std::memory_order_acquire)) return PostResult::Ok;
+  if (!alive_[dst].load(std::memory_order_acquire)) return PostResult::Down;
+
   Endpoint& sep = *endpoints_[src];
   Endpoint& dep = *endpoints_[dst];
 
@@ -207,6 +284,18 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
     return PostResult::Ok;
   }
 
+  if (host_ops_ && !(meta.rel & kRelCtrl)) {
+    const std::uint64_t op =
+        host_ops_[src].fetch_add(1, std::memory_order_relaxed) + 1;
+    const FaultProfile& fp = config_.fault;
+    if (static_cast<std::int32_t>(src) == fp.kill_host &&
+        fp.kill_at_op > 0 && op == fp.kill_at_op &&
+        !kill_fired_.exchange(true, std::memory_order_acq_rel)) {
+      kill_now(src);
+      return PostResult::Ok;  // no bytes written: the host died mid-post
+    }
+  }
+
   if (config_.doorbell_cost_ns > 0) rt::spin_for_ns(config_.doorbell_cost_ns);
 
   if (size > 0) std::memcpy(target, payload, size);
@@ -223,6 +312,7 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
     cqe.meta = meta;
     cqe.buffer = target;  // lets the reliability layer checksum landed data
     cqe.deliver_at_ns = delivery_time_ns(size) + roll.delay_ns;
+    cqe.epoch = epoch_.load(std::memory_order_relaxed);
     // A put notification consumes no rx buffer, but the CQ is still bounded.
     // Retry from the caller would re-copy the data, which is harmless
     // (idempotent write), so surface CqFull softly as well.

@@ -25,6 +25,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -65,6 +67,59 @@ class Fabric {
                       const void* payload, std::size_t size, bool notify,
                       MsgMeta meta);
 
+  // --- Fail-stop host-kill layer (FaultProfile::kill_*). ---
+
+  bool is_alive(Rank r) const noexcept {
+    return r < endpoints_.size() &&
+           alive_[r].load(std::memory_order_acquire);
+  }
+
+  /// Kill `victim` now: its endpoint is detached (rx buffers, CQ and memory
+  /// registrations dropped), posts from it are black-holed and posts to it
+  /// return Down. Also the hook the scheduled kill triggers call into.
+  void kill_now(Rank victim);
+
+  /// Re-admit a previously killed host under a new fabric epoch. Completions
+  /// stamped with the old epoch are fenced at every endpoint's poll_cq.
+  void revive(Rank host);
+
+  /// Current fabric epoch; bumped by revive().
+  std::uint32_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Drivers report BSP round boundaries so a round-triggered kill fires
+  /// deterministically when the victim reaches round `kill_at_round`.
+  void note_round(Rank host, std::int64_t round);
+
+  /// Accepted data operations posted by `host` (kill-schedule op counter;
+  /// 0 when no kill schedule is configured).
+  std::uint64_t data_ops(Rank host) const noexcept {
+    return host_ops_ ? host_ops_[host].load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Op count the scheduled kill fired at (diagnostics / determinism tests).
+  std::uint64_t killed_at_op() const noexcept {
+    return killed_at_op_.load(std::memory_order_relaxed);
+  }
+
+  /// Observer invoked (from the thread that triggered the kill) when a host
+  /// dies. The membership layer registers here for ground-truth kills.
+  void set_kill_observer(std::function<void(Rank)> fn) {
+    kill_observer_ = std::move(fn);
+  }
+
+  /// Observer invoked when a reliability channel gives up on a peer after
+  /// bounded retransmission or observes Down ("suspected dead").
+  void set_suspect_observer(std::function<void(Rank, Rank)> fn) {
+    suspect_observer_ = std::move(fn);
+  }
+
+  /// Called by ReliableChannel: `reporter` suspects `peer` is dead.
+  void report_suspected_dead(Rank reporter, Rank peer) {
+    if (suspect_observer_) suspect_observer_(reporter, peer);
+  }
+
  private:
   std::uint64_t delivery_time_ns(std::size_t bytes) const;
 
@@ -92,6 +147,17 @@ class Fabric {
   /// Per-(src,dst) operation counters driving deterministic fault rolls;
   /// row-major [src * num_ranks + dst]. Only allocated when faults are on.
   std::unique_ptr<std::atomic<std::uint64_t>[]> link_ops_;
+
+  /// Liveness flag per host (fail-stop kill layer).
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+  /// Accepted data operations per source host (kill-at-op trigger); only
+  /// allocated when a kill schedule is configured.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> host_ops_;
+  std::atomic<bool> kill_fired_{false};   // scheduled kill fires exactly once
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint64_t> killed_at_op_{0};
+  std::function<void(Rank)> kill_observer_;
+  std::function<void(Rank, Rank)> suspect_observer_;
 
   telemetry::Registry telemetry_;
   telemetry::Histogram* msg_bytes_hist_ = nullptr;  // wire message sizes

@@ -73,6 +73,10 @@ enum class PostResult : std::uint8_t {
   /// Reliability layer: the per-link retransmit ring is full of unacked
   /// operations. Non-fatal back pressure - progress the channel and retry.
   RetransmitFull,
+  /// The destination host is dead (fail-stop kill): its endpoint was torn
+  /// down and nothing will be delivered until the host is revived under a
+  /// new epoch. Peers observe delivery failure instead of silence.
+  Down,
 };
 
 inline const char* to_string(PostResult r) {
@@ -84,6 +88,7 @@ inline const char* to_string(PostResult r) {
     case PostResult::TooLarge: return "TooLarge";
     case PostResult::Invalid: return "Invalid";
     case PostResult::RetransmitFull: return "RetransmitFull";
+    case PostResult::Down: return "Down";
   }
   return "?";
 }
@@ -104,6 +109,10 @@ struct Cqe {
   void* buffer = nullptr;
   std::uint64_t rx_context = 0;    // the context the buffer was posted with
   std::uint64_t deliver_at_ns = 0; // visibility time (wire latency model)
+  /// Fabric epoch at posting time. The epoch advances when a killed host is
+  /// revived; Endpoint::poll_cq fences entries stamped with a stale epoch so
+  /// packets from a previous incarnation never reach the new one.
+  std::uint32_t epoch = 0;
 };
 
 /// rx_context value for header-only control packets (no rx buffer attached).

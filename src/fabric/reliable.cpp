@@ -103,6 +103,9 @@ PostResult ReliableChannel::send(Rank dst, const void* payload, MsgMeta meta) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     {
       std::lock_guard<rt::Spinlock> guard(tx.lock);
+      // Dead peer: swallow the operation. The membership layer has already
+      // been told; recovery discards all protocol state on both sides.
+      if (tx.down) return PostResult::Ok;
       if (tx.ring.size() < cfg_.ring_capacity) {
         TxEntry e;
         e.seq = tx.next_seq;
@@ -125,6 +128,10 @@ PostResult ReliableChannel::send(Rank dst, const void* payload, MsgMeta meta) {
         e.last_data_tx = now;
         const PostResult r = post_entry(dst, e);
         if (r == PostResult::TooLarge || r == PostResult::Invalid) return r;
+        if (r == PostResult::Down) {
+          note_down(dst, tx);
+          return PostResult::Ok;
+        }
         e.posted_ok = (r == PostResult::Ok);
         tx.next_seq++;
         tx.ring.push_back(std::move(e));
@@ -154,6 +161,7 @@ PostResult ReliableChannel::put(Rank dst, RKey rkey, std::size_t offset,
   for (int attempt = 0; attempt < 2; ++attempt) {
     {
       std::lock_guard<rt::Spinlock> guard(tx.lock);
+      if (tx.down) return PostResult::Ok;
       if (tx.ring.size() < cfg_.ring_capacity) {
         TxEntry e;
         e.seq = tx.next_seq;
@@ -181,6 +189,10 @@ PostResult ReliableChannel::put(Rank dst, RKey rkey, std::size_t offset,
         e.last_data_tx = now;
         const PostResult r = post_entry(dst, e);
         if (r == PostResult::TooLarge || r == PostResult::Invalid) return r;
+        if (r == PostResult::Down) {
+          note_down(dst, tx);
+          return PostResult::Ok;
+        }
         e.posted_ok = (r == PostResult::Ok);
         tx.next_seq++;
         tx.ring.push_back(std::move(e));
@@ -237,6 +249,10 @@ void ReliableChannel::handle_ack(Rank peer, std::uint32_t ack,
         if (telemetry::enabled() && now > e.last_data_tx)
           rtx_gap_hist_->record(now - e.last_data_tx);
         const PostResult r = post_entry(peer, e);
+        if (r == PostResult::Down) {
+          note_down(peer, tx);
+          return;
+        }
         if (r == PostResult::Ok) e.posted_ok = true;
         e.last_tx = now;
         e.last_data_tx = now;
@@ -353,12 +369,22 @@ void ReliableChannel::service_tx(std::uint64_t now) {
 
     // First-chance flush of entries whose initial post was refused
     // (NoRxBuffer / Throttled / CqFull); keep posting order.
+    bool down = false;
     for (TxEntry& e : tx.ring) {
       if (e.posted_ok) continue;
-      if (post_entry(dst, e) != PostResult::Ok) break;
+      const PostResult r = post_entry(dst, e);
+      if (r == PostResult::Down) {
+        down = true;
+        break;
+      }
+      if (r != PostResult::Ok) break;
       e.posted_ok = true;
       e.last_tx = now;
       e.last_data_tx = now;
+    }
+    if (down) {
+      note_down(dst, tx);
+      continue;
     }
 
     // Timeout-driven recovery on the oldest unacked operation. Eager sends
@@ -373,12 +399,19 @@ void ReliableChannel::service_tx(std::uint64_t now) {
       probe.kind = front.meta.kind;
       probe.rel = kRelCtrl | kRelProbe;
       probe.seq = front.seq;
-      (void)fabric_.post_send(rank_, dst, nullptr, probe);
+      if (fabric_.post_send(rank_, dst, nullptr, probe) == PostResult::Down) {
+        note_down(dst, tx);
+        continue;
+      }
       endpoint_.stats().rel_probes_tx.fetch_add(1, std::memory_order_relaxed);
     } else {
       if (telemetry::enabled() && now > front.last_data_tx)
         rtx_gap_hist_->record(now - front.last_data_tx);
       const PostResult r = post_entry(dst, front);
+      if (r == PostResult::Down) {
+        note_down(dst, tx);
+        continue;
+      }
       if (r == PostResult::Ok) front.posted_ok = true;
       front.last_data_tx = now;
       endpoint_.stats().rel_retransmits.fetch_add(1,
@@ -386,7 +419,49 @@ void ReliableChannel::service_tx(std::uint64_t now) {
     }
     front.last_tx = now;
     front.attempts++;
+    if (cfg_.suspect_after_attempts > 0 && !tx.suspected &&
+        front.attempts >= cfg_.suspect_after_attempts)
+      note_suspect(dst, tx, front.attempts);
   }
+}
+
+void ReliableChannel::note_suspect(Rank dst, TxLink& tx,
+                                   std::uint32_t attempts) {
+  tx.suspected = true;
+  endpoint_.stats().rel_suspected_dead.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"owner\":\"%s\",\"peer\":%u,\"attempts\":%u}", owner_,
+                  dst, attempts);
+    telemetry::instant("rel", "suspect_dead", rank_, buf);
+  }
+  fabric_.report_suspected_dead(rank_, dst);
+}
+
+void ReliableChannel::note_down(Rank dst, TxLink& tx) {
+  if (tx.down) return;
+  tx.down = true;
+  const std::size_t dropped = tx.ring.size();
+  for (TxEntry& e : tx.ring)
+    if (e.payload.capacity() > 0 && tx.spares.size() < 64)
+      tx.spares.push_back(std::move(e.payload));
+  tx.ring.clear();
+  tx.inflight.store(0, std::memory_order_relaxed);
+  if (dropped > 0) inflight_.fetch_sub(dropped, std::memory_order_relaxed);
+  if (!tx.suspected) {
+    tx.suspected = true;
+    endpoint_.stats().rel_suspected_dead.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  if (telemetry::enabled()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"owner\":\"%s\",\"peer\":%u,\"dropped\":%zu}", owner_,
+                  dst, dropped);
+    telemetry::instant("rel", "peer_down", rank_, buf);
+  }
+  fabric_.report_suspected_dead(rank_, dst);
 }
 
 void ReliableChannel::send_ack(Rank peer, RxLink& rx) {
@@ -394,8 +469,12 @@ void ReliableChannel::send_ack(Rank peer, RxLink& rx) {
   meta.rel = kRelCtrl | kRelAck;
   meta.ack = rx.expected.load(std::memory_order_relaxed);
   meta.imm = rx.nack_seq_plus1;
-  if (fabric_.post_send(rank_, peer, nullptr, meta) == PostResult::Ok) {
+  const PostResult r = fabric_.post_send(rank_, peer, nullptr, meta);
+  if (r == PostResult::Ok)
     endpoint_.stats().rel_acks_tx.fetch_add(1, std::memory_order_relaxed);
+  // A dead peer needs no acknowledgements: clear the flags so the flush
+  // loop does not spin on a link that will only be rebuilt after recovery.
+  if (r == PostResult::Ok || r == PostResult::Down) {
     rx.delivered_since_ack.store(0, std::memory_order_relaxed);
     rx.ack_dirty.store(false, std::memory_order_relaxed);
     rx.nack_seq_plus1 = 0;
@@ -506,7 +585,7 @@ void ReliableChannel::dump_state(const char* reason) const {
   // the trace as instant events so a stall is inspectable post-mortem next
   // to the spans it interrupted.
   const bool traced = telemetry::enabled();
-  char buf[192];
+  char buf[256];
   if (traced) {
     std::snprintf(buf, sizeof(buf), "{\"owner\":\"%s\",\"reason\":\"%s\"}",
                   owner_, reason);
@@ -520,20 +599,25 @@ void ReliableChannel::dump_state(const char* reason) const {
     std::lock_guard<rt::Spinlock> guard(tx.lock);
     if (tx.ring.empty() && tx.next_seq == 0) continue;
     const TxEntry* front = tx.ring.empty() ? nullptr : &tx.ring.front();
+    // Watchdog triage: "slow" = making (or awaiting) progress, "suspect" =
+    // bounded retransmission exhausted, "dead" = the fabric reported Down.
+    const char* peer_state =
+        tx.down ? "dead" : (tx.suspected ? "suspect" : "slow");
     std::fprintf(
         stderr,
-        "  tx->%u: in_flight=%zu next_seq=%u acked=%u front_seq=%d "
+        "  tx->%u: peer=%s in_flight=%zu next_seq=%u acked=%u front_seq=%d "
         "attempts=%u posted=%d put=%d\n",
-        dst, tx.ring.size(), tx.next_seq, tx.acked,
+        dst, peer_state, tx.ring.size(), tx.next_seq, tx.acked,
         front ? static_cast<int>(front->seq) : -1,
         front ? front->attempts : 0, front ? front->posted_ok : 0,
         front ? front->is_put : 0);
     if (traced) {
       std::snprintf(
           buf, sizeof(buf),
-          "{\"peer\":%u,\"in_flight\":%zu,\"next_seq\":%u,\"acked\":%u,"
-          "\"front_seq\":%d,\"attempts\":%u,\"posted\":%d,\"put\":%d}",
-          dst, tx.ring.size(), tx.next_seq, tx.acked,
+          "{\"peer\":%u,\"state\":\"%s\",\"in_flight\":%zu,\"next_seq\":%u,"
+          "\"acked\":%u,\"front_seq\":%d,\"attempts\":%u,\"posted\":%d,"
+          "\"put\":%d}",
+          dst, peer_state, tx.ring.size(), tx.next_seq, tx.acked,
           front ? static_cast<int>(front->seq) : -1,
           front ? front->attempts : 0, front ? front->posted_ok : 0,
           front ? front->is_put : 0);

@@ -74,6 +74,12 @@ struct ReliabilityConfig {
   /// forward progress for this long, dump per-link protocol state to
   /// stderr. 0 disables.
   std::uint64_t watchdog_quiet_ns = 500ull * 1000 * 1000;
+  /// Promote a stalled link from "slow peer" to "suspected dead peer" after
+  /// this many retransmit attempts on its oldest unacked operation; the
+  /// suspicion is reported to Fabric::report_suspected_dead (and from there
+  /// to the membership layer). 0 disables the detector. Retransmission
+  /// continues regardless - membership decides what a suspicion means.
+  std::uint32_t suspect_after_attempts = 10;
   /// Deterministic protocol clock for single-threaded replay tests: time
   /// advances by one tick per pump() instead of reading the wall clock, and
   /// every *_ns field above is interpreted in ticks.
@@ -157,6 +163,13 @@ class ReliableChannel {
     /// Retired payload buffers, reused to keep the steady-state send path
     /// free of heap allocation.
     std::vector<std::vector<std::byte>> spares;
+    /// Watchdog escalation: the link's oldest unacked operation exceeded
+    /// suspect_after_attempts retransmissions (reported once).
+    bool suspected = false;
+    /// The fabric returned Down for this destination (fail-stop kill). The
+    /// ring was discarded and subsequent traffic is swallowed: recovery
+    /// rebuilds the whole channel under a new epoch.
+    bool down = false;
   };
 
   struct RxLink {
@@ -181,6 +194,11 @@ class ReliableChannel {
   void handle_probe(Rank peer, std::uint32_t seq);
   void handle_data(Cqe& cqe);
   void service_tx(std::uint64_t now);
+  /// Fail-stop teardown of one destination link (tx.lock must be held):
+  /// discards the retransmit ring and reports the peer suspected dead.
+  void note_down(Rank dst, TxLink& tx);
+  /// Watchdog escalation to "suspected dead" (tx.lock must be held).
+  void note_suspect(Rank dst, TxLink& tx, std::uint32_t attempts);
   void flush_acks(std::uint64_t now);
   void send_ack(Rank peer, RxLink& rx);
   void recycle(const Cqe& cqe);

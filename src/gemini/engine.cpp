@@ -224,6 +224,11 @@ GeminiHost::~GeminiHost() {
     if ((*m)->release) (*m)->release();
     delete *m;
   }
+  // Next-round chunks stashed when a round aborted still hold live comm
+  // resources; release them before the comm shim goes away.
+  for (auto& m : stash_)
+    if (m.release) m.release();
+  stash_.clear();
 }
 
 void GeminiHost::RoundState::arm(std::uint32_t id, int num_hosts) {
@@ -255,6 +260,11 @@ void GeminiHost::send_with_backpressure(int dst,
   if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(payload.size());
   rt::Backoff backoff;
   while (!comm_->try_send(dst, payload)) {
+    if (aborting()) {
+      // Abandon the send; the phase is unwinding for recovery.
+      if (cfg_.tracker != nullptr) cfg_.tracker->on_free(payload.size());
+      return;
+    }
     // Relieve back pressure by consuming incoming records; back off only
     // when the drain made no progress.
     if (drain())
@@ -266,7 +276,8 @@ void GeminiHost::send_with_backpressure(int dst,
 
 std::vector<double> GeminiHost::run_pagerank(double damping,
                                              std::uint32_t max_iterations,
-                                             double tolerance) {
+                                             double tolerance,
+                                             rt::RecoveryCtx* rec) {
   const graph::VertexId mlo =
       g_.master_bounds[static_cast<std::size_t>(g_.host_id)];
   const std::size_t n_masters = g_.num_masters;
@@ -287,7 +298,30 @@ std::vector<double> GeminiHost::run_pagerank(double damping,
         apps::atomic_add(accum[gid - mlo], value);
       };
 
-  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+  std::uint32_t iter = 0;
+  std::uint32_t resumed_at = std::numeric_limits<std::uint32_t>::max();
+
+  // Recovery: per-iteration transients (accum, partial, touched) are rebuilt
+  // every round, so the checkpoint is just the master rank vector.
+  if (rec != nullptr && rec->resume && rec->resume_round >= 0) {
+    std::vector<std::vector<std::uint8_t>> arrays;
+    if (rec->store->load(rec->host, rec->resume_round, arrays) &&
+        arrays.size() == 1 && arrays[0].size() == n_masters * sizeof(double)) {
+      if (n_masters > 0)
+        std::memcpy(rank.data(), arrays[0].data(), arrays[0].size());
+      iter = static_cast<std::uint32_t>(rec->resume_round);
+      resumed_at = iter;
+    }
+  }
+
+  for (; iter < max_iterations; ++iter) {
+    cluster_.round_tick(g_.host_id, static_cast<std::int64_t>(iter));
+    if (rec != nullptr && rec->interval > 0 &&
+        iter % static_cast<std::uint32_t>(rec->interval) == 0 &&
+        iter != resumed_at) {
+      rec->store->save(rec->host, static_cast<std::int64_t>(iter),
+                       {{rank.data(), n_masters * sizeof(double)}});
+    }
     rt::Timer combine_timer;
     {
       telemetry::Span compute_span("gemini", "compute",

@@ -36,6 +36,7 @@
 #include "comm/message.hpp"
 #include "graph/dist_graph.hpp"
 #include "runtime/bitset.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/cpu_relax.hpp"
 #include "runtime/mem_tracker.hpp"
 #include "runtime/mpmc_queue.hpp"
@@ -121,12 +122,14 @@ class GeminiHost {
 
   /// Data-driven push apps (bfs / cc / sssp) using the Abelian app traits.
   template <typename Traits>
-  std::vector<typename Traits::Label> run_push(graph::VertexId source);
+  std::vector<typename Traits::Label> run_push(graph::VertexId source,
+                                               rt::RecoveryCtx* rec = nullptr);
 
   /// Topology-driven pagerank over master vertices.
   std::vector<double> run_pagerank(double damping = 0.85,
                                    std::uint32_t max_iterations = 100,
-                                   double tolerance = 1e-7);
+                                   double tolerance = 1e-7,
+                                   rt::RecoveryCtx* rec = nullptr);
 
  private:
   template <typename T>
@@ -152,6 +155,13 @@ class GeminiHost {
   /// back off (rt::Backoff) instead of burning a core on a busy loop.
   void send_with_backpressure(int dst, std::vector<std::byte>& payload,
                               const std::function<bool()>& drain);
+
+  /// Whether a cluster-wide failure is pending: round waits and back-pressure
+  /// retries check this and unwind (never throw - the host-main driver
+  /// raises the error at its next round boundary).
+  bool aborting() const noexcept {
+    return cluster_.membership().failure_pending();
+  }
 
   struct RoundState {
     std::uint32_t round_id = 0;
@@ -311,6 +321,11 @@ void GeminiHost::stream_round(
       if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(total);
       rt::Backoff backoff;
       while (!comm_->commit(dst, o.lease, total)) {
+        if (aborting()) {
+          comm_->abandon(o.lease);
+          if (cfg_.tracker != nullptr) cfg_.tracker->on_free(total);
+          return;
+        }
         // Relieve back pressure by consuming incoming records; only back off
         // when there was nothing to drain.
         if (drain())
@@ -380,6 +395,8 @@ void GeminiHost::stream_round(
 
     rt::Backoff backoff;
     while (!round_.complete.load(std::memory_order_acquire)) {
+      // A dead peer's chunks never arrive: unwind instead of spinning.
+      if (aborting()) break;
       if (drain_one_typed<T>(apply))
         backoff.reset();
       else
@@ -408,7 +425,7 @@ void GeminiHost::stream_round(
 
 template <typename Traits>
 std::vector<typename Traits::Label> GeminiHost::run_push(
-    graph::VertexId source) {
+    graph::VertexId source, rt::RecoveryCtx* rec) {
   using Label = typename Traits::Label;
   const graph::VertexId mlo =
       g_.master_bounds[static_cast<std::size_t>(g_.host_id)];
@@ -438,7 +455,38 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
         }
       };
 
-  for (;;) {
+  std::int64_t round = 0;
+  std::int64_t resumed_at = -1;
+
+  // Recovery: reload master labels + active set from the last stable
+  // checkpoint and re-enter the round loop there (DESIGN.md §13).
+  if (rec != nullptr && rec->resume && rec->resume_round >= 0) {
+    std::vector<std::vector<std::uint8_t>> arrays;
+    if (rec->store->load(rec->host, rec->resume_round, arrays) &&
+        arrays.size() == 2 &&
+        arrays[0].size() == n_masters * sizeof(Label)) {
+      if (n_masters > 0)
+        std::memcpy(labels.data(), arrays[0].data(), arrays[0].size());
+      const auto* words =
+          reinterpret_cast<const std::uint64_t*>(arrays[1].data());
+      for (std::size_t wi = 0; wi < active.num_words(); ++wi)
+        active.set_word(wi, words[wi]);
+      round = rec->resume_round;
+      resumed_at = round;
+    }
+  }
+
+  for (;; ++round) {
+    // Round boundary: fire scheduled kills / abort on pending failure, then
+    // checkpoint every K rounds (labels + active set are quiescent here).
+    cluster_.round_tick(g_.host_id, round);
+    if (rec != nullptr && rec->interval > 0 && round % rec->interval == 0 &&
+        round != resumed_at) {
+      rec->store->save(rec->host, round,
+                       {{labels.data(), n_masters * sizeof(Label)},
+                        {static_cast<const void*>(active.words_data()),
+                         active.num_words() * sizeof(std::uint64_t)}});
+    }
     frontier.clear_all();
     active.for_each([&](std::size_t i) { frontier.set(i); });
     const std::size_t frontier_size = frontier.count_range(0, n_masters);

@@ -208,7 +208,12 @@ bool Comm::test(const Request& req) {
 
 void Comm::wait(const Request& req) {
   rt::Backoff backoff;
-  while (!test(req)) backoff.pause();
+  while (!test(req)) {
+    // A dead peer never completes our request; unwind so the host thread
+    // can reach the recovery rendezvous instead of wedging here.
+    if (aborting()) return;
+    backoff.pause();
+  }
 }
 
 Status Comm::wait_status(const Request& req) {

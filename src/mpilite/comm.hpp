@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,11 @@ struct CommConfig {
   /// thread contention that would arise on real many-core hosts is charged
   /// analytically and deterministically.
   std::size_t declared_concurrency = 1;
+  /// Returns true when the cluster has a pending host failure. Blocking
+  /// waits (Comm::wait, RMA epoch synchronization) poll it so a caller can
+  /// unwind to recovery instead of wedging on a peer that died or already
+  /// tore down its communicator. Null = never abort.
+  std::function<bool()> abort_check;
 };
 
 struct CommStats {
@@ -104,6 +110,10 @@ class Comm {
   ThreadLevel thread_level() const noexcept { return thread_level_; }
   CommStats& stats() noexcept { return stats_; }
   std::size_t eager_limit() const noexcept { return eager_limit_; }
+
+  /// True when the cluster-level abort hook reports a pending host failure
+  /// (see CommConfig::abort_check). Internal blocking waits bail out.
+  bool aborting() const { return cfg_.abort_check && cfg_.abort_check(); }
 
   /// Nonblocking send. Never fails; may buffer internally (no back pressure).
   Request isend(const void* buf, std::size_t size, int dst, int tag);

@@ -54,10 +54,14 @@ void Window::start(const std::vector<int>& targets) {
     PerSource& ps = *per_source_[static_cast<std::size_t>(t)];
     rt::Backoff backoff;
     while (ps.post_grants.load(std::memory_order_acquire) == 0) {
+      // A killed target never grants exposure; leave the epoch half-open
+      // (put/complete tolerate it) and let the caller unwind to recovery.
+      if (comm_.aborting()) break;
       comm_.progress();
       backoff.pause();
     }
-    ps.post_grants.fetch_sub(1, std::memory_order_acq_rel);
+    if (ps.post_grants.load(std::memory_order_acquire) > 0)
+      ps.post_grants.fetch_sub(1, std::memory_order_acq_rel);
   }
   access_group_ = targets;
   in_access_epoch_ = true;
@@ -71,6 +75,7 @@ void Window::put(const void* src, std::size_t n, int target,
   while (!comm_.rma_try_put(target, remote_rkeys_[static_cast<std::size_t>(
                                         target)],
                             offset, src, n, id_)) {
+    if (comm_.aborting()) return;  // dropped put; the epoch is doomed anyway
     comm_.progress();
     backoff.pause();
   }
@@ -103,6 +108,7 @@ void Window::get(void* dst, std::size_t n, int target, std::size_t offset) {
   comm_.rma_ctrl_send(target, meta, &wire);
   rt::Backoff backoff;
   while (!done.load(std::memory_order_acquire)) {
+    if (comm_.aborting()) break;  // dst left unfilled; caller unwinds
     comm_.progress();
     backoff.pause();
   }
@@ -122,6 +128,7 @@ void Window::on_get_request(int origin, const void* payload) {
                              static_cast<std::size_t>(wire.size),
                              /*notify=*/true,
                              meta) != fabric::PostResult::Ok) {
+    if (comm_.aborting()) return;
     backoff.pause();  // origin keeps draining its CQ while it spins in get()
   }
 }
@@ -181,6 +188,7 @@ void Window::wait() {
   rt::spin_for_ns(comm_.personality().rma_sync_cost_ns);
   rt::Backoff backoff;
   while (!test_wait()) {
+    if (comm_.aborting()) return;
     comm_.progress();
     backoff.pause();
   }
@@ -213,6 +221,7 @@ void Window::fence() {
         ps.puts_arrived.fetch_sub(static_cast<std::uint64_t>(sync));
         break;
       }
+      if (comm_.aborting()) break;
       comm_.progress();
       backoff.pause();
     }

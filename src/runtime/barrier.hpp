@@ -26,6 +26,32 @@ class SenseBarrier {
     }
   }
 
+  /// Arrive and wait, bailing out when `abort()` returns true. Returns true
+  /// on a normal release, false on abort. An abort tears the barrier (this
+  /// thread's arrival is already counted): once every participant has
+  /// rendezvoused elsewhere, call reset() before reusing it.
+  template <typename AbortFn>
+  bool arrive_and_wait_abortable(AbortFn&& abort) noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(n_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return true;
+    }
+    Backoff backoff;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (abort()) return false;
+      backoff.pause();
+    }
+    return true;
+  }
+
+  /// Restore a torn barrier to its initial arrival count. Only safe while
+  /// every participant is quiescent (e.g. inside a recovery rendezvous).
+  void reset() noexcept {
+    remaining_.store(n_, std::memory_order_relaxed);
+  }
+
   std::size_t participants() const noexcept { return n_; }
 
  private:

@@ -72,6 +72,21 @@ class ConcurrentBitset {
     return total;
   }
 
+  /// Raw word access for checkpoint/restore. Only meaningful in quiescent
+  /// phases (no concurrent set()).
+  std::size_t num_words() const noexcept { return words_.size(); }
+  std::uint64_t word(std::size_t wi) const noexcept {
+    return words_[wi].load(std::memory_order_relaxed);
+  }
+  void set_word(std::size_t wi, std::uint64_t v) noexcept {
+    words_[wi].store(v, std::memory_order_relaxed);
+  }
+  /// Contiguous word storage for bulk snapshotting; atomics are lock-free
+  /// and layout-compatible with uint64_t on every supported platform.
+  const std::atomic<std::uint64_t>* words_data() const noexcept {
+    return words_.data();
+  }
+
   bool any() const noexcept {
     for (const auto& w : words_)
       if (w.load(std::memory_order_relaxed) != 0) return true;

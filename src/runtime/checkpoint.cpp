@@ -1,0 +1,142 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstring>
+
+#include "runtime/cpu_relax.hpp"
+#include "runtime/timer.hpp"
+
+namespace lcr::rt {
+
+namespace {
+
+/// FNV-1a over a byte range; cheap enough for the background sealer and
+/// strong enough to catch staging bugs in tests.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::size_t num_hosts) {
+  hosts_.reserve(num_hosts);
+  for (std::size_t h = 0; h < num_hosts; ++h)
+    hosts_.emplace_back(new HostSlots());
+  sealer_ = std::thread([this] { sealer_loop(); });
+}
+
+CheckpointStore::~CheckpointStore() {
+  {
+    std::lock_guard<std::mutex> guard(queue_lock_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  sealer_.join();
+}
+
+void CheckpointStore::save(std::size_t host, std::int64_t round,
+                           const std::vector<View>& arrays) {
+  HostSlots& hs = *hosts_[host];
+  Slot& slot = hs.slots[hs.next];
+
+  // The slot being recycled is two checkpoints old; its seal has almost
+  // certainly finished. If the sealer is backlogged, wait here rather than
+  // staging over bytes it is still checksumming.
+  if (slot.round >= 0) {
+    Backoff backoff;
+    while (!slot.sealed.load(std::memory_order_acquire)) backoff.pause();
+  }
+
+  const std::uint64_t t0 = now_ns();
+  slot.sealed.store(false, std::memory_order_relaxed);
+  slot.round = round;
+  slot.arrays.resize(arrays.size());
+  std::uint64_t staged = 0;
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    slot.arrays[i].resize(arrays[i].bytes);
+    if (arrays[i].bytes > 0)
+      std::memcpy(slot.arrays[i].data(), arrays[i].data, arrays[i].bytes);
+    staged += arrays[i].bytes;
+  }
+  stats_.bytes.fetch_add(staged, std::memory_order_relaxed);
+  stats_.stage_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+
+  // Commit at the round boundary: the checkpoint's data is complete from
+  // here on, so recovery may target it even while the seal is in flight
+  // (load() waits for the seal).
+  hs.committed.store(round, std::memory_order_release);
+  hs.next ^= 1;
+
+  {
+    std::lock_guard<std::mutex> guard(queue_lock_);
+    seal_queue_.push_back(&slot);
+  }
+  queue_cv_.notify_one();
+}
+
+std::int64_t CheckpointStore::latest_round(std::size_t host) const {
+  return hosts_[host]->committed.load(std::memory_order_acquire);
+}
+
+std::int64_t CheckpointStore::stable_round() const {
+  std::int64_t r = -1;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const std::int64_t hr = latest_round(h);
+    if (hr < 0) return -1;
+    if (r < 0 || hr < r) r = hr;
+  }
+  return r;
+}
+
+bool CheckpointStore::load(std::size_t host, std::int64_t round,
+                           std::vector<std::vector<std::uint8_t>>& out) {
+  HostSlots& hs = *hosts_[host];
+  for (Slot& slot : hs.slots) {
+    if (slot.round != round) continue;
+    Backoff backoff;
+    while (!slot.sealed.load(std::memory_order_acquire)) backoff.pause();
+    out = slot.arrays;
+    stats_.restores.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void CheckpointStore::quiesce() {
+  std::unique_lock<std::mutex> guard(queue_lock_);
+  idle_cv_.wait(guard,
+                [this] { return seal_queue_.empty() && sealing_ == 0; });
+}
+
+void CheckpointStore::sealer_loop() {
+  std::unique_lock<std::mutex> guard(queue_lock_);
+  for (;;) {
+    queue_cv_.wait(guard, [this] { return stop_ || !seal_queue_.empty(); });
+    if (seal_queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Slot* slot = seal_queue_.front();
+    seal_queue_.pop_front();
+    ++sealing_;
+    guard.unlock();
+
+    const std::uint64_t t0 = now_ns();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& a : slot->arrays) h = fnv1a(h, a.data(), a.size());
+    slot->checksum = h;
+    stats_.seal_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    stats_.saves.fetch_add(1, std::memory_order_relaxed);
+    slot->sealed.store(true, std::memory_order_release);
+
+    guard.lock();
+    --sealing_;
+    if (seal_queue_.empty() && sealing_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace lcr::rt

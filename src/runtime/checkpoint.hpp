@@ -1,0 +1,123 @@
+// Cluster-wide checkpoint store: simulated stable storage for per-host
+// vertex-state snapshots.
+//
+// Engines snapshot their application arrays plus the round counter every K
+// rounds ("piggybacked" on the sync phase: the save happens at a round
+// boundary, where the arrays are quiescent, so the copy needs no locking
+// and the recorded round is exact). The save path is split so compute never
+// waits on anything but a bounded memcpy:
+//
+//   * staging (synchronous, host thread): the arrays are copied into one of
+//     two per-host slots and the slot's round is committed. This bounds the
+//     per-round overhead to a memcpy of the vertex state.
+//   * sealing (asynchronous, one background thread per store): checksum and
+//     accounting run off the critical path; load() waits for the seal.
+//
+// Double buffering means the previous checkpoint stays intact while the next
+// one is staged, so the cluster-wide rollback target (stable_round) is
+// always available even when a host dies mid-save.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lcr::rt {
+
+struct CheckpointStats {
+  std::atomic<std::uint64_t> saves{0};     // sealed checkpoints
+  std::atomic<std::uint64_t> bytes{0};     // staged bytes, all saves
+  std::atomic<std::uint64_t> stage_ns{0};  // synchronous staging time
+  std::atomic<std::uint64_t> seal_ns{0};   // background checksum time
+  std::atomic<std::uint64_t> restores{0};  // load() calls that hit
+};
+
+class CheckpointStore {
+ public:
+  /// A borrowed byte range staged into the checkpoint.
+  struct View {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  explicit CheckpointStore(std::size_t num_hosts);
+  ~CheckpointStore();
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  std::size_t num_hosts() const noexcept { return hosts_.size(); }
+
+  /// Stage a checkpoint of `arrays` for `host` at `round`. Blocks only for
+  /// the staging memcpy; checksum + commit accounting happen on the sealer
+  /// thread. One caller per host at a time (the host's main thread).
+  void save(std::size_t host, std::int64_t round,
+            const std::vector<View>& arrays);
+
+  /// Round of `host`'s newest committed checkpoint (-1 = none yet).
+  std::int64_t latest_round(std::size_t host) const;
+
+  /// Highest round every host has a committed checkpoint for: the
+  /// cluster-wide rollback target. -1 when some host has none (recovery
+  /// must restart the computation from scratch).
+  std::int64_t stable_round() const;
+
+  /// Copy `host`'s checkpoint at `round` into `out` (one vector per staged
+  /// array, in save() order). Waits for the slot's seal if it is still in
+  /// flight. Returns false when no slot holds `round`.
+  bool load(std::size_t host, std::int64_t round,
+            std::vector<std::vector<std::uint8_t>>& out);
+
+  /// Block until every queued seal has completed (stat determinism in
+  /// benches and tests).
+  void quiesce();
+
+  CheckpointStats& stats() noexcept { return stats_; }
+
+ private:
+  struct Slot {
+    std::int64_t round = -1;
+    std::atomic<bool> sealed{false};
+    std::vector<std::vector<std::uint8_t>> arrays;
+    std::uint64_t checksum = 0;
+  };
+  struct HostSlots {
+    Slot slots[2];
+    std::atomic<std::int64_t> committed{-1};
+    int next = 0;  // slot the next save() stages into (host thread only)
+  };
+
+  void sealer_loop();
+
+  std::vector<std::unique_ptr<HostSlots>> hosts_;
+  CheckpointStats stats_;
+
+  std::mutex queue_lock_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Slot*> seal_queue_;
+  std::size_t sealing_ = 0;  // jobs popped but not finished
+  bool stop_ = false;
+  std::thread sealer_;
+};
+
+/// Per-host recovery context threaded through the app drivers. `interval`
+/// enables checkpointing every K rounds (round 0 included, so a kill during
+/// warmup still has a rollback target once the first save lands); `resume`
+/// tells the driver to reload `resume_round` from the store and re-enter its
+/// sync loop there instead of initializing from scratch.
+struct RecoveryCtx {
+  CheckpointStore* store = nullptr;
+  std::size_t host = 0;
+  std::int64_t interval = 0;
+  bool resume = false;
+  std::int64_t resume_round = -1;
+};
+
+}  // namespace lcr::rt
