@@ -13,11 +13,16 @@
 // fewer physical cores than apply workers the wall win disappears - the
 // header prints std::thread::hardware_concurrency() so result tables are
 // interpretable (see EXPERIMENTS.md).
+//
+// `--json-out <file>` (or env LCR_BENCH_JSON) writes the measurements as a
+// JSON artifact for CI history.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "bench_support/cluster_configs.hpp"
@@ -28,7 +33,53 @@
 
 using namespace lcr;
 
-int main() {
+namespace {
+
+struct Entry {
+  std::string app;
+  std::string backend;
+  std::size_t workers = 0;
+  double comm_s = 0.0;
+  double apply_s = 0.0;
+  double total_s = 0.0;
+  double comm_speedup = 1.0;  // vs the workers=1 row of the same cell
+};
+
+std::string json_out(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json-out") return argv[i + 1];
+  if (const char* s = std::getenv("LCR_BENCH_JSON")) return s;
+  return {};
+}
+
+void write_json(const std::string& path, const std::vector<Entry>& all) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"apply_scaling\",\n  \"entries\": [\n");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Entry& e = all[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"backend\": \"%s\", "
+                 "\"apply_workers\": %zu, \"comm_s\": %.6f, "
+                 "\"apply_s\": %.6f, \"total_s\": %.6f, "
+                 "\"comm_speedup\": %.4f}%s\n",
+                 e.app.c_str(), e.backend.c_str(), e.workers, e.comm_s,
+                 e.apply_s, e.total_s, e.comm_speedup,
+                 i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("json written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = json_out(argc, argv);
+  std::vector<Entry> entries;
   const unsigned scale = bench::env_scale(12);
   const int hosts = bench::env_hosts(4);
   const std::string app_filter = bench::env_app();
@@ -80,11 +131,21 @@ int main() {
                        bench::fmt_seconds(r.comm_s),
                        bench::fmt_seconds(apply_s),
                        bench::fmt_seconds(r.total_s), speedup});
+        Entry e;
+        e.app = app;
+        e.backend = comm::to_string(kind);
+        e.workers = workers;
+        e.comm_s = r.comm_s;
+        e.apply_s = apply_s;
+        e.total_s = r.total_s;
+        e.comm_speedup = comm_base / std::max(r.comm_s, 1e-9);
+        entries.push_back(e);
       }
     }
   }
   table.print(std::cout);
   std::printf("\nshape to check: comm(s) drops as apply workers grow (given "
               "enough cores); apply(s) thread time stays roughly flat.\n");
+  if (!json_path.empty()) write_json(json_path, entries);
   return 0;
 }

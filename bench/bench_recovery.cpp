@@ -12,9 +12,14 @@
 //
 // Every failure run prints its kill schedule via to_string(FaultProfile)
 // so the exact fault configuration is part of the record.
+//
+// `--json-out <file>` (or env LCR_BENCH_JSON) writes the measurements as a
+// JSON artifact for CI history.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "bench_support/cluster_configs.hpp"
@@ -34,9 +39,60 @@ std::string fmt_pct(double frac) {
   return buf;
 }
 
+struct Entry {
+  std::string section;  // "overhead" | "recovery"
+  std::string app;
+  std::int64_t k = 0;
+  double total_s = 0.0;
+  double recovery_s = 0.0;
+  std::int64_t rollback_round = -1;
+  std::int64_t replayed = 0;
+  std::uint64_t rollback_rounds = 0;  // ckpt.rollback_rounds counter
+  std::uint64_t kills = 0;
+  std::uint64_t rounds = 0;
+};
+
+std::string json_out(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json-out") return argv[i + 1];
+  if (const char* s = std::getenv("LCR_BENCH_JSON")) return s;
+  return {};
+}
+
+void write_json(const std::string& path, const std::vector<Entry>& all) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n  \"entries\": [\n");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Entry& e = all[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"app\": \"%s\", \"k\": %lld, "
+                 "\"total_s\": %.6f, \"recovery_s\": %.6f, "
+                 "\"rollback_round\": %lld, \"replayed\": %lld, "
+                 "\"rollback_rounds\": %llu, \"kills\": %llu, "
+                 "\"rounds\": %llu}%s\n",
+                 e.section.c_str(), e.app.c_str(),
+                 static_cast<long long>(e.k), e.total_s, e.recovery_s,
+                 static_cast<long long>(e.rollback_round),
+                 static_cast<long long>(e.replayed),
+                 static_cast<unsigned long long>(e.rollback_rounds),
+                 static_cast<unsigned long long>(e.kills),
+                 static_cast<unsigned long long>(e.rounds),
+                 i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("json written to %s\n", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = json_out(argc, argv);
+  std::vector<Entry> entries;
   const unsigned scale = bench::env_scale(10);
   const int hosts = bench::env_hosts(4);
   const std::uint32_t pr_iters = bench::env_pr_iters(16);
@@ -85,6 +141,13 @@ int main() {
       table.add_row({std::to_string(k), bench::fmt_seconds(r.total_s),
                      k == 0 ? "-" : fmt_pct(r.total_s / baseline - 1.0),
                      std::to_string(r.rounds)});
+      Entry e;
+      e.section = "overhead";
+      e.app = app;
+      e.k = k;
+      e.total_s = r.total_s;
+      e.rounds = r.rounds;
+      entries.push_back(e);
     }
     std::printf("%s:\n", app);
     table.print(std::cout);
@@ -122,10 +185,24 @@ int main() {
                    std::to_string(r.rollback_round),
                    std::to_string(replayed), std::to_string(r.kills),
                    bench::fmt_seconds(unfailed)});
+    Entry e;
+    e.section = "recovery";
+    e.app = "pagerank";
+    e.k = k;
+    e.total_s = r.total_s;
+    e.recovery_s = r.recovery_s;
+    e.rollback_round = r.rollback_round;
+    e.replayed = replayed;
+    const auto rr = r.telemetry.find("ckpt.rollback_rounds");
+    e.rollback_rounds = rr == r.telemetry.end() ? 0 : rr->second;
+    e.kills = r.kills;
+    e.rounds = r.rounds;
+    entries.push_back(e);
   }
   table.print(std::cout);
   std::printf("(kill fires at round %lld of %u; 'replayed' = rounds "
               "re-executed after rollback)\n",
               static_cast<long long>(kill_round), pr_iters);
+  if (!json_path.empty()) write_json(json_path, entries);
   return 0;
 }

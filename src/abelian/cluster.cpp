@@ -1,9 +1,13 @@
 #include "abelian/cluster.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "runtime/cpu_relax.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace lcr::abelian {
 
@@ -12,7 +16,8 @@ Cluster::Cluster(int num_hosts, fabric::FabricConfig config)
       fabric_(static_cast<std::size_t>(num_hosts), std::move(config)),
       barrier_(static_cast<std::size_t>(num_hosts)),
       membership_(static_cast<std::size_t>(num_hosts)),
-      checkpoints_(static_cast<std::size_t>(num_hosts)) {
+      checkpoints_(static_cast<std::size_t>(num_hosts)),
+      health_(static_cast<std::size_t>(num_hosts), &fabric_.telemetry()) {
   // Ground-truth kill reports flow fabric -> membership (with the kill
   // logged into the deterministic recovery trace); watchdog suspicions flow
   // reliability channel -> fabric -> membership (state only, never logged).
@@ -33,6 +38,12 @@ Cluster::Cluster(int num_hosts, fabric::FabricConfig config)
       {"ckpt.stage_ns", &cs.stage_ns},
       {"ckpt.seal_ns", &cs.seal_ns},
       {"ckpt.restores", &cs.restores},
+  });
+  member_reg_ = fabric_.telemetry().register_probes({
+      {"member.kills", &membership_.kills_counter()},
+      {"member.recoveries", &membership_.recoveries_counter()},
+      {"member.suspects", &membership_.suspects_counter()},
+      {"member.readmits", &membership_.readmits_counter()},
   });
 }
 
@@ -72,6 +83,12 @@ void Cluster::oob_wait() {
 }
 
 void Cluster::round_tick(int host, std::int64_t round) {
+  // Straggler injection: the slow host burns compute time at the top of each
+  // round, entering every sync phase last (what the health monitor's
+  // straggler classifier is built to flag).
+  const fabric::FaultProfile& fp = fabric_.config().fault;
+  if (fp.slow_round_ns > 0 && host == fp.slow_host)
+    rt::spin_for_ns(fp.slow_round_ns);
   fabric_.note_round(static_cast<fabric::Rank>(host), round);
   if (!fabric_.is_alive(static_cast<fabric::Rank>(host)))
     throw comm::HostKilledError(host);
@@ -84,6 +101,13 @@ std::int64_t Cluster::recover(int self) {
     rollback_round_.store(rollback, std::memory_order_release);
     membership_.log_event({comm::RecoveryEvent::Kind::Rollback, -1, rollback,
                            fabric_.epoch()});
+    {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "{\"round\":%lld,\"epoch\":%u}",
+                    static_cast<long long>(rollback), fabric_.epoch());
+      telemetry::flight_record(0, "recovery.rollback", buf);
+      telemetry::flight_dump("rollback");
+    }
     for (int h = 0; h < num_hosts_; ++h) {
       const auto r = static_cast<fabric::Rank>(h);
       if (!fabric_.is_alive(r)) {

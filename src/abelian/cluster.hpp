@@ -27,6 +27,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/spinlock.hpp"
+#include "telemetry/health.hpp"
 
 namespace lcr::abelian {
 
@@ -41,6 +42,11 @@ class Cluster {
   fabric::Fabric& fabric() noexcept { return fabric_; }
   comm::Membership& membership() noexcept { return membership_; }
   rt::CheckpointStore& checkpoints() noexcept { return checkpoints_; }
+
+  /// Cluster health monitor (DESIGN.md §14): engines report one
+  /// (duration, bytes) sample per host per sync phase; the bench runner
+  /// pulls diagnose()/write_json() after the run.
+  telemetry::HealthMonitor& health() noexcept { return health_; }
 
   /// Runs fn(host_id) on one thread per host and joins them all. Any
   /// exception thrown by a host is rethrown (first one wins).
@@ -85,7 +91,9 @@ class Cluster {
   rt::SenseBarrier barrier_;
   comm::Membership membership_;
   rt::CheckpointStore checkpoints_;
+  telemetry::HealthMonitor health_;
   telemetry::Registration ckpt_reg_;
+  telemetry::Registration member_reg_;
   std::atomic<std::int64_t> rollback_round_{-1};
 
   // Allreduce scratch (host 0 resets between uses; barriers sequence it).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 
@@ -212,6 +213,17 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
                                 const ScatterFn& scatter, bool can_apply) {
   stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(total_bytes, std::memory_order_relaxed);
+  if (telemetry::enabled() && total_bytes >= comm::kChunkHeaderBytes) {
+    comm::ChunkHeader h;
+    std::memcpy(&h, lease.data, sizeof(h));
+    if (h.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%d,\"bytes\":%zu}", dst,
+                    total_bytes);
+      telemetry::hop("commit", static_cast<std::uint32_t>(graph_.host_id),
+                     h.trace_id, 0, hbuf);
+    }
+  }
   if (cfg_.backend_options.tracker != nullptr)
     cfg_.backend_options.tracker->on_alloc(total_bytes);
   if (backend_->thread_safe_send()) {
@@ -330,6 +342,14 @@ void HostEngine::purge_stale_stash() {
 
 void HostEngine::run_slice(const ApplySlice& slice) {
   ApplyJob* job = slice.job;
+  if (telemetry::enabled() && job->header.trace_id != 0) {
+    char hbuf[64];
+    std::snprintf(hbuf, sizeof(hbuf),
+                  "{\"src\":%d,\"rec_lo\":%u,\"rec_hi\":%u}", job->msg.src,
+                  slice.rec_lo, slice.rec_hi);
+    telemetry::hop("apply", static_cast<std::uint32_t>(graph_.host_id),
+                   job->header.trace_id, job->header.trace_hop, hbuf);
+  }
   {
     telemetry::Span apply_span("abelian", "apply", graph_.host_id);
     const auto t0 = std::chrono::steady_clock::now();
@@ -454,6 +474,14 @@ bool HostEngine::drain_one(const ScatterFn& scatter, bool can_apply) {
     phase_state_.note_chunk(msg.src, header);
     return true;
   }
+  if (telemetry::enabled() && header.trace_id != 0) {
+    char hbuf[64];
+    std::snprintf(hbuf, sizeof(hbuf),
+                  "{\"src\":%d,\"base_pos\":%u,\"bytes\":%u}", msg.src,
+                  header.base_pos, header.payload_bytes);
+    telemetry::hop("decode", static_cast<std::uint32_t>(graph_.host_id),
+                   header.trace_id, header.trace_hop, hbuf);
+  }
   enqueue_apply(std::move(msg), header, scatter, can_apply);
   return true;
 }
@@ -495,6 +523,8 @@ void HostEngine::execute_phase(
     }
   }
 
+  const std::uint64_t bytes_before =
+      stats_.bytes_sent.load(std::memory_order_relaxed);
   phase_state_.arm(spec.phase_id, p, spec.recv_from);
   // Record layout for the apply-slice splitter (records are [u32 pos][T]).
   phase_value_bytes_ =
@@ -609,7 +639,23 @@ void HostEngine::execute_phase(
         header.format = static_cast<std::uint8_t>(enc.format);
         if (enc.format == comm::WireFormat::Dense && enc.all_set)
           header.flags |= comm::kFlagDenseFull;
+        // Causal-trace sampling decision: deterministic in (host, phase,
+        // range, dst), so a seeded re-run samples the same messages. The
+        // destination salt keeps chunks that cover the same range for two
+        // peers on distinct trace ids. Must precede finalize() - the
+        // self-check covers the trace fields.
+        header.trace_id = telemetry::sample_trace_id(
+            static_cast<std::uint32_t>(me), spec.phase_id, lo,
+            static_cast<std::uint32_t>(dst));
         header.finalize();
+        if (telemetry::enabled() && header.trace_id != 0) {
+          char hbuf[80];
+          std::snprintf(hbuf, sizeof(hbuf),
+                        "{\"dst\":%d,\"base_pos\":%u,\"bytes\":%u}", dst, lo,
+                        header.payload_bytes);
+          telemetry::hop("encode", static_cast<std::uint32_t>(me),
+                         header.trace_id, 0, hbuf);
+        }
         if (!lease) reserve(0);  // clean single-chunk message: header only
         std::memcpy(lease.data, &header, sizeof(header));
         {
@@ -680,8 +726,15 @@ void HostEngine::execute_phase(
   });
 
   post_cmd(Cmd::EndPhase, nullptr);
-  stats_.comm_s += phase_timer.elapsed_s();
+  const double phase_s = phase_timer.elapsed_s();
+  stats_.comm_s += phase_s;
   stats_.phases++;
+  // Health-monitor report: one sample per host per phase, piggybacked on
+  // the phase completion the engine just synchronized on.
+  cluster_.health().note_phase(
+      static_cast<std::uint32_t>(me), spec.phase_id,
+      static_cast<std::uint64_t>(phase_s * 1e9),
+      stats_.bytes_sent.load(std::memory_order_relaxed) - bytes_before);
 }
 
 }  // namespace lcr::abelian

@@ -1,6 +1,7 @@
 #include "bench_support/runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 
@@ -86,6 +87,19 @@ void warmup_engine(abelian::HostEngine& eng, const std::string& app,
   eng.stats().phases = 0;
   eng.stats().messages_sent.store(0);
   eng.stats().bytes_sent.store(0);
+}
+
+/// Accounts the rounds of work a recovery threw away: the victim had
+/// completed `rounds_at_fail` rounds, the cluster resumed at `resume_round`
+/// (-1 = from scratch). Feeds the "ckpt.rollback_rounds" registry counter
+/// (host 0 only, so cluster-wide rollbacks are counted once).
+void note_rollback_rounds(telemetry::Registry& reg,
+                          std::uint64_t rounds_at_fail,
+                          std::int64_t resume_round) {
+  const std::uint64_t resume =
+      resume_round < 0 ? 0 : static_cast<std::uint64_t>(resume_round);
+  if (rounds_at_fail > resume)
+    reg.counter("ckpt.rollback_rounds").add(rounds_at_fail - resume);
 }
 
 }  // namespace
@@ -184,9 +198,13 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
           fail_ns = rt::now_ns();
         }
         first_attempt = false;
+        const std::uint64_t rounds_at_fail = host ? host->stats().rounds : 0;
         host.reset();  // tear down before re-admission (endpoint detach)
         rec.resume = true;
         rec.resume_round = cluster.recover(h);
+        if (h == 0)
+          note_rollback_rounds(cluster.fabric().telemetry(), rounds_at_fail,
+                               rec.resume_round);
       }
       out.total_s =
           static_cast<double>(rt::now_ns() - measure_start_ns) * 1e-9;
@@ -265,9 +283,13 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
         fail_ns = rt::now_ns();
       }
       first_attempt = false;
+      const std::uint64_t rounds_at_fail = eng ? eng->stats().rounds : 0;
       eng.reset();  // tear down before re-admission (endpoint detach)
       rec.resume = true;
       rec.resume_round = cluster.recover(h);
+      if (h == 0)
+        note_rollback_rounds(cluster.fabric().telemetry(), rounds_at_fail,
+                             rec.resume_round);
     }
     out.total_s =
         static_cast<double>(rt::now_ns() - measure_start_ns) * 1e-9;
@@ -291,6 +313,18 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     auto& slot = result.telemetry[name];
     slot = std::max(slot, value);
   }
+  // Span-ring overflow is silent on the hot path; surface it next to the
+  // registry counters so json-out consumers see incomplete traces.
+  result.telemetry["trace.dropped"] =
+      std::max(result.telemetry["trace.dropped"], telemetry::trace_dropped());
+
+  // Cluster health: classifier findings always ride in the result; the
+  // full health.json artifact is written when the spec (or env) asks.
+  result.health = cluster.health().diagnose();
+  std::string health_out = spec.health_out;
+  if (health_out.empty())
+    if (const char* env = std::getenv("LCR_HEALTH_OUT")) health_out = env;
+  if (!health_out.empty()) cluster.health().write_json(health_out);
 
   // The registry aggregates same-name probes across all endpoints/hosts, so
   // one snapshot replaces the per-endpoint, per-field copy loop this used

@@ -15,6 +15,7 @@
 #include "fabric/config.hpp"
 #include "graph/csr.hpp"
 #include "graph/dist_graph.hpp"
+#include "telemetry/health.hpp"
 
 namespace lcr::bench {
 
@@ -54,6 +55,10 @@ struct RunSpec {
   /// Dedicated LCI progress servers sharding lanes and peer ranks; 0 = the
   /// engine's own comm/server thread is the only progress driver.
   std::size_t lci_servers = 0;
+  /// When nonempty (or env LCR_HEALTH_OUT is set), the runner writes the
+  /// cluster health monitor's round-indexed timeline and classifier
+  /// findings as health.json to this path after the run (DESIGN.md §14).
+  std::string health_out;
   fabric::FabricConfig fabric = fabric::test_config();
 };
 
@@ -105,6 +110,10 @@ struct RunResult {
   double recovery_s = 0.0;
   /// Deterministic recovery trace (Kill / Rollback / Readmit order).
   std::vector<comm::RecoveryEvent> recovery_events;
+  /// Cluster health report: per-phase timeline plus classifier findings
+  /// (straggler / retransmit_storm / apply_backlog / checkpoint_interference;
+  /// DESIGN.md §14). Empty timeline when no engine reported phases.
+  telemetry::HealthReport health;
   /// Global result labels assembled from the masters.
   std::vector<std::uint32_t> labels_u32;  // bfs / cc / sssp
   std::vector<double> labels_f64;         // pagerank

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/flight_recorder.hpp"
+
 namespace lcr::comm {
 
 const char* to_string(PeerState s) {
@@ -53,10 +55,16 @@ void Membership::report_kill(int host) {
       static_cast<std::uint8_t>(PeerState::Dead), std::memory_order_release);
   kills_.fetch_add(1, std::memory_order_relaxed);
   failure_pending_.store(true, std::memory_order_release);
+  // failure_pending tripping is a flight-recorder trigger: dump the ring
+  // while the events leading up to the death are still in it.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "{\"host\":%d}", host);
+  telemetry::flight_record(static_cast<std::uint32_t>(host), "member.dead",
+                           buf);
+  telemetry::flight_dump("failure_pending");
 }
 
 void Membership::report_suspect(int reporter, int peer) {
-  (void)reporter;
   if (peer < 0 || static_cast<std::size_t>(peer) >= n_) return;
   // Upgrade only: a ground-truth Dead must never be demoted by a late
   // detector report, and duplicate suspicions are idempotent.
@@ -65,8 +73,15 @@ void Membership::report_suspect(int reporter, int peer) {
   while (cur < static_cast<std::uint8_t>(PeerState::SuspectedDead)) {
     if (s.compare_exchange_weak(
             cur, static_cast<std::uint8_t>(PeerState::SuspectedDead),
-            std::memory_order_acq_rel))
+            std::memory_order_acq_rel)) {
+      suspects_.fetch_add(1, std::memory_order_relaxed);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "{\"reporter\":%d,\"peer\":%d}",
+                    reporter, peer);
+      telemetry::flight_record(static_cast<std::uint32_t>(reporter),
+                               "member.suspect", buf);
       break;
+    }
   }
 }
 
@@ -82,8 +97,16 @@ void Membership::recovery_barrier(std::size_t self,
 
 void Membership::mark_alive(std::size_t host) {
   if (host >= n_) return;
-  states_[host].store(static_cast<std::uint8_t>(PeerState::Alive),
-                      std::memory_order_release);
+  const std::uint8_t prev = states_[host].exchange(
+      static_cast<std::uint8_t>(PeerState::Alive), std::memory_order_acq_rel);
+  if (prev != static_cast<std::uint8_t>(PeerState::Alive)) {
+    readmits_.fetch_add(1, std::memory_order_relaxed);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"host\":%zu,\"was\":\"%s\"}", host,
+                  to_string(static_cast<PeerState>(prev)));
+    telemetry::flight_record(static_cast<std::uint32_t>(host),
+                             "member.readmit", buf);
+  }
 }
 
 void Membership::log_event(const RecoveryEvent& ev) {

@@ -113,6 +113,22 @@ class Membership {
   std::uint64_t recoveries() const noexcept {
     return recoveries_.load(std::memory_order_relaxed);
   }
+  /// State-transition counters (Alive -> SuspectedDead upgrades that stuck,
+  /// and non-Alive -> Alive readmissions). Exposed as member.* probes.
+  std::uint64_t suspects() const noexcept {
+    return suspects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t readmits() const noexcept {
+    return readmits_.load(std::memory_order_relaxed);
+  }
+
+  /// Raw counter storage for telemetry probe registration.
+  std::atomic<std::uint64_t>& kills_counter() noexcept { return kills_; }
+  std::atomic<std::uint64_t>& recoveries_counter() noexcept {
+    return recoveries_;
+  }
+  std::atomic<std::uint64_t>& suspects_counter() noexcept { return suspects_; }
+  std::atomic<std::uint64_t>& readmits_counter() noexcept { return readmits_; }
 
  private:
   std::size_t n_;
@@ -120,6 +136,8 @@ class Membership {
   std::atomic<bool> failure_pending_{false};
   std::atomic<std::uint64_t> kills_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> suspects_{0};
+  std::atomic<std::uint64_t> readmits_{0};
 
   mutable std::mutex events_lock_;
   std::vector<RecoveryEvent> events_;

@@ -44,6 +44,10 @@ struct ChunkHeader {
   std::uint8_t format = 0;          // WireFormat tag
   std::uint8_t flags = 0;           // kFlag* bits
   std::uint16_t check = 0;          // Fletcher-style header self-check
+  std::uint32_t trace_id = 0;       // causal-trace context (telemetry);
+                                    // 0 = this message is not sampled
+  std::uint8_t trace_hop = 0;       // hop counter stamped by the sender
+  std::uint8_t reserved[3] = {0, 0, 0};
 
   void finalize() noexcept { check = compute_check(); }
 
@@ -71,7 +75,7 @@ struct ChunkHeader {
   }
 };
 
-static_assert(sizeof(ChunkHeader) == 24, "wire layout is part of the ABI");
+static_assert(sizeof(ChunkHeader) == 32, "wire layout is part of the ABI");
 
 inline constexpr std::size_t kChunkHeaderBytes = sizeof(ChunkHeader);
 

@@ -62,6 +62,13 @@ struct FaultProfile {
   std::uint64_t kill_at_op = 0;
   std::int64_t kill_at_round = -1;
 
+  /// Straggler injection: host `slow_host` (-1 = disabled) busy-spins for
+  /// `slow_round_ns` at the top of every round it drives. Models a host with
+  /// degraded compute (thermal throttling, a noisy neighbour); the health
+  /// monitor's straggler classifier exists to catch exactly this.
+  std::int32_t slow_host = -1;
+  std::uint64_t slow_round_ns = 0;
+
   bool enabled() const noexcept {
     return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
            reorder_rate > 0.0 || delay_rate > 0.0 || brownout_ops > 0;

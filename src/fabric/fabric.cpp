@@ -6,6 +6,7 @@
 #include "runtime/cpu_relax.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/trace.hpp"
 
 namespace lcr::fabric {
@@ -43,13 +44,13 @@ void Fabric::kill_now(Rank victim) {
   endpoints_[victim]->detach();
   endpoints_[victim]->stats().host_kills.fetch_add(1,
                                                    std::memory_order_relaxed);
-  if (telemetry::enabled()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u,\"op\":%llu}",
-                  victim, epoch_.load(std::memory_order_relaxed),
-                  static_cast<unsigned long long>(killed_at_op()));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u,\"op\":%llu}",
+                victim, epoch_.load(std::memory_order_relaxed),
+                static_cast<unsigned long long>(killed_at_op()));
+  if (telemetry::enabled())
     telemetry::instant("fault", "host_kill", victim, buf);
-  }
+  telemetry::flight_record(victim, "fault.host_kill", buf);
   if (kill_observer_) kill_observer_(victim);
 }
 
@@ -61,11 +62,11 @@ void Fabric::revive(Rank host) {
   // poll_cq, so no packet from before the kill can reach the new layers.
   const std::uint32_t e =
       epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (telemetry::enabled()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u}", host, e);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"host\":%u,\"epoch\":%u}", host, e);
+  if (telemetry::enabled())
     telemetry::instant("fault", "host_revive", host, buf);
-  }
+  telemetry::flight_record(host, "fault.host_revive", buf);
 }
 
 void Fabric::note_round(Rank host, std::int64_t round) {
@@ -156,6 +157,15 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
     sep.stats().faults_dropped.fetch_add(1, std::memory_order_relaxed);
     sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
     sep.stats().bytes_tx.fetch_add(meta.size, std::memory_order_relaxed);
+    if (telemetry::enabled() && meta.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%u,\"seq\":%u}", dst,
+                    meta.seq);
+      // From the sender's view the post succeeded; the wire ate it. Record
+      // both so stitched flows read post -> drop per attempt.
+      telemetry::hop("post", src, meta.trace_id, meta.trace_hop, hbuf);
+      telemetry::hop("drop", src, meta.trace_id, meta.trace_hop, hbuf);
+    }
     return PostResult::Ok;
   }
 
@@ -248,7 +258,15 @@ PostResult Fabric::post_send(Rank src, Rank dst, const void* payload,
 
   sep.stats().sends.fetch_add(1, std::memory_order_relaxed);
   sep.stats().bytes_tx.fetch_add(meta.size, std::memory_order_relaxed);
-  if (telemetry::enabled()) msg_bytes_hist_->record(meta.size);
+  if (telemetry::enabled()) {
+    msg_bytes_hist_->record(meta.size);
+    if (meta.trace_id != 0) {
+      char hbuf[64];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%u,\"seq\":%u,\"bytes\":%u}",
+                    dst, meta.seq, meta.size);
+      telemetry::hop("post", src, meta.trace_id, meta.trace_hop, hbuf);
+    }
+  }
   return PostResult::Ok;
 }
 
@@ -281,6 +299,14 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
     sep.stats().faults_dropped.fetch_add(1, std::memory_order_relaxed);
     sep.stats().puts.fetch_add(1, std::memory_order_relaxed);
     sep.stats().bytes_tx.fetch_add(size, std::memory_order_relaxed);
+    if (telemetry::enabled() && meta.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%u,\"seq\":%u}", dst,
+                    meta.seq);
+      // Sender-visible success first, then the loss (see post_send).
+      telemetry::hop("post", src, meta.trace_id, meta.trace_hop, hbuf);
+      telemetry::hop("drop", src, meta.trace_id, meta.trace_hop, hbuf);
+    }
     return PostResult::Ok;
   }
 
@@ -330,7 +356,15 @@ PostResult Fabric::post_put(Rank src, Rank dst, RKey rkey, std::size_t offset,
 
   sep.stats().puts.fetch_add(1, std::memory_order_relaxed);
   sep.stats().bytes_tx.fetch_add(size, std::memory_order_relaxed);
-  if (telemetry::enabled()) msg_bytes_hist_->record(size);
+  if (telemetry::enabled()) {
+    msg_bytes_hist_->record(size);
+    if (meta.trace_id != 0) {
+      char hbuf[64];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%u,\"seq\":%u,\"bytes\":%zu}",
+                    dst, meta.seq, size);
+      telemetry::hop("post", src, meta.trace_id, meta.trace_hop, hbuf);
+    }
+  }
   return PostResult::Ok;
 }
 

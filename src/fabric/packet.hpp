@@ -54,6 +54,13 @@ struct MsgMeta {
   std::uint32_t seq = 0;    // per-link sequence number (kRelSeq / kRelProbe)
   std::uint32_t ack = 0;    // cumulative ack: all seq < ack delivered
   std::uint32_t crc = 0;    // CRC-32 over header fields + payload (kRelSeq)
+  /// Causal-trace context (telemetry): copied out of the framed payload's
+  /// ChunkHeader by the reliability channel so the fabric and the protocol
+  /// can record lifecycle hops without parsing payloads. 0 = unsampled.
+  /// Excluded from the reliability CRC, like `ack`: `trace_hop` counts
+  /// transmission attempts and mutates per (re)post.
+  std::uint32_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
 };
 
 /// Result of posting an operation to the fabric.

@@ -4,8 +4,16 @@
 #include <cstring>
 #include <mutex>
 
+// Layering note: the reliability channel never interprets payload bytes -
+// with one read-only exception. comm/message.hpp is a dependency-free,
+// header-only description of the engine framing, and peeking its ChunkHeader
+// here is how a sampled message's trace context crosses from the engine wire
+// format into the fabric-level MsgMeta without every backend re-implementing
+// the stamp (DESIGN.md §14).
+#include "comm/message.hpp"
 #include "runtime/crc32.hpp"
 #include "runtime/timer.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/trace.hpp"
 
 namespace lcr::fabric {
@@ -31,6 +39,43 @@ std::uint32_t meta_crc(const MsgMeta& m, const void* payload) {
   if (m.size > 0 && payload != nullptr)
     c = rt::crc32_update(c, payload, m.size);
   return rt::crc32_final(c);
+}
+
+/// Best-effort lift of the causal-trace context out of an outgoing payload's
+/// engine framing header into the fabric-level MsgMeta, where every
+/// downstream stage (fabric post/drop, retransmit, delivery) can see it
+/// without touching payload bytes again. The ChunkHeader's Fletcher
+/// self-check plus field constraints make a false positive on non-engine
+/// payloads (control tails, raw records) negligible; anything that fails the
+/// peek simply travels unstamped. MPI-probe aggregates length-prefix each
+/// framed record, so the first record is also tried at a 4-byte offset
+/// (later records of an aggregate are untraced - documented best-effort).
+void stamp_trace(MsgMeta& meta, const void* payload, std::size_t size) {
+  if (meta.trace_id != 0) return;  // already stamped upstream
+  if (payload == nullptr || !telemetry::enabled() ||
+      telemetry::trace_sample_every() == 0)
+    return;
+  const auto* bytes = static_cast<const std::byte*>(payload);
+  comm::ChunkHeader h;
+  if (size >= comm::kChunkHeaderBytes) {
+    std::memcpy(&h, bytes, sizeof(h));
+    if (h.valid() && h.trace_id != 0) {
+      meta.trace_id = h.trace_id;
+      meta.trace_hop = h.trace_hop;
+      return;
+    }
+  }
+  if (size >= sizeof(std::uint32_t) + comm::kChunkHeaderBytes) {
+    std::uint32_t rec = 0;
+    std::memcpy(&rec, bytes, sizeof(rec));
+    if (rec >= comm::kChunkHeaderBytes && rec <= size - sizeof(rec)) {
+      std::memcpy(&h, bytes + sizeof(rec), sizeof(h));
+      if (h.valid() && h.trace_id != 0) {
+        meta.trace_id = h.trace_id;
+        meta.trace_hop = h.trace_hop;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -95,6 +140,7 @@ PostResult ReliableChannel::post_entry(Rank dst, TxEntry& e) {
 }
 
 PostResult ReliableChannel::send(Rank dst, const void* payload, MsgMeta meta) {
+  stamp_trace(meta, payload, meta.size);
   if (!active_) return fabric_.post_send(rank_, dst, payload, meta);
   if (dst >= tx_links_.size()) return PostResult::Invalid;
   if (meta.size > fabric_.config().mtu) return PostResult::TooLarge;
@@ -152,6 +198,7 @@ PostResult ReliableChannel::send(Rank dst, const void* payload, MsgMeta meta) {
 PostResult ReliableChannel::put(Rank dst, RKey rkey, std::size_t offset,
                                 const void* payload, std::size_t size,
                                 bool notify, MsgMeta meta) {
+  stamp_trace(meta, payload, size);
   if (!active_)
     return fabric_.post_put(rank_, dst, rkey, offset, payload, size, notify,
                             meta);
@@ -248,6 +295,18 @@ void ReliableChannel::handle_ack(Rank peer, std::uint32_t ack,
       if (e.attempts == 0 || now - e.last_data_tx >= cfg_.rto_ns / 4) {
         if (telemetry::enabled() && now > e.last_data_tx)
           rtx_gap_hist_->record(now - e.last_data_tx);
+        if (e.meta.trace_id != 0) {
+          e.meta.trace_hop = static_cast<std::uint8_t>(
+              e.attempts < 0xFF ? e.attempts + 1 : 0xFF);
+          if (telemetry::enabled()) {
+            char hbuf[64];
+            std::snprintf(hbuf, sizeof(hbuf),
+                          "{\"peer\":%u,\"seq\":%u,\"cause\":\"nack\"}", peer,
+                          e.seq);
+            telemetry::hop("retransmit", rank_, e.meta.trace_id,
+                           e.attempts + 1, hbuf);
+          }
+        }
         const PostResult r = post_entry(peer, e);
         if (r == PostResult::Down) {
           note_down(peer, tx);
@@ -291,6 +350,11 @@ void ReliableChannel::handle_data(Cqe& cqe) {
     // Duplicate (retransmission of something already delivered, or a
     // fault-injected duplicate delivery).
     endpoint_.stats().rel_dup_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled() && m.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"src\":%u,\"seq\":%u}", m.src, seq);
+      telemetry::hop("dup", rank_, m.trace_id, m.trace_hop, hbuf);
+    }
     rx.ack_dirty.store(true, std::memory_order_relaxed);
     recycle(cqe);
     return;
@@ -300,6 +364,12 @@ void ReliableChannel::handle_data(Cqe& cqe) {
   // the landed bytes in the registered target region.
   if (meta_crc(m, cqe.buffer) != m.crc) {
     endpoint_.stats().rel_crc_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled() && m.trace_id != 0) {
+      char hbuf[64];
+      std::snprintf(hbuf, sizeof(hbuf),
+                    "{\"src\":%u,\"seq\":%u,\"cause\":\"crc\"}", m.src, seq);
+      telemetry::hop("nack", rank_, m.trace_id, m.trace_hop, hbuf);
+    }
     rx.nack_seq_plus1 = seq + 1;  // confirmed damaged: request a re-send
     rx.ack_dirty.store(true, std::memory_order_relaxed);
     recycle(cqe);
@@ -310,6 +380,13 @@ void ReliableChannel::handle_data(Cqe& cqe) {
     rx.expected.fetch_add(1, std::memory_order_relaxed);
     rx.delivered_since_ack.fetch_add(1, std::memory_order_relaxed);
     endpoint_.stats().rel_delivered.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled() && ready.meta.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"src\":%u,\"seq\":%u}",
+                    ready.meta.src, ready.meta.seq);
+      telemetry::hop("deliver", rank_, ready.meta.trace_id,
+                     ready.meta.trace_hop, hbuf);
+    }
     if (ready.meta.rel & kRelBare) {
       // Transport-internal put notification: acked but never surfaced.
       recycle(ready);
@@ -353,6 +430,11 @@ void ReliableChannel::handle_data(Cqe& cqe) {
     if (telemetry::enabled()) held_hist_->record(rx.held.size());
   } else {
     endpoint_.stats().rel_ooo_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled() && m.trace_id != 0) {
+      char hbuf[48];
+      std::snprintf(hbuf, sizeof(hbuf), "{\"src\":%u,\"seq\":%u}", m.src, seq);
+      telemetry::hop("ooo_drop", rank_, m.trace_id, m.trace_hop, hbuf);
+    }
     recycle(cqe);
   }
   rx.nack_seq_plus1 = expected + 1;  // request the gap head
@@ -399,6 +481,13 @@ void ReliableChannel::service_tx(std::uint64_t now) {
       probe.kind = front.meta.kind;
       probe.rel = kRelCtrl | kRelProbe;
       probe.seq = front.seq;
+      if (telemetry::enabled() && front.meta.trace_id != 0) {
+        char hbuf[48];
+        std::snprintf(hbuf, sizeof(hbuf), "{\"peer\":%u,\"seq\":%u}", dst,
+                      front.seq);
+        telemetry::hop("probe", rank_, front.meta.trace_id,
+                       front.attempts + 1, hbuf);
+      }
       if (fabric_.post_send(rank_, dst, nullptr, probe) == PostResult::Down) {
         note_down(dst, tx);
         continue;
@@ -407,6 +496,18 @@ void ReliableChannel::service_tx(std::uint64_t now) {
     } else {
       if (telemetry::enabled() && now > front.last_data_tx)
         rtx_gap_hist_->record(now - front.last_data_tx);
+      if (front.meta.trace_id != 0) {
+        front.meta.trace_hop = static_cast<std::uint8_t>(
+            front.attempts < 0xFF ? front.attempts + 1 : 0xFF);
+        if (telemetry::enabled()) {
+          char hbuf[64];
+          std::snprintf(hbuf, sizeof(hbuf),
+                        "{\"peer\":%u,\"seq\":%u,\"cause\":\"rto\"}", dst,
+                        front.seq);
+          telemetry::hop("retransmit", rank_, front.meta.trace_id,
+                         front.attempts + 1, hbuf);
+        }
+      }
       const PostResult r = post_entry(dst, front);
       if (r == PostResult::Down) {
         note_down(dst, tx);
@@ -429,13 +530,12 @@ void ReliableChannel::note_suspect(Rank dst, TxLink& tx,
                                    std::uint32_t attempts) {
   tx.suspected = true;
   endpoint_.stats().rel_suspected_dead.fetch_add(1, std::memory_order_relaxed);
-  if (telemetry::enabled()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"owner\":\"%s\",\"peer\":%u,\"attempts\":%u}", owner_,
-                  dst, attempts);
-    telemetry::instant("rel", "suspect_dead", rank_, buf);
-  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"owner\":\"%s\",\"peer\":%u,\"attempts\":%u}", owner_, dst,
+                attempts);
+  if (telemetry::enabled()) telemetry::instant("rel", "suspect_dead", rank_, buf);
+  telemetry::flight_record(rank_, "rel.suspect_dead", buf);
   fabric_.report_suspected_dead(rank_, dst);
 }
 
@@ -454,13 +554,12 @@ void ReliableChannel::note_down(Rank dst, TxLink& tx) {
     endpoint_.stats().rel_suspected_dead.fetch_add(1,
                                                    std::memory_order_relaxed);
   }
-  if (telemetry::enabled()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"owner\":\"%s\",\"peer\":%u,\"dropped\":%zu}", owner_,
-                  dst, dropped);
-    telemetry::instant("rel", "peer_down", rank_, buf);
-  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\"owner\":\"%s\",\"peer\":%u,\"dropped\":%zu}", owner_, dst,
+                dropped);
+  if (telemetry::enabled()) telemetry::instant("rel", "peer_down", rank_, buf);
+  telemetry::flight_record(rank_, "rel.peer_down", buf);
   fabric_.report_suspected_dead(rank_, dst);
 }
 
@@ -554,6 +653,16 @@ void ReliableChannel::pump() {
         endpoint_.stats().rel_stall_dumps.fetch_add(
             1, std::memory_order_relaxed);
         dump_state("progress stall");
+        // A stall is exactly the anomaly the flight recorder exists for:
+        // snapshot the context and dump the ring while the evidence is hot.
+        char fbuf[96];
+        std::snprintf(fbuf, sizeof(fbuf),
+                      "{\"owner\":\"%s\",\"quiet_ns\":%llu,\"inflight\":%zu}",
+                      owner_,
+                      static_cast<unsigned long long>(now - last),
+                      inflight_.load(std::memory_order_relaxed));
+        telemetry::flight_record(rank_, "rel.stall", fbuf);
+        telemetry::flight_dump("rel_stall");
       }
     }
   }

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -212,6 +213,13 @@ void GeminiHost::apply_chunk_typed(
   const comm::ChunkHeader header = m->header();
   const std::byte* p = m->payload();
   constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
+  if (telemetry::enabled() && header.trace_id != 0) {
+    char hbuf[64];
+    std::snprintf(hbuf, sizeof(hbuf), "{\"src\":%d,\"bytes\":%u}", m->src,
+                  header.payload_bytes);
+    telemetry::hop("decode", static_cast<std::uint32_t>(g_.host_id),
+                   header.trace_id, header.trace_hop, hbuf);
+  }
   for (std::size_t off = 0; off + rec <= header.payload_bytes; off += rec) {
     graph::VertexId gid;
     T value;
@@ -223,6 +231,9 @@ void GeminiHost::apply_chunk_typed(
     // amortizing it like Abelian's sorted shared lists do.
     apply(gid, value);
   }
+  if (telemetry::enabled() && header.trace_id != 0)
+    telemetry::hop("apply", static_cast<std::uint32_t>(g_.host_id),
+                   header.trace_id, header.trace_hop);
   if (m->release) m->release();
   round_.note_chunk(m->src, header);
   delete m;
@@ -286,6 +297,8 @@ void GeminiHost::stream_round(
 
   std::atomic<std::size_t> producers_left{team_->size()};
   std::atomic<std::uint64_t> produce_end_ns{0};
+  const std::uint64_t bytes_before =
+      stats_.bytes.load(std::memory_order_relaxed);
   const std::uint64_t round_start_ns = rt::now_ns();
 
   team_->run([&](std::size_t tid) {
@@ -304,18 +317,33 @@ void GeminiHost::stream_round(
         if (o.lease) comm_->abandon(o.lease);
         return;
       }
+      const std::uint32_t ord = chunks_sent_[static_cast<std::size_t>(dst)]
+                                    ->fetch_add(1, std::memory_order_acq_rel);
       comm::ChunkHeader header;
       header.phase_id = round_.round_id;
       header.payload_bytes = static_cast<std::uint32_t>(o.bytes);
       header.chunk_idx = 0;   // scatter is order-free
       header.num_chunks = 0;  // streaming: total only known at the tail
       header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
+      // Causal-trace sampling: gemini chunks have no shared-list position,
+      // so the per-destination chunk ordinal identifies the message. Must
+      // precede finalize() (the self-check covers the trace fields).
+      header.trace_id = telemetry::sample_trace_id(
+          static_cast<std::uint32_t>(me), round_.round_id,
+          (static_cast<std::uint32_t>(dst) << 16) | (ord & 0xFFFF));
       header.finalize();
       std::memcpy(o.lease.data, &header, sizeof(header));
       const std::size_t total = comm::kChunkHeaderBytes + o.bytes;
       o.bytes = 0;
-      chunks_sent_[static_cast<std::size_t>(dst)]->fetch_add(
-          1, std::memory_order_acq_rel);
+      if (telemetry::enabled() && header.trace_id != 0) {
+        char hbuf[64];
+        std::snprintf(hbuf, sizeof(hbuf), "{\"dst\":%d,\"bytes\":%zu}", dst,
+                      total);
+        telemetry::hop("encode", static_cast<std::uint32_t>(me),
+                       header.trace_id, 0, hbuf);
+        telemetry::hop("commit", static_cast<std::uint32_t>(me),
+                       header.trace_id, 0);
+      }
       stats_.messages.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes.fetch_add(total, std::memory_order_relaxed);
       if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(total);
@@ -418,6 +446,12 @@ void GeminiHost::stream_round(
     telemetry::emit_complete("gemini", "drain", host, mid,
                              round_end_ns - mid);
   }
+  // Health-monitor report: one (duration, bytes) sample per host per round,
+  // piggybacked on the round completion just synchronized on.
+  cluster_.health().note_phase(
+      static_cast<std::uint32_t>(me), round_.round_id,
+      round_end_ns - round_start_ns,
+      stats_.bytes.load(std::memory_order_relaxed) - bytes_before);
 
   ++round_counter_;
   stats_.rounds++;

@@ -1,0 +1,155 @@
+#include "telemetry/flight_recorder.hpp"
+
+#ifndef LCR_TELEMETRY_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "runtime/timer.hpp"
+
+namespace lcr::telemetry {
+
+namespace {
+
+constexpr std::size_t kSlots = 4096;  // power of two
+constexpr std::size_t kKindBytes = 24;
+constexpr std::size_t kDetailBytes = 232;
+
+/// Seqlock-style slot: `stamp` holds ticket+1 once the payload is complete
+/// and 0 while a writer owns it. A reader copies the payload and keeps it
+/// only if the stamp it saw before and after the copy match and are nonzero.
+struct Slot {
+  std::atomic<std::uint64_t> stamp{0};
+  std::uint64_t ts_ns = 0;
+  std::uint32_t host = 0;
+  char kind[kKindBytes] = {};
+  char detail[kDetailBytes] = {};
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> dumps{0};
+  Slot slots[kSlots];
+  std::mutex dir_mu;
+  std::string dir;
+};
+
+Ring& ring() {
+  static auto* r = [] {
+    auto* ptr = new Ring();
+    if (const char* d = std::getenv("LCR_FLIGHT_DIR")) ptr->dir = d;
+    return ptr;
+  }();
+  return *r;
+}
+
+void copy_bounded(char* dst, std::size_t cap, const char* src,
+                  std::size_t len) {
+  const std::size_t n = std::min(cap - 1, len);
+  std::memcpy(dst, src, n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+void flight_record(std::uint32_t host, const char* kind, std::string detail) {
+  Ring& r = ring();
+  const std::uint64_t ticket =
+      r.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = r.slots[ticket & (kSlots - 1)];
+  s.stamp.store(0, std::memory_order_release);  // invalidate for readers
+  s.ts_ns = rt::now_ns();
+  s.host = host;
+  copy_bounded(s.kind, kKindBytes, kind, std::strlen(kind));
+  // A detail cut mid-object would poison the JSON bundle; drop it whole
+  // rather than truncate.
+  const bool fits = detail.size() < kDetailBytes;
+  copy_bounded(s.detail, kDetailBytes, detail.data(),
+               fits ? detail.size() : 0);
+  s.stamp.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> flight_snapshot() {
+  Ring& r = ring();
+  std::vector<FlightEvent> out;
+  out.reserve(kSlots);
+  for (Slot& s : r.slots) {
+    const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    FlightEvent ev;
+    ev.ts_ns = s.ts_ns;
+    ev.host = s.host;
+    ev.kind = s.kind;
+    ev.detail = s.detail;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.stamp.load(std::memory_order_acquire) != before)
+      continue;  // torn by a concurrent writer; the event is lost anyway
+    out.push_back(std::move(ev));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+void flight_set_dir(std::string dir) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> guard(r.dir_mu);
+  r.dir = std::move(dir);
+}
+
+std::uint64_t flight_dumps() noexcept {
+  return ring().dumps.load(std::memory_order_relaxed);
+}
+
+void flight_reset() {
+  Ring& r = ring();
+  for (Slot& s : r.slots) s.stamp.store(0, std::memory_order_release);
+  r.head.store(0, std::memory_order_relaxed);
+  r.dumps.store(0, std::memory_order_relaxed);
+}
+
+bool flight_dump(const char* reason, std::string* out_path) {
+  Ring& r = ring();
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> guard(r.dir_mu);
+    dir = r.dir;
+  }
+  if (dir.empty()) return false;
+
+  const std::uint64_t seq = r.dumps.fetch_add(1, std::memory_order_relaxed);
+  std::string path = dir + "/flight_" + std::to_string(seq) + "_" + reason +
+                     ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  const std::vector<FlightEvent> events = flight_snapshot();
+  std::fprintf(f, "{\n\"reason\": \"%s\",\n\"dumped_at_ns\": %llu,\n",
+               reason, static_cast<unsigned long long>(rt::now_ns()));
+  std::fputs("\"events\": [", f);
+  bool first = true;
+  for (const FlightEvent& ev : events) {
+    std::fprintf(f,
+                 "%s\n{\"ts_ns\":%llu,\"host\":%u,\"kind\":\"%s\"%s%s}",
+                 first ? "" : ",",
+                 static_cast<unsigned long long>(ev.ts_ns), ev.host,
+                 ev.kind.c_str(), ev.detail.empty() ? "" : ",\"detail\":",
+                 ev.detail.c_str());
+    first = false;
+  }
+  std::fputs("\n]\n}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok && out_path != nullptr) *out_path = path;
+  return ok;
+}
+
+}  // namespace lcr::telemetry
+
+#endif  // !LCR_TELEMETRY_DISABLED

@@ -1,0 +1,74 @@
+// Telemetry pillar 4: the anomaly flight recorder (DESIGN.md §14).
+//
+// A process-wide lock-free ring of recent structured events - reliability
+// stall dumps, membership transitions, checkpoint seals and rollbacks,
+// queue-depth samples - that is always recording (writes are one atomic
+// ticket plus a bounded memcpy into a fixed slot; producers never block and
+// never allocate). When an anomaly trips (the reliability stall watchdog
+// fires, `failure_pending` trips on a kill report, or recovery rolls back),
+// the recorder dumps the ring as a JSON bundle, turning what used to be a
+// transient stderr dump into a replayable artifact.
+//
+// Dumping is armed by configuring a directory (env LCR_FLIGHT_DIR or
+// flight_set_dir); with no directory the triggers are no-ops, so unit tests
+// and benches never litter the working tree. Events survive in the ring
+// either way and can be inspected via flight_snapshot().
+//
+// Building with -DLCR_TELEMETRY=OFF folds every call site away, like the
+// rest of the telemetry subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcr::telemetry {
+
+/// One recorded event. `kind` is a short static-ish tag ("rel.stall",
+/// "member.kill", "ckpt.seal", ...); `detail` is a preformatted JSON object
+/// (possibly truncated to the slot capacity).
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t host = 0;
+  std::string kind;
+  std::string detail;
+};
+
+#ifdef LCR_TELEMETRY_DISABLED
+
+inline void flight_record(std::uint32_t, const char*, std::string = {}) {}
+inline bool flight_dump(const char*, std::string* = nullptr) { return false; }
+inline void flight_set_dir(std::string) {}
+inline std::vector<FlightEvent> flight_snapshot() { return {}; }
+inline std::uint64_t flight_dumps() noexcept { return 0; }
+inline void flight_reset() {}
+
+#else
+
+/// Appends one event to the ring. Lock-free and wait-free apart from the
+/// bounded slot write; safe from any thread, including inside the
+/// reliability progress pump. `detail` must be a JSON object or empty.
+void flight_record(std::uint32_t host, const char* kind,
+                   std::string detail = {});
+
+/// Dumps the ring as flight_<seq>_<reason>.json into the configured
+/// directory and returns true on success. No directory configured => false
+/// without touching the filesystem. `out_path` receives the written path.
+bool flight_dump(const char* reason, std::string* out_path = nullptr);
+
+/// Arms/disarms automatic dumping ("" disarms). Initialized from env
+/// LCR_FLIGHT_DIR.
+void flight_set_dir(std::string dir);
+
+/// Consistent copy of the ring's surviving events, oldest first.
+std::vector<FlightEvent> flight_snapshot();
+
+/// Number of bundles written so far (test hook).
+std::uint64_t flight_dumps() noexcept;
+
+/// Clears the ring and the dump counter (the directory stays configured).
+void flight_reset();
+
+#endif  // LCR_TELEMETRY_DISABLED
+
+}  // namespace lcr::telemetry

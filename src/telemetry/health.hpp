@@ -1,0 +1,131 @@
+// Telemetry pillar 5: the cluster health monitor (DESIGN.md §14).
+//
+// Every host reports one (duration, bytes) sample per BSP sync phase -
+// piggybacked on the phase barrier the engines already run, so no extra
+// synchronization is introduced. The last host to report a phase also
+// snapshots a small set of cluster-wide registry counters (retransmits,
+// fault drops, CRC refusals, apply-stash drops, checkpoint time), turning
+// the per-phase reports into a round-indexed timeline with counter deltas
+// attached. diagnose() runs four classifiers over that timeline:
+//
+//   * straggler      - one host repeatedly enters the sync phase last (its
+//                      own phase time is the per-round minimum while every
+//                      peer sits waiting for its data),
+//   * retransmit_storm - a contiguous run of phases with reliability
+//                      retransmissions above threshold,
+//   * apply_backlog  - receive-side apply falls behind (OOO stash drops),
+//   * checkpoint_interference - phases slowed while checkpoint staging or
+//                      sealing was active.
+//
+// The monitor only reads the metrics Registry (which is compiled
+// unconditionally), so it works even when span tracing is disabled; cost is
+// one mutex acquisition per host per phase, entirely off the data path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace lcr::telemetry {
+
+/// Classifier thresholds (documented in DESIGN.md §14).
+struct HealthConfig {
+  /// Straggler: a phase is skewed when its median/min duration ratio is
+  /// >= straggler_ratio; the per-phase minimum host collects that skew as
+  /// its vote (the injected-slow host finishes its own phase fastest while
+  /// peers wait). Flag host h when it holds >= straggler_share of the total
+  /// skew mass with at least two wins, once straggler_min_phases phases
+  /// completed. Mass-weighted voting keeps short auxiliary phases' noise
+  /// votes from diluting a repeated large skew.
+  double straggler_ratio = 1.3;
+  double straggler_share = 0.5;
+  std::size_t straggler_min_phases = 4;
+  /// Retransmit storm: a maximal run of consecutive phases with nonzero
+  /// retransmit delta whose total reaches this count.
+  std::uint64_t storm_retransmits = 4;
+  /// Apply backlog: a phase with at least this many new stash drops.
+  std::uint64_t backlog_stash_drops = 1;
+  /// Checkpoint interference: a phase with checkpoint activity whose wall
+  /// time exceeds ckpt_ratio x the median wall of checkpoint-free phases.
+  double ckpt_ratio = 1.5;
+};
+
+/// One aggregated timeline row (a completed or partially-reported phase).
+struct HealthPhase {
+  std::uint32_t phase_id = 0;
+  std::vector<std::uint64_t> dur_ns;  ///< per host; 0 = host never reported
+  std::vector<std::uint64_t> bytes;   ///< per host payload bytes
+  bool complete = false;              ///< all hosts reported
+  // Cluster-wide counter deltas attributed to this phase (sampled by the
+  // last host to report it; 0 for incomplete rows).
+  std::uint64_t d_retransmits = 0;
+  std::uint64_t d_fault_dropped = 0;
+  std::uint64_t d_crc_dropped = 0;
+  std::uint64_t d_probes = 0;
+  std::uint64_t d_stash_drops = 0;
+  std::uint64_t d_ckpt_ns = 0;  ///< stage + seal
+};
+
+struct HealthFinding {
+  std::string kind;  ///< classifier name, e.g. "retransmit_storm"
+  int host = -1;     ///< offending host; -1 = cluster-wide
+  std::uint32_t phase_lo = 0;  ///< first phase id of the episode
+  std::uint32_t phase_hi = 0;  ///< last phase id of the episode
+  double severity = 0.0;       ///< classifier-specific magnitude
+  std::string detail;          ///< human-readable one-liner
+};
+
+struct HealthReport {
+  std::size_t hosts = 0;
+  std::vector<HealthPhase> timeline;
+  std::vector<HealthFinding> findings;
+};
+
+class HealthMonitor {
+ public:
+  /// `registry` supplies the watched counters (the fabric's registry in a
+  /// cluster; a private one in unit tests). Must outlive the monitor.
+  HealthMonitor(std::size_t hosts, Registry* registry, HealthConfig cfg = {});
+
+  /// Reports host `host`'s sync phase `phase_id`: wall duration and payload
+  /// bytes moved. Thread-safe; called once per host per phase.
+  void note_phase(std::uint32_t host, std::uint32_t phase_id,
+                  std::uint64_t dur_ns, std::uint64_t bytes);
+
+  /// Runs the classifiers over the timeline collected so far.
+  HealthReport diagnose() const;
+
+  /// Writes diagnose() as health.json ({"hosts","timeline","findings"}).
+  bool write_json(const std::string& path) const;
+
+  /// Drops the timeline (keeps the counter baselines, so deltas across a
+  /// reset stay attributed to post-reset phases).
+  void reset();
+
+  const HealthConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void sample_deltas_locked(HealthPhase& row);
+
+  HealthConfig cfg_;
+  std::size_t hosts_;
+  Registry* registry_;
+
+  mutable std::mutex mu_;
+  std::vector<HealthPhase> rows_;
+  std::map<std::uint32_t, std::size_t> row_of_phase_;
+  std::vector<std::size_t> reported_;  ///< hosts reported, per row
+  // Last absolute values of the watched counters (delta baselines).
+  std::uint64_t last_retransmits_ = 0;
+  std::uint64_t last_fault_dropped_ = 0;
+  std::uint64_t last_crc_ = 0;
+  std::uint64_t last_probes_ = 0;
+  std::uint64_t last_stash_ = 0;
+  std::uint64_t last_ckpt_ = 0;
+};
+
+}  // namespace lcr::telemetry

@@ -1,10 +1,15 @@
-// Umbrella header for the telemetry subsystem (see DESIGN.md §9).
+// Umbrella header for the telemetry subsystem (see DESIGN.md §9 and §14).
 //
-//   metrics.hpp  - Registry of counters / histograms / probes
-//   trace.hpp    - Span tracing + Chrome trace-event export
-//   profiler.hpp - progress-loop work/idle sampler
+//   metrics.hpp         - Registry of counters / histograms / probes
+//   trace.hpp           - span tracing, causal message tracing (hops /
+//                         sampling / flow stitching), Chrome export
+//   profiler.hpp        - progress-loop work/idle sampler
+//   flight_recorder.hpp - anomaly flight recorder (lock-free event ring)
+//   health.hpp          - cluster health monitor + classifiers
 #pragma once
 
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"

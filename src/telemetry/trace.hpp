@@ -37,8 +37,10 @@ struct TraceEvent {
   std::uint64_t dur_ns = 0;  // 0 for instants
   std::uint32_t pid = 0;     // simulated host id
   std::uint32_t tid = 0;     // process-wide thread index
-  char phase = 'X';          // 'X' complete span, 'i' instant
-  std::string args;          // preformatted JSON object ("" = none)
+  char phase = 'X';          // 'X' complete span, 'i' instant, 'f' flow hop
+  std::uint32_t flow_id = 0;   // causal trace id ('f' events; 0 otherwise)
+  std::uint32_t flow_hop = 0;  // transmission attempt at this hop
+  std::string args;            // preformatted JSON object ("" = none)
 };
 
 #ifdef LCR_TELEMETRY_DISABLED
@@ -55,6 +57,15 @@ inline void instant(const char*, const char*, std::uint32_t = 0,
                     std::string = {}) {}
 inline void emit_complete(const char*, const char*, std::uint32_t,
                           std::uint64_t, std::uint64_t) {}
+inline void hop(const char*, std::uint32_t, std::uint32_t, std::uint32_t,
+                std::string = {}) {}
+inline void set_trace_sampling(std::uint32_t, std::uint64_t) noexcept {}
+constexpr std::uint32_t trace_sample_every() noexcept { return 0; }
+inline std::uint32_t sample_trace_id(std::uint32_t, std::uint32_t,
+                                     std::uint32_t,
+                                     std::uint32_t = 0) noexcept {
+  return 0;
+}
 
 #else  // tracing compiled in
 
@@ -84,7 +95,7 @@ class Span {
   ~Span() {
     if (live_)
       detail::record({cat_, name_, begin_, rt::now_ns() - begin_, pid_,
-                      detail::this_thread_tid(), 'X', {}});
+                      detail::this_thread_tid(), 'X', 0, 0, {}});
   }
 
   Span(const Span&) = delete;
@@ -109,6 +120,34 @@ void instant(const char* cat, const char* name, std::uint32_t pid = 0,
 void emit_complete(const char* cat, const char* name, std::uint32_t pid,
                    std::uint64_t begin_ns, std::uint64_t dur_ns);
 
+// ---- Causal message tracing (DESIGN.md §14) ----
+//
+// A sampled message carries a 32-bit trace id (plus a transmission-attempt
+// hop counter) in its ChunkHeader / MsgMeta; every layer it crosses records
+// one `hop` event. Because all simulated hosts share one process clock,
+// ordering hops by timestamp reconstructs the cross-host causal timeline.
+
+/// Records one lifecycle hop of sampled message `trace_id` at `stage`
+/// (static string: "encode", "post", "drop", "retransmit", ...). `attempt`
+/// is the transmission attempt the hop belongs to (0 = first).
+void hop(const char* stage, std::uint32_t pid, std::uint32_t trace_id,
+         std::uint32_t attempt, std::string args = {});
+
+/// Configures deterministic sampling: one message in `every` is traced
+/// (0 disables). Initialized from env LCR_TRACE_SAMPLE / LCR_TRACE_SEED.
+void set_trace_sampling(std::uint32_t every, std::uint64_t seed) noexcept;
+std::uint32_t trace_sample_every() noexcept;
+
+/// Deterministic sampling decision for the message identified by
+/// (host, phase_id, base_pos, salt). Returns the nonzero trace id when the
+/// message is sampled, 0 otherwise. Pure hash of the configured seed and
+/// the identity tuple, so re-running a seeded workload samples the same
+/// messages. `salt` disambiguates messages that share a base position
+/// (e.g. the same record range encoded for two destinations).
+std::uint32_t sample_trace_id(std::uint32_t host, std::uint32_t phase_id,
+                              std::uint32_t base_pos,
+                              std::uint32_t salt = 0) noexcept;
+
 #endif  // LCR_TELEMETRY_DISABLED
 
 // ---- Collection & export (always compiled; cheap and cold) ----
@@ -126,8 +165,42 @@ std::uint64_t trace_dropped();
 
 /// Writes the whole trace as Chrome trace-event JSON. `other` entries (e.g.
 /// a Registry snapshot) are embedded under "otherData" as string values.
+/// Hop events are exported as 1µs slices joined by Chrome flow arrows
+/// (ph "s"/"t"/"f", id = trace id), and every thread ring that overflowed
+/// contributes a trailing "trace_buffer_overflow" drop-marker instant.
 /// Returns false if the file could not be written.
 bool write_chrome_trace(const std::string& path,
                         const std::map<std::string, std::uint64_t>& other = {});
+
+/// One recorded lifecycle stage of a sampled message (stitched view).
+struct FlowHop {
+  const char* stage = "";
+  std::uint32_t host = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint32_t attempt = 0;
+  std::string args;
+};
+
+/// The full cross-host life of one sampled message, hops in causal
+/// (timestamp) order.
+struct FlowTrace {
+  std::uint32_t id = 0;
+  std::vector<FlowHop> hops;
+};
+
+/// Groups every recorded hop event by trace id into per-message causal
+/// timelines (hops sorted by timestamp; all simulated hosts share one
+/// clock, so timestamp order is causal order).
+std::vector<FlowTrace> stitch_flows();
+
+/// True when `stages` appears as a subsequence of the flow's hop stages -
+/// e.g. {"post", "drop", "retransmit", "deliver", "apply"}.
+bool flow_has_path(const FlowTrace& flow,
+                   const std::vector<const char*>& stages);
+
+/// Writes the stitched per-message timelines as a standalone JSON artifact
+/// ({"flows":[{"id","hops":[{stage,host,tid,ts_ns,attempt,args}...]}...]}).
+bool write_flow_trace(const std::string& path);
 
 }  // namespace lcr::telemetry
