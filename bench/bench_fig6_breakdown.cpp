@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
   graph::Csr sym = graph::symmetrize(base);
 
   bench::Table table({"app", "backend", "compute(s)", "comm(s)", "total(s)",
-                      "comm %", "ser %", "apply %"});
+                      "comm %", "ser %", "apply %", "direct %"});
   std::map<std::string, std::uint64_t> last_snapshot;
   std::map<std::string, double> measured_shares;
   for (const char* app : {"bfs", "cc", "sssp", "pagerank"}) {
@@ -181,15 +181,35 @@ int main(int argc, char** argv) {
       const double apply_share = apply_s / std::max(thread_s, 1e-9);
       measured_shares[std::string(app) + "/" + comm::to_string(kind) +
                       "#apply"] = apply_share;
+      // Direct-write share: fraction of sync messages that went out as
+      // one-sided puts (DESIGN.md §15). Baselined with the "#direct" key so
+      // CI notices when the direct path silently stops engaging (the ser%
+      // win would quietly evaporate with it).
+      const auto direct_it = r.telemetry.find("sync.direct_sends");
+      const auto msgs_it = r.telemetry.find("abelian.messages_sent");
+      const double direct_sends =
+          direct_it != r.telemetry.end()
+              ? static_cast<double>(direct_it->second)
+              : 0.0;
+      const double msgs_sent = msgs_it != r.telemetry.end()
+                                   ? static_cast<double>(msgs_it->second)
+                                   : 0.0;
+      const double direct_share = direct_sends / std::max(msgs_sent, 1.0);
+      measured_shares[std::string(app) + "/" + comm::to_string(kind) +
+                      "#direct"] = direct_share;
       char ser_pct[16];
       std::snprintf(ser_pct, sizeof(ser_pct), "%.1f%%", 100.0 * ser_share);
       char apply_pct[16];
       std::snprintf(apply_pct, sizeof(apply_pct), "%.1f%%",
                     100.0 * apply_share);
+      char direct_pct[16];
+      std::snprintf(direct_pct, sizeof(direct_pct), "%.1f%%",
+                    100.0 * direct_share);
       table.add_row({app, comm::to_string(kind),
                      bench::fmt_seconds(r.compute_s),
                      bench::fmt_seconds(r.comm_s),
-                     bench::fmt_seconds(r.total_s), pct, ser_pct, apply_pct});
+                     bench::fmt_seconds(r.total_s), pct, ser_pct, apply_pct,
+                     direct_pct});
       if (!trace_path.empty()) {
         print_span_check(app, comm::to_string(kind), r);
         last_snapshot = r.telemetry;
@@ -227,12 +247,17 @@ int main(int argc, char** argv) {
     for (const auto& [key, share] : measured_shares) {
       const auto it = baseline.find(key);
       if (it == baseline.end()) continue;
-      const double limit = it->second * 1.25 + 0.02;
-      const bool bad = share > limit;
+      // Cost shares (gather/apply) regress upward; the direct-engagement
+      // share regresses downward (the put path silently disengaging).
+      const bool lower_bound = key.size() > 7 &&
+                               key.compare(key.size() - 7, 7, "#direct") == 0;
+      const double limit = lower_bound ? it->second * 0.75 - 0.02
+                                       : it->second * 1.25 + 0.02;
+      const bool bad = lower_bound ? share < limit : share > limit;
       std::printf("  [perf] %-22s share %.4f vs baseline %.4f "
-                  "(limit %.4f) %s\n",
-                  key.c_str(), share, it->second, limit,
-                  bad ? "REGRESSED" : "ok");
+                  "(limit %s%.4f) %s\n",
+                  key.c_str(), share, it->second, lower_bound ? ">=" : "<=",
+                  limit, bad ? "REGRESSED" : "ok");
       if (bad) ++regressions;
     }
     if (regressions > 0) {

@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "comm/direct.hpp"
 #include "comm/membership.hpp"
 #include "fabric/fabric.hpp"
 #include "runtime/barrier.hpp"
@@ -47,6 +48,14 @@ class Cluster {
   /// (duration, bytes) sample per host per sync phase; the bench runner
   /// pulls diagnose()/write_json() after the run.
   telemetry::HealthMonitor& health() noexcept { return health_; }
+
+  /// Direct-write region directory (DESIGN.md §15): the stand-in for the
+  /// PMI rkey exchange through which receivers publish registered regions
+  /// and senders resolve them. Also the cluster-wide generation source -
+  /// generations are unique across hosts AND recovery epochs, so a put
+  /// built against a pre-failure registration can never validate against
+  /// a post-revive region that reuses the same buffer.
+  comm::DirectDirectory& direct_directory() noexcept { return directory_; }
 
   /// Runs fn(host_id) on one thread per host and joins them all. Any
   /// exception thrown by a host is rethrown (first one wins).
@@ -92,6 +101,7 @@ class Cluster {
   comm::Membership membership_;
   rt::CheckpointStore checkpoints_;
   telemetry::HealthMonitor health_;
+  comm::DirectDirectory directory_;
   telemetry::Registration ckpt_reg_;
   telemetry::Registration member_reg_;
   std::atomic<std::int64_t> rollback_round_{-1};

@@ -20,6 +20,7 @@ EngineConfig with_lane_defaults(EngineConfig cfg) {
   if (cfg.backend == comm::BackendKind::Lci &&
       cfg.backend_options.lci_lanes == 0)
     cfg.backend_options.lci_lanes = cfg.compute_threads;
+  cfg.direct_write = comm::resolve_direct_write(cfg.direct_write);
   return cfg;
 }
 }  // namespace
@@ -64,6 +65,11 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
       {"sync.shard_contended", &stats_.shard_contended},
       {"sync.stash_peak", &stats_.stash_peak},
       {"sync.stash_drops", &stats_.stash_drops},
+      {"sync.direct_sends", &stats_.direct_sends},
+      {"sync.direct_bytes", &stats_.direct_bytes},
+      {"sync.direct_ns", &stats_.direct_ns},
+      {"sync.direct_stale", &stats_.direct_stale},
+      {"sync.direct_fallbacks", &stats_.direct_fallbacks},
   });
   comm_thread_ = std::thread([this] { comm_thread_loop(); });
 }
@@ -85,6 +91,26 @@ HostEngine::~HostEngine() {
     for (auto& msg : queue)
       if (msg.release) msg.release();
   stash_.clear();
+  // Direct-write teardown: retract the published descriptors first (origins
+  // immediately revert to two-sided on the lookup miss), then drop the
+  // registrations; an in-flight put at the old token resolves invalid at
+  // the fabric because tokens are never reused.
+  for (auto& [key, home] : direct_homes_) {
+    const int src = static_cast<int>(key & 0xFFFFFFFFull);
+    const auto pattern_key = static_cast<std::uint32_t>(key >> 32);
+    cluster_.direct_directory().retract(graph_.host_id, src, pattern_key,
+                                        home.region.generation);
+    backend_->release_direct_region(src, home.region);
+    if (cfg_.backend_options.tracker != nullptr)
+      cfg_.backend_options.tracker->on_free(home.region.capacity);
+  }
+  // The backend must quiesce before the region buffers are freed: a
+  // retransmitted put already materialized in the endpoint's CQ still
+  // references region memory until the backend's final pump, and backend_
+  // is declared before direct_homes_ so default member order would free
+  // the buffers first.
+  backend_.reset();
+  direct_homes_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +123,9 @@ void HostEngine::PhaseState::arm(std::uint32_t id, int num_hosts,
   phase_id = id;
   total.assign(static_cast<std::size_t>(num_hosts), -1);
   got.assign(static_cast<std::size_t>(num_hosts), 0);
+  direct_expected.assign(static_cast<std::size_t>(num_hosts), 0);
+  direct_got.assign(static_cast<std::size_t>(num_hosts), 0);
+  finished.assign(static_cast<std::size_t>(num_hosts), 0);
   peers_remaining = recv_from.size();
   complete.store(peers_remaining == 0, std::memory_order_release);
 }
@@ -108,14 +137,35 @@ void HostEngine::PhaseState::note_chunk(int src,
   // Data chunks stream in with num_chunks == 0; the tail (or a lone
   // single-chunk message) announces the total. Order-independent: the tail
   // may arrive before its data chunks.
-  if (header.num_chunks != 0)
+  if (header.num_chunks != 0) {
     total[s] = static_cast<std::int32_t>(header.num_chunks);
-  ++got[s];
-  if (total[s] >= 0 && got[s] == total[s]) {
-    assert(peers_remaining > 0);
-    if (--peers_remaining == 0)
-      complete.store(true, std::memory_order_release);
+    // Header-only tails reuse base_pos as the peer's direct-put count
+    // (data chunks need the field as a record offset, tails never do).
+    if (header.payload_bytes == 0)
+      direct_expected[s] = static_cast<std::int32_t>(header.base_pos);
   }
+  ++got[s];
+  check_peer(s);
+}
+
+void HostEngine::PhaseState::note_direct(int src) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  const auto s = static_cast<std::size_t>(src);
+  ++direct_got[s];
+  check_peer(s);
+}
+
+void HostEngine::PhaseState::check_peer(std::size_t s) {
+  // total stays -1 until the tail lands, which also fixes the direct
+  // ledger; a direct put often beats its tail, so direct_got may run ahead
+  // of direct_expected and is compared with >=.
+  if (finished[s] != 0 || total[s] < 0 || got[s] != total[s] ||
+      direct_got[s] < direct_expected[s])
+    return;
+  finished[s] = 1;
+  assert(peers_remaining > 0);
+  if (--peers_remaining == 0)
+    complete.store(true, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -167,10 +217,29 @@ void HostEngine::comm_thread_loop() {
       while (auto work = send_queue_.try_pop()) {
         SendWork* sw = *work;
         rt::Backoff send_backoff;
-        while (!backend_->try_send(sw->dst, sw->payload)) {
-          if (aborting()) break;  // abandon the send, phase is unwinding
-          backend_->progress();
-          send_backoff.pause();
+        if (sw->direct) {
+          // Pre-checked on the compute thread: the put can only soft-fail.
+          for (;;) {
+            const auto st = backend_->direct_put(
+                sw->dst, sw->region, sw->payload.data(), sw->payload.size(),
+                sw->phase_id, sw->pattern_key);
+            if (st != comm::DirectPutStatus::Retry || aborting()) {
+              // Unavailable is unreachable for the soft-fail-free
+              // emulations that take this path; tallied, not resent.
+              if (st == comm::DirectPutStatus::Unavailable)
+                stats_.direct_fallbacks.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              break;
+            }
+            backend_->progress();
+            send_backoff.pause();
+          }
+        } else {
+          while (!backend_->try_send(sw->dst, sw->payload)) {
+            if (aborting()) break;  // abandon the send, phase is unwinding
+            backend_->progress();
+            send_backoff.pause();
+          }
         }
         delete sw;
         sends_pending_.fetch_sub(1, std::memory_order_release);
@@ -242,7 +311,9 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
   // Non-thread-safe send: the lease is engine-built heap memory (acquire is
   // never called off the comm thread); hand it to the comm thread.
   if (lease.heap.size() != total_bytes) lease.heap.resize(total_bytes);
-  auto* sw = new SendWork{dst, std::move(lease.heap)};
+  auto* sw = new SendWork{};
+  sw->dst = dst;
+  sw->payload = std::move(lease.heap);
   lease = comm::BufferLease{};
   sends_pending_.fetch_add(1, std::memory_order_acq_rel);
   rt::Backoff backoff;
@@ -257,11 +328,16 @@ void HostEngine::dispatch_chunk(int dst, comm::BufferLease& lease,
 }
 
 void HostEngine::send_tail(int dst, std::uint32_t data_chunks,
+                           std::uint32_t direct_count,
                            const ScatterFn& scatter, bool can_apply) {
   assert(data_chunks + 1 <= 0xFFFF);
   comm::ChunkHeader header;
   header.phase_id = phase_state_.phase_id;
   header.payload_bytes = 0;
+  // Tails carry no records, so base_pos is free for the direct-write
+  // ledger: how many direct puts the receiver must count from us before
+  // this phase's stream is complete (DESIGN.md §15).
+  header.base_pos = direct_count;
   header.chunk_idx = static_cast<std::uint16_t>(data_chunks & 0xFFFF);
   header.num_chunks = static_cast<std::uint16_t>(data_chunks + 1);
   header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
@@ -338,6 +414,18 @@ void HostEngine::purge_stale_stash() {
     }
     it = stash_.erase(it);
   }
+  if (!pending_direct_.empty()) {
+    auto out = pending_direct_.begin();
+    for (const comm::DirectSignal& sig : pending_direct_) {
+      if (sig.phase_id >= phase_state_.phase_id)
+        *out++ = sig;
+      else
+        stats_.direct_stale.fetch_add(1, std::memory_order_relaxed);
+    }
+    pending_direct_.erase(out, pending_direct_.end());
+    pending_direct_count_.store(pending_direct_.size(),
+                                std::memory_order_release);
+  }
 }
 
 void HostEngine::run_slice(const ApplySlice& slice) {
@@ -371,7 +459,10 @@ void HostEngine::run_slice(const ApplySlice& slice) {
     if (job->rejected.load(std::memory_order_relaxed))
       stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
     if (job->msg.release) job->msg.release();
-    phase_state_.note_chunk(job->msg.src, job->header);
+    if (job->is_direct)
+      phase_state_.note_direct(job->msg.src);
+    else
+      phase_state_.note_chunk(job->msg.src, job->header);
     delete job;
   }
 }
@@ -413,7 +504,8 @@ void HostEngine::push_slice(const ApplySlice& slice, bool can_apply) {
 
 void HostEngine::enqueue_apply(comm::InMessage&& msg,
                                const comm::ChunkHeader& header,
-                               const ScatterFn& scatter, bool can_apply) {
+                               const ScatterFn& scatter, bool can_apply,
+                               bool is_direct) {
   std::uint32_t nslices = 1;
   std::uint32_t records = 0;
   if (apply_workers_ > 1 && cfg_.apply_slice_records > 0) {
@@ -429,6 +521,7 @@ void HostEngine::enqueue_apply(comm::InMessage&& msg,
   job->msg = std::move(msg);
   job->header = header;
   job->scatter = &scatter;
+  job->is_direct = is_direct;
   job->slices_left.store(nslices, std::memory_order_relaxed);
   if (nslices == 1) {
     push_slice(ApplySlice{job, 0, kAllChunkRecords}, can_apply);
@@ -440,12 +533,87 @@ void HostEngine::enqueue_apply(comm::InMessage&& msg,
                can_apply);
 }
 
+bool HostEngine::poll_direct_signal(comm::DirectSignal& out) {
+  if (pending_direct_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<rt::Spinlock> guard(stash_lock_);
+    const std::uint32_t current = phase_state_.phase_id;
+    for (auto it = pending_direct_.begin(); it != pending_direct_.end();
+         ++it) {
+      if (it->phase_id == current) {
+        out = *it;
+        pending_direct_.erase(it);
+        pending_direct_count_.fetch_sub(1, std::memory_order_release);
+        return true;
+      }
+    }
+  }
+  return backend_->poll_direct(out);
+}
+
+void HostEngine::handle_direct_signal(const comm::DirectSignal& sig,
+                                      const ScatterFn& scatter,
+                                      bool can_apply) {
+  const std::uint32_t current = phase_state_.phase_id;
+  if (sig.phase_id != current) {
+    // A put for a later phase landed early. Its region is a different
+    // (pattern, src) slot than anything the current phase reads, so the
+    // payload sits untouched; stash just the notification.
+    if (sig.phase_id > current &&
+        sig.phase_id - current <= kStashPhaseWindow) {
+      std::lock_guard<rt::Spinlock> guard(stash_lock_);
+      if (pending_direct_.size() < cfg_.stash_cap) {
+        pending_direct_.push_back(sig);
+        pending_direct_count_.fetch_add(1, std::memory_order_release);
+        return;
+      }
+    }
+    stats_.direct_stale.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Validation ladder for a current-phase signal: the pattern must match
+  // the phase, the generation must match OUR live registration (a put that
+  // raced a recovery epoch fails here), and the claimed size must fit the
+  // region. Stale signals are dropped WITHOUT being counted - they belong
+  // to no current tail ledger, so dropping them cannot stall completion.
+  const auto it = direct_homes_.find(direct_key(sig.pattern_key, sig.src));
+  if (sig.pattern_key != phase_pattern_key_ || it == direct_homes_.end() ||
+      it->second.region.generation != sig.generation ||
+      sig.bytes < comm::kChunkHeaderBytes ||
+      sig.bytes > it->second.region.capacity) {
+    stats_.direct_stale.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  comm::InMessage msg;
+  msg.src = sig.src;
+  msg.data = it->second.buf.get();
+  msg.size = sig.bytes;
+  // No release: the payload lives in the engine-owned region and the apply
+  // pipeline scatters straight from it (zero copy).
+  const comm::ChunkHeader header = msg.header();
+  if (!header.valid() || header.phase_id != sig.phase_id ||
+      comm::kChunkHeaderBytes + header.payload_bytes != sig.bytes) {
+    // Generation-valid but unparsable: the put itself is genuine (the
+    // sender's tail expects it), so it is counted and only its content
+    // rejected.
+    stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+    phase_state_.note_direct(sig.src);
+    return;
+  }
+  enqueue_apply(std::move(msg), header, scatter, can_apply,
+                /*is_direct=*/true);
+}
+
 bool HostEngine::drain_one(const ScatterFn& scatter, bool can_apply) {
   if (can_apply) {
     if (auto s = apply_queue_.try_pop()) {
       run_slice(*s);
       return true;
     }
+  }
+  comm::DirectSignal sig;
+  if (poll_direct_signal(sig)) {
+    handle_direct_signal(sig, scatter, can_apply);
+    return true;
   }
   comm::InMessage msg;
   if (!next_message(msg)) return false;
@@ -483,6 +651,78 @@ bool HostEngine::drain_one(const ScatterFn& scatter, bool can_apply) {
                    header.trace_id, header.trace_hop, hbuf);
   }
   enqueue_apply(std::move(msg), header, scatter, can_apply);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Direct-write path (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void HostEngine::ensure_direct_homes(
+    const comm::PhaseSpec& spec, std::size_t rec_bytes,
+    const std::vector<std::vector<graph::VertexId>>& recv_lists) {
+  for (const int src : spec.recv_from) {
+    const std::uint64_t key = direct_key(spec.pattern_key, src);
+    if (direct_homes_.count(key) != 0) continue;
+    const std::size_t span = recv_lists[static_cast<std::size_t>(src)].size();
+    // Sized so the whole list fits in ANY wire format: worst-case sparse
+    // records plus the dense bitmap (Forced mode direct-puts sparse rounds).
+    const std::size_t cap =
+        comm::kChunkHeaderBytes + span * rec_bytes + (span + 7) / 8;
+    DirectHome home;
+    home.buf.reset(new std::byte[cap]);
+    const std::uint32_t gen = cluster_.direct_directory().next_generation();
+    home.region =
+        backend_->register_direct_region(src, home.buf.get(), cap, gen);
+    if (!home.region.valid()) continue;
+    if (cfg_.backend_options.tracker != nullptr)
+      cfg_.backend_options.tracker->on_alloc(cap);
+    cluster_.direct_directory().publish(graph_.host_id, src, spec.pattern_key,
+                                        home.region);
+    direct_homes_.emplace(key, std::move(home));
+  }
+}
+
+bool HostEngine::try_direct_put(int dst, const comm::DirectRegion& region,
+                                comm::BufferLease& lease, std::size_t bytes,
+                                std::uint32_t phase_id,
+                                std::uint32_t pattern_key,
+                                const ScatterFn& scatter, bool can_apply) {
+  if (backend_->thread_safe_send()) {
+    rt::Backoff backoff;
+    for (;;) {
+      const auto st = backend_->direct_put(dst, region, lease.data, bytes,
+                                           phase_id, pattern_key);
+      if (st == comm::DirectPutStatus::Ok) return true;
+      if (st == comm::DirectPutStatus::Unavailable || aborting())
+        return false;
+      // Transient exhaustion: relieve it by scattering, then retry.
+      if (!drain_one(scatter, can_apply)) backoff.pause();
+    }
+  }
+  // FUNNELED backend: route the put through the comm thread. Only taken
+  // when the put cannot hard-fail (capacity was pre-checked against the
+  // region and the emulation never soft-fails), so queued == sent and the
+  // direct count announced in the tail stays truthful.
+  auto* sw = new SendWork;
+  sw->dst = dst;
+  sw->direct = true;
+  sw->region = region;
+  sw->phase_id = phase_id;
+  sw->pattern_key = pattern_key;
+  if (lease.heap.size() != bytes) lease.heap.resize(bytes);
+  sw->payload = std::move(lease.heap);
+  lease = comm::BufferLease{};
+  sends_pending_.fetch_add(1, std::memory_order_acq_rel);
+  rt::Backoff backoff;
+  while (!send_queue_.try_push(sw)) {
+    if (aborting()) {
+      delete sw;
+      sends_pending_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
+    if (!drain_one(scatter, can_apply)) backoff.pause();
+  }
   return true;
 }
 
@@ -530,6 +770,11 @@ void HostEngine::execute_phase(
   phase_value_bytes_ =
       rec_bytes > sizeof(std::uint32_t) ? rec_bytes - sizeof(std::uint32_t)
                                         : 0;
+  phase_pattern_key_ = spec.pattern_key;
+  const bool direct_capable =
+      cfg_.direct_write != comm::DirectWriteMode::Off &&
+      backend_->supports_direct_write();
+  if (direct_capable) ensure_direct_homes(spec, rec_bytes, recv_lists);
   stats_.apply_threads.store(apply_workers_, std::memory_order_relaxed);
   purge_stale_stash();
   post_cmd(Cmd::BeginPhase, &spec);
@@ -549,14 +794,45 @@ void HostEngine::execute_phase(
                                                  rec_bytes, 1));
 
   const std::size_t num_peers = spec.send_to.size();
+
+  // Direct-write plan: per peer, resolve the published region and decide
+  // the transport up front. Auto mode predicts density from the previous
+  // stream to the same (pattern, peer); a mispredict only changes the
+  // transport (the direct frame carries whatever format the encoder
+  // picks), never correctness.
+  struct DirectPlan {
+    comm::DirectRegion region;
+    bool use = false;
+    char* prior = nullptr;  // density-predictor slot for this peer
+  };
+  std::vector<DirectPlan> direct_plan(num_peers);
+  if (direct_capable) {
+    const bool forced = cfg_.direct_write == comm::DirectWriteMode::Forced;
+    for (std::size_t i = 0; i < num_peers; ++i) {
+      const int dst = spec.send_to[i];
+      char& prior = dense_prior_.emplace(direct_key(spec.pattern_key, dst),
+                                         char{0})
+                        .first->second;
+      direct_plan[i].prior = &prior;
+      if (!forced && prior == 0) continue;  // Auto: predicted sparse
+      comm::DirectRegion region;
+      if (!cluster_.direct_directory().lookup(dst, me, spec.pattern_key,
+                                              region))
+        continue;  // not published yet: this round stays two-sided
+      direct_plan[i].region = region;
+      direct_plan[i].use = true;
+    }
+  }
+
   std::vector<std::size_t> range_offset(num_peers + 1, 0);
   for (std::size_t i = 0; i < num_peers; ++i) {
     const std::size_t list_size =
         send_lists[static_cast<std::size_t>(spec.send_to[i])].size();
     const std::size_t ranges =
-        single_chunk ? 1
-                     : std::max<std::size_t>(
-                           1, (list_size + span_cap - 1) / span_cap);
+        (single_chunk || direct_plan[i].use)
+            ? 1
+            : std::max<std::size_t>(1,
+                                    (list_size + span_cap - 1) / span_cap);
     range_offset[i + 1] = range_offset[i] + ranges;
   }
   const std::size_t total_ranges = range_offset[num_peers];
@@ -564,6 +840,8 @@ void HostEngine::execute_phase(
   struct PeerProgress {
     std::atomic<std::uint32_t> ranges_left{0};
     std::atomic<std::uint32_t> chunks_sent{0};
+    std::atomic<std::uint32_t> directs_sent{0};
+    std::atomic<std::uint32_t> dense_chunks{0};
   };
   std::vector<PeerProgress> peer_progress(num_peers);
   for (std::size_t i = 0; i < num_peers; ++i)
@@ -573,7 +851,28 @@ void HostEngine::execute_phase(
 
   std::atomic<std::size_t> next_item{0};
   std::atomic<std::size_t> work_left{total_ranges};
-  const bool direct_send = backend_->thread_safe_send();
+  const bool inline_send = backend_->thread_safe_send();
+
+  // Format bookkeeping shared by the two-sided, direct and fallback paths.
+  const auto note_format = [&](std::size_t pi, const comm::EncodedChunk& e) {
+    switch (e.format) {
+      case comm::WireFormat::Varint:
+        stats_.fmt_varint.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case comm::WireFormat::Dense:
+        stats_.fmt_dense.fetch_add(1, std::memory_order_relaxed);
+        peer_progress[pi].dense_chunks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        break;
+      default:
+        stats_.fmt_sparse.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    const std::size_t sparse_worst = e.records * rec_bytes;
+    if (e.bytes < sparse_worst)
+      stats_.bytes_saved.fetch_add(sparse_worst - e.bytes,
+                                   std::memory_order_relaxed);
+  };
 
   team_->run([&](std::size_t tid) {
     // Threads below the apply-worker count run received-chunk applies
@@ -590,22 +889,27 @@ void HostEngine::execute_phase(
       std::size_t pi = 0;
       while (r >= range_offset[pi + 1]) ++pi;
       const int dst = spec.send_to[pi];
+      const bool direct_this = direct_plan[pi].use;
       const std::size_t list_size =
           send_lists[static_cast<std::size_t>(dst)].size();
       const auto lo = static_cast<std::uint32_t>(
-          single_chunk ? 0 : (r - range_offset[pi]) * span_cap);
+          (single_chunk || direct_this) ? 0
+                                        : (r - range_offset[pi]) * span_cap);
       const auto hi = static_cast<std::uint32_t>(
-          single_chunk ? list_size
-                       : std::min<std::size_t>(list_size, lo + span_cap));
+          (single_chunk || direct_this)
+              ? list_size
+              : std::min<std::size_t>(list_size, lo + span_cap));
 
       comm::BufferLease lease;
       const ReserveFn reserve = [&](std::size_t need) -> std::byte* {
         const std::size_t total = comm::kChunkHeaderBytes + need;
-        if (direct_send) {
+        if (inline_send && !direct_this) {
           lease = backend_->acquire(dst, total);
         } else {
-          // Never call into a non-thread-safe backend from compute threads;
-          // build the heap buffer here and queue it to the comm thread.
+          // Never call into a non-thread-safe backend from compute threads
+          // (and direct frames are staged on the heap: direct_put snapshots
+          // the payload, so no backend buffer is involved); build the heap
+          // buffer here.
           lease.heap.resize(total);
           lease.data = lease.heap.data();
           lease.capacity = total;
@@ -618,7 +922,8 @@ void HostEngine::execute_phase(
         telemetry::Span gather_span("abelian", "gather", me);
         const auto t0 = std::chrono::steady_clock::now();
         enc = gather(dst, lo, hi, reserve);
-        stats_.gather_ns.fetch_add(
+        auto& bucket = direct_this ? stats_.direct_ns : stats_.gather_ns;
+        bucket.fetch_add(
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - t0)
@@ -627,7 +932,137 @@ void HostEngine::execute_phase(
       }
 
       PeerProgress& pp = peer_progress[pi];
-      if (enc.records > 0 || single_chunk) {
+      if (direct_this) {
+        // Direct-write transport: the whole-list frame mirrors into the
+        // peer's registered region with one put; completion travels as a
+        // counted signal, and the tail announces the count.
+        if (enc.records > 0) {
+          comm::ChunkHeader header;
+          header.phase_id = spec.phase_id;
+          header.payload_bytes = static_cast<std::uint32_t>(enc.bytes);
+          header.base_pos = 0;
+          header.span = hi;
+          header.chunk_idx = 0;
+          header.num_chunks = 0;  // accounted via note_direct, not the tail
+          header.format = static_cast<std::uint8_t>(enc.format);
+          if (enc.format == comm::WireFormat::Dense && enc.all_set)
+            header.flags |= comm::kFlagDenseFull;
+          header.trace_id = telemetry::sample_trace_id(
+              static_cast<std::uint32_t>(me), spec.phase_id, 0,
+              static_cast<std::uint32_t>(dst));
+          header.finalize();
+          std::memcpy(lease.data, &header, sizeof(header));
+          const std::size_t total = comm::kChunkHeaderBytes + enc.bytes;
+          bool sent_direct = false;
+          if (total <= direct_plan[pi].region.capacity) {
+            telemetry::Span put_span("abelian", "direct_put", me);
+            const auto t0 = std::chrono::steady_clock::now();
+            sent_direct =
+                try_direct_put(dst, direct_plan[pi].region, lease, total,
+                               spec.phase_id, spec.pattern_key, scatter,
+                               can_apply);
+            stats_.direct_ns.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()),
+                std::memory_order_relaxed);
+          }
+          if (sent_direct) {
+            pp.directs_sent.store(1, std::memory_order_release);
+            stats_.direct_sends.fetch_add(1, std::memory_order_relaxed);
+            stats_.direct_bytes.fetch_add(total, std::memory_order_relaxed);
+            stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+            stats_.bytes_sent.fetch_add(total, std::memory_order_relaxed);
+            note_format(pi, enc);
+          } else if (!aborting()) {
+            // Two-sided fallback (stale rkey after a revive, oversized
+            // frame). The receiver's ledger is untouched: everything below
+            // is counted by note_chunk and the tail.
+            stats_.direct_fallbacks.fetch_add(1, std::memory_order_relaxed);
+            if (single_chunk) {
+              header.num_chunks = 1;
+              header.finalize();
+              std::memcpy(lease.data, &header, sizeof(header));
+              telemetry::Span send_span("abelian", "send", me);
+              dispatch_chunk(dst, lease, total, scatter, can_apply);
+              pp.chunks_sent.fetch_add(1, std::memory_order_release);
+              note_format(pi, enc);
+            } else {
+              // Streaming backend: the whole-list staging may exceed the
+              // chunk cap, so re-gather in chunk-sized ranges through the
+              // regular two-sided path (rare - a revive window).
+              lease = comm::BufferLease{};
+              for (std::size_t flo = 0; flo < list_size; flo += span_cap) {
+                const auto sub_lo = static_cast<std::uint32_t>(flo);
+                const auto sub_hi = static_cast<std::uint32_t>(
+                    std::min<std::size_t>(list_size, flo + span_cap));
+                comm::BufferLease sub;
+                const ReserveFn sub_reserve =
+                    [&](std::size_t need) -> std::byte* {
+                  const std::size_t t = comm::kChunkHeaderBytes + need;
+                  if (inline_send) {
+                    sub = backend_->acquire(dst, t);
+                  } else {
+                    sub.heap.resize(t);
+                    sub.data = sub.heap.data();
+                    sub.capacity = t;
+                  }
+                  return sub.data + comm::kChunkHeaderBytes;
+                };
+                comm::EncodedChunk senc;
+                {
+                  const auto t0 = std::chrono::steady_clock::now();
+                  senc = gather(dst, sub_lo, sub_hi, sub_reserve);
+                  stats_.gather_ns.fetch_add(
+                      static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()),
+                      std::memory_order_relaxed);
+                }
+                if (senc.records == 0) {
+                  if (sub) {
+                    if (inline_send)
+                      backend_->abandon(sub);
+                    else
+                      sub = comm::BufferLease{};
+                  }
+                  continue;
+                }
+                comm::ChunkHeader sh;
+                sh.phase_id = spec.phase_id;
+                sh.payload_bytes = static_cast<std::uint32_t>(senc.bytes);
+                sh.base_pos = sub_lo;
+                sh.span = sub_hi - sub_lo;
+                sh.chunk_idx = static_cast<std::uint16_t>(
+                    pp.chunks_sent.load(std::memory_order_relaxed) & 0xFFFF);
+                sh.num_chunks = 0;
+                sh.format = static_cast<std::uint8_t>(senc.format);
+                if (senc.format == comm::WireFormat::Dense && senc.all_set)
+                  sh.flags |= comm::kFlagDenseFull;
+                sh.trace_id = telemetry::sample_trace_id(
+                    static_cast<std::uint32_t>(me), spec.phase_id, sub_lo,
+                    static_cast<std::uint32_t>(dst));
+                sh.finalize();
+                std::memcpy(sub.data, &sh, sizeof(sh));
+                telemetry::Span send_span("abelian", "send", me);
+                dispatch_chunk(dst, sub, comm::kChunkHeaderBytes + senc.bytes,
+                               scatter, can_apply);
+                pp.chunks_sent.fetch_add(1, std::memory_order_release);
+                note_format(pi, senc);
+              }
+            }
+          }
+        }
+        if (lease) {
+          if (lease.pooled)
+            backend_->abandon(lease);
+          else
+            lease = comm::BufferLease{};  // heap staging, simply dropped
+        }
+      } else if (enc.records > 0 || single_chunk) {
         comm::ChunkHeader header;
         header.phase_id = spec.phase_id;
         header.payload_bytes = static_cast<std::uint32_t>(enc.bytes);
@@ -664,34 +1099,33 @@ void HostEngine::execute_phase(
                          scatter, can_apply);
         }
         pp.chunks_sent.fetch_add(1, std::memory_order_release);
-        switch (enc.format) {
-          case comm::WireFormat::Varint:
-            stats_.fmt_varint.fetch_add(1, std::memory_order_relaxed);
-            break;
-          case comm::WireFormat::Dense:
-            stats_.fmt_dense.fetch_add(1, std::memory_order_relaxed);
-            break;
-          default:
-            stats_.fmt_sparse.fetch_add(1, std::memory_order_relaxed);
-            break;
-        }
-        const std::size_t sparse_worst = enc.records * rec_bytes;
-        if (enc.bytes < sparse_worst)
-          stats_.bytes_saved.fetch_add(sparse_worst - enc.bytes,
-                                       std::memory_order_relaxed);
+        note_format(pi, enc);
       } else if (lease) {
-        if (direct_send)
+        if (inline_send)
           backend_->abandon(lease);
         else
           lease = comm::BufferLease{};
       }
 
-      if (!single_chunk &&
-          pp.ranges_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (pp.ranges_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last range for this peer: every chunks_sent increment happened
         // before its release decrement, so the acquire load sees the total.
-        send_tail(dst, pp.chunks_sent.load(std::memory_order_acquire),
-                  scatter, can_apply);
+        const std::uint32_t directs =
+            pp.directs_sent.load(std::memory_order_acquire);
+        if (!single_chunk) {
+          send_tail(dst, pp.chunks_sent.load(std::memory_order_acquire),
+                    directs, scatter, can_apply);
+        } else if (direct_this &&
+                   pp.chunks_sent.load(std::memory_order_acquire) == 0) {
+          // Single-message backend on the direct path: the peer still
+          // expects its one window message - send the tail as that message
+          // so it carries the direct count (0 when nothing was dirty).
+          send_tail(dst, 0, directs, scatter, can_apply);
+        }
+        // Commit the density predictor for the next round to this peer.
+        if (direct_plan[pi].prior != nullptr)
+          *direct_plan[pi].prior =
+              pp.dense_chunks.load(std::memory_order_relaxed) != 0 ? 1 : 0;
       }
       work_left.fetch_sub(1, std::memory_order_acq_rel);
     }

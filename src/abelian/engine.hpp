@@ -64,6 +64,9 @@ struct EngineConfig {
   /// Bound on stashed out-of-order (future-phase) messages; beyond it new
   /// arrivals are dropped and counted (sync.stash_drops).
   std::size_t stash_cap = 8192;
+  /// One-sided direct-write policy (DESIGN.md §15). Resolved against the
+  /// LCR_DIRECT_WRITE environment override at engine construction.
+  comm::DirectWriteMode direct_write = comm::DirectWriteMode::Auto;
 };
 
 struct EngineStats {
@@ -95,6 +98,20 @@ struct EngineStats {
   /// Future-phase messages dropped: stash at capacity, phase id beyond the
   /// stash window, or stale (behind the current phase).
   std::atomic<std::uint64_t> stash_drops{0};
+  /// Direct-write puts shipped (one per (peer, round) on the direct path).
+  std::atomic<std::uint64_t> direct_sends{0};
+  std::atomic<std::uint64_t> direct_bytes{0};
+  /// Wall nanoseconds of the direct path's in-place encode + put, summed
+  /// over the compute threads. Deliberately separate from gather_ns: the
+  /// direct path builds the payload once in the memory the put mirrors, so
+  /// the Fig-6 serialization share genuinely excludes it.
+  std::atomic<std::uint64_t> direct_ns{0};
+  /// Direct signals dropped as stale: old generation (a put that raced a
+  /// recovery epoch), wrong pattern, or a phase id outside the window.
+  std::atomic<std::uint64_t> direct_stale{0};
+  /// Direct attempts that reverted to the two-sided path (stale rkey after
+  /// a revive, payload exceeding the region, no region published yet).
+  std::atomic<std::uint64_t> direct_fallbacks{0};
   /// Non-overlapped communication time: wall time of sync phases (Fig 6).
   double comm_s = 0.0;
   /// Computation time, accumulated by the app drivers (Fig 6).
@@ -243,17 +260,36 @@ class HostEngine {
     rt::Spinlock lock;
     std::vector<std::int32_t> total;  // expected chunks per rank; -1 unknown
     std::vector<std::int32_t> got;
+    /// Direct-write ledger (DESIGN.md §15): the tail's base_pos announces
+    /// how many direct puts the peer issued this phase; landed puts are
+    /// counted by note_direct. A peer completes when both ledgers balance.
+    std::vector<std::int32_t> direct_expected;
+    std::vector<std::int32_t> direct_got;
+    std::vector<char> finished;  // peer already counted toward completion
     std::size_t peers_remaining = 0;
     std::atomic<bool> complete{false};
 
     void arm(std::uint32_t id, int num_hosts,
              const std::vector<int>& recv_from);
     void note_chunk(int src, const comm::ChunkHeader& header);
+    /// Counts one landed direct put from `src` (its apply already ran).
+    void note_direct(int src);
+
+   private:
+    void check_peer(std::size_t s);  // callers hold `lock`
   };
 
   struct SendWork {
     int dst = -1;
     std::vector<std::byte> payload;
+    /// Direct-put work item (FUNNELED backends): the comm thread issues
+    /// direct_put(payload) instead of try_send. Only queued when the put
+    /// cannot hard-fail (capacity pre-checked against the region), so the
+    /// direct count the compute thread put in the tail stays truthful.
+    bool direct = false;
+    comm::DirectRegion region;
+    std::uint32_t phase_id = 0;
+    std::uint32_t pattern_key = 0;
   };
 
   enum class Cmd : std::uint8_t { None, BeginPhase, Flush, EndPhase };
@@ -267,6 +303,9 @@ class HostEngine {
     const ScatterFn* scatter = nullptr;
     std::atomic<std::uint32_t> slices_left{0};
     std::atomic<bool> rejected{false};
+    /// Payload lives in a registered direct-write region (zero copy, no
+    /// release); settling notes note_direct instead of note_chunk.
+    bool is_direct = false;
   };
 
   /// Work-queue element: decode/apply records [rec_lo, rec_hi) of job's
@@ -287,9 +326,32 @@ class HostEngine {
                       std::size_t total_bytes, const ScatterFn& scatter,
                       bool can_apply);
   /// Sends the streaming tail for `dst`: a header-only chunk whose
-  /// num_chunks carries the per-peer total (data chunks + itself).
-  void send_tail(int dst, std::uint32_t data_chunks, const ScatterFn& scatter,
+  /// num_chunks carries the per-peer total (data chunks + itself) and whose
+  /// base_pos carries the peer's direct-put count (tails have no records,
+  /// so the field is free for the direct-write ledger).
+  void send_tail(int dst, std::uint32_t data_chunks,
+                 std::uint32_t direct_count, const ScatterFn& scatter,
                  bool can_apply);
+  /// Registers (once per pattern_key) and publishes the per-source direct-
+  /// write landing regions for this phase's receive peers.
+  void ensure_direct_homes(
+      const comm::PhaseSpec& spec, std::size_t rec_bytes,
+      const std::vector<std::vector<graph::VertexId>>& recv_lists);
+  /// Ships one framed whole-list payload as a direct put: retries soft
+  /// failures (scattering meanwhile), or queues to the comm thread on
+  /// FUNNELED backends. False = the put cannot succeed and the caller must
+  /// revert to the two-sided path for this (peer, round).
+  bool try_direct_put(int dst, const comm::DirectRegion& region,
+                      comm::BufferLease& lease, std::size_t bytes,
+                      std::uint32_t phase_id, std::uint32_t pattern_key,
+                      const ScatterFn& scatter, bool can_apply);
+  /// Pops the next direct signal: a stashed one matching the current phase
+  /// first, else whatever the backend has queued.
+  bool poll_direct_signal(comm::DirectSignal& out);
+  /// Validates one direct signal (phase / pattern / generation / bounds)
+  /// and turns a genuine one into a zero-copy apply job over its region.
+  void handle_direct_signal(const comm::DirectSignal& sig,
+                            const ScatterFn& scatter, bool can_apply);
   /// Makes receive-side progress: an apply worker (can_apply) prefers
   /// running one queued apply slice; otherwise pumps one message off the
   /// transport - validating, stashing, or splitting it into apply slices.
@@ -300,7 +362,8 @@ class HostEngine {
   /// queue (sliced only for random-access formats past the configured
   /// record threshold).
   void enqueue_apply(comm::InMessage&& msg, const comm::ChunkHeader& header,
-                     const ScatterFn& scatter, bool can_apply);
+                     const ScatterFn& scatter, bool can_apply,
+                     bool is_direct = false);
   void push_slice(const ApplySlice& slice, bool can_apply);
   /// Decodes and applies one slice; the last slice of a job settles it.
   void run_slice(const ApplySlice& slice);
@@ -340,6 +403,33 @@ class HostEngine {
   rt::Spinlock stash_lock_;
   std::map<std::uint32_t, std::deque<comm::InMessage>> stash_;
   std::size_t stash_count_ = 0;  // guarded by stash_lock_
+
+  // --- Direct-write state (DESIGN.md §15) ---
+  static std::uint64_t direct_key(std::uint32_t pattern_key,
+                                  int peer) noexcept {
+    return (static_cast<std::uint64_t>(pattern_key) << 32) |
+           static_cast<std::uint32_t>(peer);
+  }
+  /// Receiver-side landing regions, one per (pattern_key, src), registered
+  /// on first use and kept until teardown. Mutated only by the host-main
+  /// thread between phases; read by apply/pump threads during one.
+  struct DirectHome {
+    std::unique_ptr<std::byte[]> buf;
+    comm::DirectRegion region;
+  };
+  std::map<std::uint64_t, DirectHome> direct_homes_;
+  /// Sender-side density predictor per (pattern_key, dst): did the last
+  /// stream to this peer produce a dense chunk? Auto mode goes direct when
+  /// it did - density evolves slowly across rounds, and a mispredict only
+  /// costs transport choice, never correctness (the direct frame carries
+  /// whatever format the encoder picked). Entries are created by the
+  /// host-main thread at phase entry; each slot is written by exactly one
+  /// compute thread per phase (the one running the peer's last range).
+  std::map<std::uint64_t, char> dense_prior_;
+  std::uint32_t phase_pattern_key_ = 0;  // written between phases only
+  // Direct signals that arrived for a future phase (bounded by stash_cap).
+  std::vector<comm::DirectSignal> pending_direct_;  // guarded by stash_lock_
+  std::atomic<std::size_t> pending_direct_count_{0};
 
   // Parallel apply pipeline (DESIGN.md §12).
   rt::MpmcQueue<ApplySlice> apply_queue_;

@@ -155,6 +155,7 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
       cfg.batch_bytes = spec.gemini_batch_bytes;
       cfg.lci_lanes = spec.lci_lanes;
       cfg.lci_servers = spec.lci_servers;
+      cfg.direct_write = spec.direct_write;
 
       std::unique_ptr<gemini::GeminiHost> host;
       for (;;) {
@@ -231,6 +232,7 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
     cfg.backend_options.lci_servers = spec.lci_servers;
     cfg.compute_threads = spec.threads;
     cfg.apply_workers = spec.apply_workers;
+    cfg.direct_write = spec.direct_write;
     if (spec.apply_slice_records != 0)
       cfg.apply_slice_records = spec.apply_slice_records;
 

@@ -45,6 +45,9 @@ struct RunSpec {
   std::string mpi_personality = "default";
   /// MPI-Probe buffered-layer flush timeout (ablation C).
   std::uint64_t aggregation_timeout_us = 50;
+  /// One-sided direct-write sync path (DESIGN.md §15); applies to both
+  /// engines. Env LCR_DIRECT_WRITE=off|auto|forced overrides.
+  comm::DirectWriteMode direct_write = comm::DirectWriteMode::Auto;
   /// Asynchronous checkpoint interval in rounds (0 = checkpointing off).
   /// With a kill schedule in `fabric.fault`, hosts that unwind on a failure
   /// rendezvous at the cluster recovery barrier, reload the last stable

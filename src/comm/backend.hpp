@@ -47,6 +47,47 @@ struct PhaseSpec {
   std::vector<std::size_t> max_recv_bytes;
 };
 
+/// Engine policy for the one-sided direct-write sync path (DESIGN.md §15).
+enum class DirectWriteMode : std::uint8_t {
+  Off,     ///< always two-sided (the pre-PR-8 pipeline)
+  Auto,    ///< direct-write a (peer, round) when its payload is dense
+  Forced,  ///< direct-write every non-empty (peer, round) with a region
+};
+
+const char* to_string(DirectWriteMode m);
+
+/// Resolves the configured mode against the LCR_DIRECT_WRITE environment
+/// override (off | auto | forced); the env var wins when set and valid.
+DirectWriteMode resolve_direct_write(DirectWriteMode cfg);
+
+/// A remotely writable per-source region descriptor, exchanged out of band
+/// (the cluster's DirectDirectory stands in for the PMI rkey exchange).
+/// `generation` is the epoch tag of DESIGN.md §15: bumped on every
+/// (re)registration so a put aimed at a dead registration is detectable
+/// even if the address range was reused.
+struct DirectRegion {
+  std::uint64_t token = 0;  ///< backend handle (fabric rkey / registry slot)
+  std::size_t capacity = 0;
+  std::uint32_t generation = 0;
+  bool valid() const noexcept { return capacity != 0; }
+};
+
+/// Completion notification surfaced on the target after one direct put has
+/// landed: counter-style accounting replaces per-message headers.
+struct DirectSignal {
+  int src = -1;
+  std::uint32_t phase_id = 0;
+  std::uint32_t pattern_key = 0;
+  std::uint32_t generation = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Outcome of a direct_put attempt. Retry = transient resource exhaustion
+/// (make progress and call again); Unavailable = this put cannot succeed
+/// (stale rkey after a revive, dead peer, unsupported backend) and the
+/// caller must fall back to the two-sided path for this (peer, round).
+enum class DirectPutStatus : std::uint8_t { Ok, Retry, Unavailable };
+
 /// A writable send buffer handed out by a backend so gather can serialize
 /// records (and the chunk header) directly into wire memory - an LCI packet
 /// from the pre-registered pool, or plain heap for backends without native
@@ -116,6 +157,43 @@ class Backend {
   virtual void progress() = 0;
 
   virtual void end_phase() = 0;
+
+  // --- One-sided direct-write path (DESIGN.md §15) -----------------------
+  // Dense rounds bypass the chunked two-sided pipeline: the target registers
+  // a per-source region once, origins mirror whole reduction payloads into
+  // it with a single put, and completion is counted via DirectSignals
+  // instead of per-message headers. Backends that cannot provide the path
+  // keep the defaults (unsupported) and the engine stays two-sided.
+
+  /// Does this backend implement the direct-write path?
+  virtual bool supports_direct_write() const { return false; }
+
+  /// Registers `bytes` at `base` as a put target for peer `src` and tags it
+  /// with `generation`. Thread-safe (no network calls). Returns an invalid
+  /// region when the backend does not support direct writes.
+  virtual DirectRegion register_direct_region(int src, std::byte* base,
+                                              std::size_t bytes,
+                                              std::uint32_t generation);
+
+  /// Tears down a registration; in-flight puts at the old token resolve
+  /// invalid at the fabric (tokens are never reused). Thread-safe.
+  virtual void release_direct_region(int src, const DirectRegion& region);
+
+  /// One-sided write of `bytes` from `payload` into peer `dst`'s region at
+  /// offset 0, followed by a completion signal carrying (phase_id,
+  /// pattern_key, region.generation, bytes). The payload is consumed at the
+  /// call (the reliability layer snapshots it for retransmission), so the
+  /// caller's buffer is reusable as soon as this returns Ok. Thread-safety
+  /// matches thread_safe_send().
+  virtual DirectPutStatus direct_put(int dst, const DirectRegion& region,
+                                     const void* payload, std::size_t bytes,
+                                     std::uint32_t phase_id,
+                                     std::uint32_t pattern_key);
+
+  /// Pops one landed-put notification. Thread-safe on every backend (the
+  /// signal queue is backend-internal); signals become visible only after
+  /// the put's payload is fully in the region.
+  virtual bool poll_direct(DirectSignal& out);
 };
 
 /// Which backend to instantiate (bench/test parameter).

@@ -1,0 +1,44 @@
+#include "comm/direct.hpp"
+
+#include <mutex>
+
+namespace lcr::comm {
+
+std::uint32_t DirectDirectory::next_generation() noexcept {
+  return next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void DirectDirectory::publish(int target, int src, std::uint32_t pattern_key,
+                              const DirectRegion& region) {
+  std::lock_guard<rt::Spinlock> guard(lock_);
+  regions_[Key{target, src, pattern_key}] = region;
+}
+
+bool DirectDirectory::lookup(int target, int src, std::uint32_t pattern_key,
+                             DirectRegion& out) const {
+  std::lock_guard<rt::Spinlock> guard(lock_);
+  const auto it = regions_.find(Key{target, src, pattern_key});
+  if (it == regions_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void DirectDirectory::retract(int target, int src, std::uint32_t pattern_key,
+                              std::uint32_t generation) {
+  std::lock_guard<rt::Spinlock> guard(lock_);
+  const auto it = regions_.find(Key{target, src, pattern_key});
+  if (it != regions_.end() && it->second.generation == generation)
+    regions_.erase(it);
+}
+
+void DirectDirectory::retract_target(int target) {
+  std::lock_guard<rt::Spinlock> guard(lock_);
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    if (std::get<0>(it->first) == target)
+      it = regions_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace lcr::comm

@@ -1,0 +1,82 @@
+// Out-of-band descriptor exchange for the direct-write path (DESIGN.md §15).
+//
+// Real clusters exchange RMA region descriptors (rkeys) through the job
+// launcher / PMI layer. The simulated cluster's stand-in is this directory:
+// a target host registers a per-source region with its backend and publishes
+// the resulting descriptor under (target, src, pattern_key); an origin looks
+// the descriptor up right before a dense round and falls back to the
+// two-sided path on a miss. Generations are handed out by the directory so
+// every registration cluster-wide carries a unique, monotonically increasing
+// epoch tag: a put built against a retracted descriptor can always be told
+// apart from one aimed at the live registration, even if the target reused
+// the same buffer address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "comm/backend.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace lcr::comm {
+
+// The put notification's immediates carry the completion-tracking state so
+// the target never reads a header to account a put: imm = (generation <<
+// 32) | phase_id, imm2 = (pattern_key << 32) | bytes.
+inline std::uint64_t pack_direct_imm(std::uint32_t generation,
+                                     std::uint32_t phase_id) noexcept {
+  return (static_cast<std::uint64_t>(generation) << 32) | phase_id;
+}
+
+inline std::uint64_t pack_direct_imm2(std::uint32_t pattern_key,
+                                      std::uint32_t bytes) noexcept {
+  return (static_cast<std::uint64_t>(pattern_key) << 32) | bytes;
+}
+
+inline DirectSignal unpack_direct_signal(int src, std::uint64_t imm,
+                                         std::uint64_t imm2) noexcept {
+  DirectSignal sig;
+  sig.src = src;
+  sig.generation = static_cast<std::uint32_t>(imm >> 32);
+  sig.phase_id = static_cast<std::uint32_t>(imm);
+  sig.pattern_key = static_cast<std::uint32_t>(imm2 >> 32);
+  sig.bytes = static_cast<std::uint32_t>(imm2);
+  return sig;
+}
+
+class DirectDirectory {
+ public:
+  /// Hands out the next cluster-unique generation tag (starts at 1; 0 means
+  /// "never registered" and is rejected by every validator).
+  std::uint32_t next_generation() noexcept;
+
+  /// Publishes `region` as the put target on host `target` for origin `src`
+  /// under `pattern_key`, replacing any previous registration (a rebuilt
+  /// engine republishes with a fresh generation).
+  void publish(int target, int src, std::uint32_t pattern_key,
+               const DirectRegion& region);
+
+  /// Origin-side lookup; false = not (yet) published, use two-sided.
+  bool lookup(int target, int src, std::uint32_t pattern_key,
+              DirectRegion& out) const;
+
+  /// Removes the registration, but only if it still carries `generation` -
+  /// a stale retract (an old engine tearing down after its successor
+  /// already republished) must not erase the live descriptor.
+  void retract(int target, int src, std::uint32_t pattern_key,
+               std::uint32_t generation);
+
+  /// Drops every registration targeting `target` (fail-stop cleanup, so
+  /// origins stop putting at a dead host's regions immediately).
+  void retract_target(int target);
+
+ private:
+  using Key = std::tuple<int, int, std::uint32_t>;
+  mutable rt::Spinlock lock_;
+  std::map<Key, DirectRegion> regions_;
+  std::atomic<std::uint32_t> next_generation_{0};
+};
+
+}  // namespace lcr::comm

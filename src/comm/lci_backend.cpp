@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "comm/direct.hpp"
 #include "runtime/cpu_relax.hpp"
 
 namespace lcr::comm {
@@ -24,6 +25,14 @@ LciBackend::LciBackend(fabric::Fabric& fabric, int rank,
                  /*lanes=*/options.lci_lanes,
                  /*lane_depth=*/256}),
       tracker_(options.tracker) {
+  // Must be installed before any concurrent progress driver exists: the
+  // handler slot is written once here and only read afterwards.
+  queue_.set_signal_handler([this](const fabric::MsgMeta& meta) {
+    DirectSignal sig = unpack_direct_signal(static_cast<int>(meta.src),
+                                            meta.imm, meta.imm2);
+    std::lock_guard<rt::Spinlock> guard(direct_lock_);
+    direct_signals_.push_back(sig);
+  });
   if (options.lci_servers > 0) {
     servers_ =
         std::make_unique<lci::ProgressServerGroup>(queue_, options.lci_servers);
@@ -162,5 +171,65 @@ void LciBackend::progress() {
 }
 
 void LciBackend::end_phase() { reap_sends(); }
+
+DirectRegion LciBackend::register_direct_region(int /*src*/, std::byte* base,
+                                                std::size_t bytes,
+                                                std::uint32_t generation) {
+  DirectRegion r;
+  r.token = static_cast<std::uint64_t>(
+      queue_.device().register_memory(base, bytes));
+  r.capacity = bytes;
+  r.generation = generation;
+  region_book_.add(r.token, base, bytes, generation);
+  return r;
+}
+
+void LciBackend::release_direct_region(int /*src*/,
+                                       const DirectRegion& region) {
+  if (!region.valid()) return;
+  region_book_.remove(region.token);
+  queue_.device().deregister_memory(
+      static_cast<fabric::RKey>(region.token));
+}
+
+DirectPutStatus LciBackend::direct_put(int dst, const DirectRegion& region,
+                                       const void* payload, std::size_t bytes,
+                                       std::uint32_t phase_id,
+                                       std::uint32_t pattern_key) {
+  if (!region.valid() || bytes > region.capacity)
+    return DirectPutStatus::Unavailable;
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(lci::PacketType::SIGNAL);
+  meta.size = static_cast<std::uint32_t>(bytes);
+  meta.imm = pack_direct_imm(region.generation, phase_id);
+  meta.imm2 = pack_direct_imm2(pattern_key,
+                               static_cast<std::uint32_t>(bytes));
+  // The reliability layer snapshots the payload for retransmission, so the
+  // caller's staging buffer is free as soon as this returns Ok.
+  const fabric::PostResult r = queue_.device().lc_put_ex(
+      static_cast<fabric::Rank>(dst), static_cast<fabric::RKey>(region.token),
+      /*offset=*/0, payload, bytes, /*notify=*/true, meta);
+  switch (r) {
+    case fabric::PostResult::Ok:
+      return DirectPutStatus::Ok;
+    case fabric::PostResult::NoRxBuffer:
+    case fabric::PostResult::Throttled:
+    case fabric::PostResult::CqFull:
+    case fabric::PostResult::RetransmitFull:
+      return DirectPutStatus::Retry;
+    default:
+      // Invalid (stale rkey after a revive) / TooLarge / Down: this put can
+      // never land - the caller reverts to the two-sided path.
+      return DirectPutStatus::Unavailable;
+  }
+}
+
+bool LciBackend::poll_direct(DirectSignal& out) {
+  std::lock_guard<rt::Spinlock> guard(direct_lock_);
+  if (direct_signals_.empty()) return false;
+  out = direct_signals_.front();
+  direct_signals_.pop_front();
+  return true;
+}
 
 }  // namespace lcr::comm

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "comm/backend.hpp"
+#include "lci/one_sided.hpp"
 #include "lci/queue.hpp"
 #include "lci/server.hpp"
 #include "runtime/spinlock.hpp"
@@ -43,7 +44,26 @@ class LciBackend final : public Backend {
   void progress() override;
   void end_phase() override;
 
+  /// Direct-write path (DESIGN.md §15): regions are registered straight at
+  /// the device (monotonic fabric rkeys, never reused), puts ride lc_put
+  /// with a SIGNAL notification whose immediates carry the completion
+  /// accounting, and landed signals queue here until the engine polls them.
+  bool supports_direct_write() const override { return true; }
+  DirectRegion register_direct_region(int src, std::byte* base,
+                                      std::size_t bytes,
+                                      std::uint32_t generation) override;
+  void release_direct_region(int src, const DirectRegion& region) override;
+  DirectPutStatus direct_put(int dst, const DirectRegion& region,
+                             const void* payload, std::size_t bytes,
+                             std::uint32_t phase_id,
+                             std::uint32_t pattern_key) override;
+  bool poll_direct(DirectSignal& out) override;
+
   lci::Queue& queue() noexcept { return queue_; }
+
+  /// Receiver-side registration bookkeeping (bounds / generation / counter
+  /// audits; the fuzz suite inspects it through here).
+  lci::RegionBook& region_book() noexcept { return region_book_; }
 
  private:
   struct SendSlot {
@@ -69,6 +89,12 @@ class LciBackend final : public Backend {
 
   rt::Spinlock rdv_lock_;
   std::deque<std::unique_ptr<lci::Request>> pending_rdv_;
+
+  // Direct-write state: landed SIGNAL notifications (pushed from whichever
+  // thread runs progress) and the local registration book.
+  rt::Spinlock direct_lock_;
+  std::deque<DirectSignal> direct_signals_;
+  lci::RegionBook region_book_;
 };
 
 }  // namespace lcr::comm

@@ -1,7 +1,9 @@
 #include "comm/mpi_probe_backend.hpp"
 
 #include <cstring>
+#include <mutex>
 
+#include "comm/direct.hpp"
 #include "mpilite/personality.hpp"
 #include "runtime/timer.hpp"
 
@@ -10,6 +12,15 @@ namespace lcr::comm {
 namespace {
 
 constexpr int kDataTag = 7;
+constexpr int kDirectTag = 8;
+
+/// Wire prefix of an emulated direct put: the state a NIC would carry in
+/// the work request (target token) and the notification immediates.
+struct DirectFrame {
+  std::uint64_t token;
+  std::uint64_t imm;   // (generation << 32) | phase_id
+  std::uint64_t imm2;  // (pattern_key << 32) | bytes
+};
 
 mpi::Personality personality_by_name(const std::string& name) {
   if (name == "intelmpi") return mpi::intelmpi_like();
@@ -105,6 +116,15 @@ void MpiProbeBackend::pump_receives() {
     pending_recvs_.push_back(PendingRecv{
         buf, comm_.irecv(buf->bytes.data(), st.size, st.source, st.tag)});
   }
+  // Emulated direct puts arrive on their own tag and never enter the
+  // record/aggregate path: the pump performs the region write itself.
+  while (comm_.iprobe(mpi::kAnySource, kDirectTag, &st)) {
+    auto buf = std::make_shared<RecvBuf>();
+    buf->bytes.resize(st.size);
+    buf->src = st.source;
+    pending_direct_.push_back(PendingRecv{
+        buf, comm_.irecv(buf->bytes.data(), st.size, st.source, st.tag)});
+  }
   for (auto it = pending_recvs_.begin(); it != pending_recvs_.end();) {
     if (comm_.test(it->req)) {
       split_records(it->buf);
@@ -113,6 +133,34 @@ void MpiProbeBackend::pump_receives() {
       ++it;
     }
   }
+  for (auto it = pending_direct_.begin(); it != pending_direct_.end();) {
+    if (comm_.test(it->req)) {
+      deliver_direct(it->buf);
+      it = pending_direct_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MpiProbeBackend::deliver_direct(const std::shared_ptr<RecvBuf>& buf) {
+  if (buf->bytes.size() < sizeof(DirectFrame)) return;  // malformed: drop
+  DirectFrame frame;
+  std::memcpy(&frame, buf->bytes.data(), sizeof(frame));
+  DirectSignal sig = unpack_direct_signal(buf->src, frame.imm, frame.imm2);
+  const std::size_t payload = buf->bytes.size() - sizeof(frame);
+  if (payload != sig.bytes) return;  // truncated frame: drop
+  // The validation ladder a NIC walks in hardware: token must be live, the
+  // claimed generation must match the registration, the write must fit the
+  // registered extent. Only then does the payload touch memory.
+  lci::RegionBook::Entry entry;
+  if (region_book_.note_put(frame.token, 0, payload, sig.generation) !=
+          lci::RegionBook::Verdict::Ok ||
+      !region_book_.lookup(frame.token, entry))
+    return;  // rejected puts are tallied in the book and never land
+  std::memcpy(entry.base, buf->bytes.data() + sizeof(frame), payload);
+  std::lock_guard<rt::Spinlock> guard(direct_lock_);
+  direct_signals_.push_back(sig);
 }
 
 void MpiProbeBackend::split_records(std::shared_ptr<RecvBuf> buf) {
@@ -160,6 +208,59 @@ void MpiProbeBackend::progress() {
 void MpiProbeBackend::end_phase() {
   flush();
   reap_outstanding();
+}
+
+DirectRegion MpiProbeBackend::register_direct_region(
+    int /*src*/, std::byte* base, std::size_t bytes,
+    std::uint32_t generation) {
+  DirectRegion r;
+  {
+    std::lock_guard<rt::Spinlock> guard(direct_lock_);
+    r.token = next_direct_token_++;
+  }
+  r.capacity = bytes;
+  r.generation = generation;
+  region_book_.add(r.token, base, bytes, generation);
+  return r;
+}
+
+void MpiProbeBackend::release_direct_region(int /*src*/,
+                                            const DirectRegion& region) {
+  if (!region.valid()) return;
+  region_book_.remove(region.token);
+}
+
+DirectPutStatus MpiProbeBackend::direct_put(int dst,
+                                            const DirectRegion& region,
+                                            const void* payload,
+                                            std::size_t bytes,
+                                            std::uint32_t phase_id,
+                                            std::uint32_t pattern_key) {
+  if (!region.valid() || bytes > region.capacity)
+    return DirectPutStatus::Unavailable;
+  DirectFrame frame;
+  frame.token = region.token;
+  frame.imm = pack_direct_imm(region.generation, phase_id);
+  frame.imm2 = pack_direct_imm2(pattern_key, static_cast<std::uint32_t>(bytes));
+  outstanding_.emplace_back();
+  OutstandingSend& out = outstanding_.back();
+  out.bytes.resize(sizeof(frame) + bytes);
+  std::memcpy(out.bytes.data(), &frame, sizeof(frame));
+  std::memcpy(out.bytes.data() + sizeof(frame), payload, bytes);
+  // The staging copy is comm-buffer working set; reap_outstanding frees
+  // every completed OutstandingSend, so the alloc must be tracked here or
+  // the tracker's current-bytes counter underflows.
+  if (tracker_ != nullptr) tracker_->on_alloc(out.bytes.size());
+  out.req = comm_.isend(out.bytes.data(), out.bytes.size(), dst, kDirectTag);
+  return DirectPutStatus::Ok;  // MPI never pushes back: accepted and buffered
+}
+
+bool MpiProbeBackend::poll_direct(DirectSignal& out) {
+  std::lock_guard<rt::Spinlock> guard(direct_lock_);
+  if (direct_signals_.empty()) return false;
+  out = direct_signals_.front();
+  direct_signals_.pop_front();
+  return true;
 }
 
 }  // namespace lcr::comm

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "comm/backend.hpp"
+#include "lci/one_sided.hpp"
 #include "mpilite/comm.hpp"
+#include "runtime/spinlock.hpp"
 
 namespace lcr::comm {
 
@@ -42,6 +44,28 @@ class MpiProbeBackend final : public Backend {
   void end_phase() override;
 
   mpi::Comm& comm() noexcept { return comm_; }
+
+  /// Direct-write path (DESIGN.md §15), software-emulated: this layer has
+  /// no one-sided primitive, so a "put" travels as a framed two-sided
+  /// message on a dedicated tag and the receive pump performs the region
+  /// write itself - after walking the RegionBook validation ladder (token /
+  /// generation / bounds), exactly the checks a NIC does in hardware. The
+  /// framing keeps the engine's direct/two-sided selection logic and the
+  /// completion accounting identical across all three backends.
+  /// direct_put follows thread_safe_send() (comm thread only, FUNNELED);
+  /// register/release/poll_direct are thread-safe.
+  bool supports_direct_write() const override { return true; }
+  DirectRegion register_direct_region(int src, std::byte* base,
+                                      std::size_t bytes,
+                                      std::uint32_t generation) override;
+  void release_direct_region(int src, const DirectRegion& region) override;
+  DirectPutStatus direct_put(int dst, const DirectRegion& region,
+                             const void* payload, std::size_t bytes,
+                             std::uint32_t phase_id,
+                             std::uint32_t pattern_key) override;
+  bool poll_direct(DirectSignal& out) override;
+
+  lci::RegionBook& region_book() noexcept { return region_book_; }
 
  private:
   /// Per-destination aggregation buffer of the buffered network layer.
@@ -71,6 +95,7 @@ class MpiProbeBackend final : public Backend {
   void reap_outstanding();
   void pump_receives();
   void split_records(std::shared_ptr<RecvBuf> buf);
+  void deliver_direct(const std::shared_ptr<RecvBuf>& buf);
 
   mpi::Comm comm_;
   rt::MemTracker* tracker_;
@@ -79,7 +104,15 @@ class MpiProbeBackend final : public Backend {
   std::vector<AggBuffer> agg_;             // indexed by destination rank
   std::list<OutstandingSend> outstanding_; // isends awaiting completion
   std::list<PendingRecv> pending_recvs_;   // irecvs awaiting completion
+  std::list<PendingRecv> pending_direct_;  // direct-frame irecvs in flight
   std::deque<InMessage> ready_;            // parsed records ready for the engine
+
+  // Direct-write state. Tokens are handed out monotonically (never reused)
+  // from next_direct_token_, mirroring fabric rkey semantics.
+  std::uint64_t next_direct_token_ = 1;
+  rt::Spinlock direct_lock_;
+  std::deque<DirectSignal> direct_signals_;
+  lci::RegionBook region_book_;
 };
 
 }  // namespace lcr::comm

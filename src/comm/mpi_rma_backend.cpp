@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
+#include "comm/direct.hpp"
 #include "mpilite/personality.hpp"
 
 namespace lcr::comm {
@@ -27,7 +29,16 @@ MpiRmaBackend::MpiRmaBackend(fabric::Fabric& fabric, int rank,
             mpi::CommConfig{fabric.config().default_rx_buffers, nullptr, 2,
                             options.abort_check}),
       tracker_(options.tracker),
-      delivered_(fabric.num_ranks(), false) {}
+      delivered_(fabric.num_ranks(), false) {
+  // Installed before the engine spawns its polling thread; the handler runs
+  // under the comm lock on whichever thread drives progress.
+  comm_.set_direct_handler([this](const fabric::MsgMeta& meta) {
+    DirectSignal sig = unpack_direct_signal(static_cast<int>(meta.src),
+                                            meta.imm, meta.imm2);
+    std::lock_guard<rt::Spinlock> guard(direct_lock_);
+    direct_signals_.push_back(sig);
+  });
+}
 
 MpiRmaBackend::~MpiRmaBackend() {
   if (tracker_ != nullptr && window_bytes_ > 0)
@@ -154,6 +165,61 @@ void MpiRmaBackend::end_phase() {
   flush();
   spec_ = nullptr;
   // current_ stays: release() lambdas may still re-expose windows.
+}
+
+DirectRegion MpiRmaBackend::register_direct_region(int /*src*/,
+                                                   std::byte* base,
+                                                   std::size_t bytes,
+                                                   std::uint32_t generation) {
+  // Dynamic-segment emulation: no collective window creation, no worst-case
+  // preallocation accounting - the engine owns the buffer; we only attach
+  // it to the endpoint so remote puts can resolve it.
+  DirectRegion r;
+  r.token =
+      static_cast<std::uint64_t>(comm_.endpoint().register_memory(base, bytes));
+  r.capacity = bytes;
+  r.generation = generation;
+  region_book_.add(r.token, base, bytes, generation);
+  return r;
+}
+
+void MpiRmaBackend::release_direct_region(int /*src*/,
+                                          const DirectRegion& region) {
+  if (!region.valid()) return;
+  region_book_.remove(region.token);
+  comm_.endpoint().deregister_memory(static_cast<fabric::RKey>(region.token));
+}
+
+DirectPutStatus MpiRmaBackend::direct_put(int dst, const DirectRegion& region,
+                                          const void* payload,
+                                          std::size_t bytes,
+                                          std::uint32_t phase_id,
+                                          std::uint32_t pattern_key) {
+  if (!region.valid() || bytes > region.capacity)
+    return DirectPutStatus::Unavailable;
+  const fabric::PostResult r = comm_.direct_try_put(
+      dst, region.token, payload, bytes,
+      pack_direct_imm(region.generation, phase_id),
+      pack_direct_imm2(pattern_key, static_cast<std::uint32_t>(bytes)));
+  switch (r) {
+    case fabric::PostResult::Ok:
+      return DirectPutStatus::Ok;
+    case fabric::PostResult::NoRxBuffer:
+    case fabric::PostResult::Throttled:
+    case fabric::PostResult::CqFull:
+    case fabric::PostResult::RetransmitFull:
+      return DirectPutStatus::Retry;
+    default:
+      return DirectPutStatus::Unavailable;
+  }
+}
+
+bool MpiRmaBackend::poll_direct(DirectSignal& out) {
+  std::lock_guard<rt::Spinlock> guard(direct_lock_);
+  if (direct_signals_.empty()) return false;
+  out = direct_signals_.front();
+  direct_signals_.pop_front();
+  return true;
 }
 
 }  // namespace lcr::comm

@@ -19,13 +19,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "comm/backend.hpp"
+#include "lci/one_sided.hpp"
 #include "mpilite/comm.hpp"
 #include "mpilite/rma.hpp"
+#include "runtime/spinlock.hpp"
 
 namespace lcr::comm {
 
@@ -52,6 +55,24 @@ class MpiRmaBackend final : public Backend {
 
   mpi::Comm& comm() noexcept { return comm_; }
 
+  /// Direct-write path (DESIGN.md §15): the mpilite emulation of dynamic
+  /// windows. Regions register straight at the endpoint (no collective
+  /// window creation), puts travel as WireKind::DirectPut outside any PSCW
+  /// epoch, and landed notifications queue here until polled.
+  bool supports_direct_write() const override { return true; }
+  DirectRegion register_direct_region(int src, std::byte* base,
+                                      std::size_t bytes,
+                                      std::uint32_t generation) override;
+  void release_direct_region(int src, const DirectRegion& region) override;
+  DirectPutStatus direct_put(int dst, const DirectRegion& region,
+                             const void* payload, std::size_t bytes,
+                             std::uint32_t phase_id,
+                             std::uint32_t pattern_key) override;
+  bool poll_direct(DirectSignal& out) override;
+
+  /// Receiver-side registration bookkeeping (fuzz-suite introspection).
+  lci::RegionBook& region_book() noexcept { return region_book_; }
+
   /// Total bytes preallocated in windows (diagnostics; also in the tracker).
   std::size_t window_bytes() const noexcept { return window_bytes_; }
 
@@ -77,6 +98,12 @@ class MpiRmaBackend final : public Backend {
   WindowSet* current_ = nullptr;
   bool access_open_ = false;
   std::vector<bool> delivered_;  // source already surfaced this phase
+
+  // Direct-write state: DirectPut notifications are pushed from the comm
+  // progress path; compute/apply threads pop them via poll_direct.
+  rt::Spinlock direct_lock_;
+  std::deque<DirectSignal> direct_signals_;
+  lci::RegionBook region_book_;
 };
 
 }  // namespace lcr::comm

@@ -84,6 +84,31 @@ class GeminiLciComm final : public GeminiComm {
   }
   void progress() override { backend_->progress(); }
 
+  // Direct-write (DESIGN.md §15): delegate to the wrapped backend's
+  // registered-region put path. LciBackend is thread-safe throughout.
+  bool supports_direct_write() const override {
+    return backend_->supports_direct_write();
+  }
+  comm::DirectRegion register_direct_region(int src, std::byte* base,
+                                            std::size_t bytes,
+                                            std::uint32_t gen) override {
+    return backend_->register_direct_region(src, base, bytes, gen);
+  }
+  void release_direct_region(int src,
+                             const comm::DirectRegion& region) override {
+    backend_->release_direct_region(src, region);
+  }
+  comm::DirectPutStatus direct_put(int dst, const comm::DirectRegion& r,
+                                   const void* payload, std::size_t bytes,
+                                   std::uint32_t phase_id,
+                                   std::uint32_t pattern_key) override {
+    return backend_->direct_put(dst, r, payload, bytes, phase_id,
+                                pattern_key);
+  }
+  bool poll_direct(comm::DirectSignal& out) override {
+    return backend_->poll_direct(out);
+  }
+
  private:
   std::unique_ptr<comm::LciBackend> backend_;
 };
@@ -201,11 +226,45 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
   stat_reg_ = cluster.fabric().telemetry().register_probes({
       {"gemini.messages", &stats_.messages},
       {"gemini.bytes", &stats_.bytes},
+      {"gemini.direct_sends", &stats_.direct_sends},
   });
   team_ = std::make_unique<rt::ThreadTeam>(cfg_.compute_threads);
   chunks_sent_.reserve(static_cast<std::size_t>(g.num_hosts));
   for (int h = 0; h < g.num_hosts; ++h)
     chunks_sent_.emplace_back(new std::atomic<std::uint32_t>(0));
+
+  // Direct-write setup (DESIGN.md §15): one registered receive region per
+  // source peer, sized for the worst dense frame a peer can send (one record
+  // per master we own, value at most sizeof(double)). Published through the
+  // cluster directory so peers can resolve it; a peer that starts its first
+  // round before we registered simply misses the lookup and streams - the
+  // two paths are interchangeable per (peer, round).
+  cfg_.direct_write = comm::resolve_direct_write(cfg_.direct_write);
+  direct_sent_.assign(static_cast<std::size_t>(g.num_hosts), 0);
+  direct_skip_.assign(static_cast<std::size_t>(g.num_hosts), 0);
+  if (cfg_.direct_write != comm::DirectWriteMode::Off &&
+      comm_->supports_direct_write()) {
+    direct_homes_.resize(static_cast<std::size_t>(g.num_hosts));
+    const std::size_t cap =
+        comm::kChunkHeaderBytes +
+        g_.num_masters * (sizeof(graph::VertexId) + sizeof(double));
+    for (int src = 0; src < g.num_hosts; ++src) {
+      if (src == g.host_id) continue;
+      DirectHome& home = direct_homes_[static_cast<std::size_t>(src)];
+      home.buf = std::make_unique<std::byte[]>(cap);
+      const std::uint32_t gen = cluster.direct_directory().next_generation();
+      home.region =
+          comm_->register_direct_region(src, home.buf.get(), cap, gen);
+      if (!home.region.valid()) {
+        home.buf.reset();
+        continue;
+      }
+      if (cfg_.tracker != nullptr) cfg_.tracker->on_alloc(cap);
+      cluster.direct_directory().publish(g.host_id, src, kGeminiPatternKey,
+                                         home.region);
+    }
+    direct_enabled_ = true;
+  }
   server_thread_ = std::thread([this] {
     rt::Backoff backoff;
     while (!stop_.load(std::memory_order_acquire)) {
@@ -218,6 +277,19 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
 GeminiHost::~GeminiHost() {
   stop_.store(true, std::memory_order_release);
   if (server_thread_.joinable()) server_thread_.join();
+  // Retract published regions before tearing down the comm shim: once the
+  // directory entry is gone peers fall back to streaming, and a straggler
+  // put built against the old registration dies on the generation check of
+  // whatever occupies the region's token next (generations never repeat).
+  for (std::size_t src = 0; src < direct_homes_.size(); ++src) {
+    DirectHome& home = direct_homes_[src];
+    if (!home.region.valid()) continue;
+    cluster_.direct_directory().retract(g_.host_id, static_cast<int>(src),
+                                        kGeminiPatternKey,
+                                        home.region.generation);
+    comm_->release_direct_region(static_cast<int>(src), home.region);
+    if (cfg_.tracker != nullptr) cfg_.tracker->on_free(home.region.capacity);
+  }
   // Defensive: round completion implies the apply queue drained (chunks are
   // applied before note_chunk), so this only fires after an aborted round.
   while (auto m = apply_queue_.try_pop()) {
@@ -229,6 +301,13 @@ GeminiHost::~GeminiHost() {
   for (auto& m : stash_)
     if (m.release) m.release();
   stash_.clear();
+  // The comm shim must quiesce before the region buffers are freed: a
+  // retransmitted put already materialized in the endpoint's CQ still
+  // references region memory until the shim's final pump, and comm_ is
+  // declared before direct_homes_ so default member order would free the
+  // buffers first.
+  comm_.reset();
+  direct_homes_.clear();
 }
 
 void GeminiHost::RoundState::arm(std::uint32_t id, int num_hosts) {
@@ -236,6 +315,9 @@ void GeminiHost::RoundState::arm(std::uint32_t id, int num_hosts) {
   round_id = id;
   total.assign(static_cast<std::size_t>(num_hosts), -1);
   got.assign(static_cast<std::size_t>(num_hosts), 0);
+  direct_expected.assign(static_cast<std::size_t>(num_hosts), 0);
+  direct_got.assign(static_cast<std::size_t>(num_hosts), 0);
+  finished.assign(static_cast<std::size_t>(num_hosts), 0);
   peers_remaining = static_cast<std::size_t>(num_hosts - 1);
   complete.store(peers_remaining == 0, std::memory_order_release);
 }
@@ -244,14 +326,30 @@ void GeminiHost::RoundState::note_chunk(int src,
                                         const comm::ChunkHeader& header) {
   std::lock_guard<rt::Spinlock> guard(lock);
   const auto s = static_cast<std::size_t>(src);
-  if (header.num_chunks != 0)  // the tail carries the expected total
+  if (header.num_chunks != 0) {  // the tail carries the expected totals
     total[s] = static_cast<std::int32_t>(header.num_chunks);
-  ++got[s];
-  if (total[s] >= 0 && got[s] == total[s]) {
-    assert(peers_remaining > 0);
-    if (--peers_remaining == 0)
-      complete.store(true, std::memory_order_release);
+    if (header.payload_bytes == 0)  // direct-put ledger rides in base_pos
+      direct_expected[s] = static_cast<std::int32_t>(header.base_pos);
   }
+  ++got[s];
+  check_peer(s);
+}
+
+void GeminiHost::RoundState::note_direct(int src) {
+  std::lock_guard<rt::Spinlock> guard(lock);
+  const auto s = static_cast<std::size_t>(src);
+  ++direct_got[s];
+  check_peer(s);
+}
+
+void GeminiHost::RoundState::check_peer(std::size_t s) {
+  if (finished[s] != 0 || total[s] < 0 || got[s] != total[s] ||
+      direct_got[s] < direct_expected[s])
+    return;
+  finished[s] = 1;
+  assert(peers_remaining > 0);
+  if (--peers_remaining == 0)
+    complete.store(true, std::memory_order_release);
 }
 
 void GeminiHost::send_with_backpressure(int dst,
@@ -343,6 +441,10 @@ std::vector<double> GeminiHost::run_pagerank(double damping,
     }
     stats_.compute_s += combine_timer.elapsed_s();
 
+    // Pagerank is dense every round: the whole per-destination frame goes
+    // out as one direct put when the peer's region resolves (DESIGN.md §15).
+    direct_put_dense<double>(touched,
+                             [&](std::size_t dst) { return partial[dst]; });
     std::atomic<std::size_t> cursor{0};
     stream_round<double>(
         [&](std::size_t, const std::function<void(graph::VertexId,
@@ -354,7 +456,10 @@ std::vector<double> GeminiHost::run_pagerank(double damping,
             if (lo >= n_local) break;
             const std::size_t hi = std::min(n_local, lo + kGrain);
             touched.for_each_in_range(lo, hi, [&](std::size_t dst) {
-              emit(g_.l2g[dst], partial[dst]);
+              const graph::VertexId gid = g_.l2g[dst];
+              const auto owner = static_cast<std::size_t>(g_.owner_of(gid));
+              if (direct_skip_[owner] != 0) return;  // already put
+              emit(gid, partial[dst]);
             });
           }
         },

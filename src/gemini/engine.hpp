@@ -71,6 +71,12 @@ struct GeminiConfig {
   /// Dedicated LCI progress servers (in addition to the host's own server
   /// thread, which always assists); 0 = none.
   std::size_t lci_servers = 0;
+  /// One-sided direct-write sync (DESIGN.md §15): dense rounds put their
+  /// pre-combined per-destination frame straight into the destination's
+  /// registered region instead of streaming record batches. Auto/Forced
+  /// behave identically here (dense rounds are explicitly known, no
+  /// predictor needed); Off disables. Honors env LCR_DIRECT_WRITE.
+  comm::DirectWriteMode direct_write = comm::DirectWriteMode::Auto;
 };
 
 struct GeminiStats {
@@ -83,7 +89,15 @@ struct GeminiStats {
   double comm_s = 0.0;
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> bytes{0};
+  /// Dense frames that went out as one-sided direct puts (DESIGN.md §15).
+  std::atomic<std::uint64_t> direct_sends{0};
 };
+
+/// Directory pattern key for gemini direct-write regions: gemini rounds all
+/// share one exchange pattern (signal records keyed by destination gid), so
+/// a single well-known key per (target, source) pair suffices. Distinct from
+/// abelian's per-phase-spec keys, which share the same cluster directory.
+inline constexpr std::uint32_t kGeminiPatternKey = 0x47454D31u;  // "GEM1"
 
 /// Internal comm shim; see file comment.
 class GeminiComm {
@@ -105,6 +119,30 @@ class GeminiComm {
   virtual bool try_recv(comm::InMessage& out) = 0;
   /// Dedicated progress loop body (LCI server); MPI progresses inside calls.
   virtual void progress() = 0;
+
+  /// Direct-write hooks (DESIGN.md §15). Defaults are inert: the THREAD_
+  /// MULTIPLE MPI shim has no one-sided primitive (every thread owns its own
+  /// sends, there is no funnel point to emulate a NIC at), so it always
+  /// streams two-sided and these report unsupported. The LCI shim delegates
+  /// to the wrapped backend's registered-region put path.
+  virtual bool supports_direct_write() const { return false; }
+  virtual comm::DirectRegion register_direct_region(int /*src*/,
+                                                    std::byte* /*base*/,
+                                                    std::size_t /*bytes*/,
+                                                    std::uint32_t /*gen*/) {
+    return comm::DirectRegion{};
+  }
+  virtual void release_direct_region(int /*src*/,
+                                     const comm::DirectRegion& /*region*/) {}
+  virtual comm::DirectPutStatus direct_put(int /*dst*/,
+                                           const comm::DirectRegion& /*r*/,
+                                           const void* /*payload*/,
+                                           std::size_t /*bytes*/,
+                                           std::uint32_t /*phase_id*/,
+                                           std::uint32_t /*pattern_key*/) {
+    return comm::DirectPutStatus::Unavailable;
+  }
+  virtual bool poll_direct(comm::DirectSignal& /*out*/) { return false; }
 };
 
 class GeminiHost {
@@ -157,6 +195,18 @@ class GeminiHost {
   void send_with_backpressure(int dst, std::vector<std::byte>& payload,
                               const std::function<bool()>& drain);
 
+  /// Dense-round direct-write fan-out (DESIGN.md §15): serializes one frame
+  /// per remote peer from the touched/value scratch and puts it straight
+  /// into the peer's registered region. Peers whose frame was put are marked
+  /// in direct_skip_ so the streaming producers don't re-send their records;
+  /// direct_sent_ feeds the tail's put count. Any failure (no region
+  /// published, frame oversized, put unavailable) silently leaves the peer
+  /// on the two-sided path. Called from the round driver before
+  /// stream_round, single-threaded.
+  template <typename T>
+  void direct_put_dense(const rt::ConcurrentBitset& touched,
+                        const std::function<T(std::size_t)>& value_of);
+
   /// Whether a cluster-wide failure is pending: round waits and back-pressure
   /// retries check this and unwind (never throw - the host-main driver
   /// raises the error at its next round boundary).
@@ -169,10 +219,21 @@ class GeminiHost {
     rt::Spinlock lock;
     std::vector<std::int32_t> total;  // chunks expected per peer (-1 unknown)
     std::vector<std::int32_t> got;
+    // Direct-put ledger (DESIGN.md §15): the peer's tail announces how many
+    // direct puts it issued this round (in base_pos); a peer is complete only
+    // when both the chunk count and the direct count are satisfied. Compared
+    // with >= because the put usually lands before the tail announces it.
+    std::vector<std::int32_t> direct_expected;
+    std::vector<std::int32_t> direct_got;
+    std::vector<char> finished;  // guards double-decrement of peers_remaining
     std::size_t peers_remaining = 0;
     std::atomic<bool> complete{false};
     void arm(std::uint32_t id, int num_hosts);
     void note_chunk(int src, const comm::ChunkHeader& header);
+    void note_direct(int src);
+
+   private:
+    void check_peer(std::size_t s);  // lock held
   };
 
   abelian::Cluster& cluster_;
@@ -197,6 +258,18 @@ class GeminiHost {
 
   // Per-destination chunk counters for the current round.
   std::vector<std::unique_ptr<std::atomic<std::uint32_t>>> chunks_sent_;
+
+  /// Receive-side direct-write region for one source peer: engine-owned
+  /// buffer registered with the comm shim and published in the cluster
+  /// directory under kGeminiPatternKey.
+  struct DirectHome {
+    std::unique_ptr<std::byte[]> buf;
+    comm::DirectRegion region;
+  };
+  std::vector<DirectHome> direct_homes_;    // indexed by source peer
+  std::vector<std::uint32_t> direct_sent_;  // per dst: puts issued this round
+  std::vector<char> direct_skip_;           // per dst: records already put
+  bool direct_enabled_ = false;
 
   GeminiStats stats_;
   telemetry::Registration stat_reg_;  // GeminiStats probes ("gemini.*")
@@ -240,11 +313,118 @@ void GeminiHost::apply_chunk_typed(
 }
 
 template <typename T>
+void GeminiHost::direct_put_dense(
+    const rt::ConcurrentBitset& touched,
+    const std::function<T(std::size_t)>& value_of) {
+  if (!direct_enabled_) return;
+  const int p = g_.num_hosts;
+  const int me = g_.host_id;
+  constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
+  // One pass over the touched scratch, binning records by owner. The frame
+  // is a regular chunk (Raw records after a ChunkHeader) so the receive side
+  // decodes it exactly like a streamed chunk, just in place.
+  std::vector<std::vector<std::byte>> frames(static_cast<std::size_t>(p));
+  touched.for_each([&](std::size_t lid) {
+    const graph::VertexId gid = g_.l2g[lid];
+    const int owner = g_.owner_of(gid);
+    if (owner == me) return;
+    auto& f = frames[static_cast<std::size_t>(owner)];
+    if (f.empty()) f.resize(comm::kChunkHeaderBytes);
+    const std::size_t off = f.size();
+    f.resize(off + rec);
+    const T value = value_of(lid);
+    std::memcpy(f.data() + off, &gid, sizeof(gid));
+    std::memcpy(f.data() + off + sizeof(gid), &value, sizeof(T));
+  });
+  for (int dst = 0; dst < p; ++dst) {
+    auto& f = frames[static_cast<std::size_t>(dst)];
+    if (dst == me || f.empty()) continue;
+    comm::DirectRegion region;
+    if (!cluster_.direct_directory().lookup(dst, me, kGeminiPatternKey,
+                                            region) ||
+        f.size() > region.capacity)
+      continue;  // no region published (yet) or oversized: stream instead
+    comm::ChunkHeader header;
+    header.phase_id = round_counter_;
+    header.payload_bytes =
+        static_cast<std::uint32_t>(f.size() - comm::kChunkHeaderBytes);
+    header.base_pos = 0;
+    header.span = 0;
+    header.chunk_idx = 0;
+    header.num_chunks = 0;  // data chunk: the tail carries the totals
+    header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
+    header.finalize();
+    std::memcpy(f.data(), &header, sizeof(header));
+    bool ok = false;
+    rt::Backoff backoff;
+    for (;;) {
+      const comm::DirectPutStatus st = comm_->direct_put(
+          dst, region, f.data(), f.size(), round_counter_, kGeminiPatternKey);
+      if (st == comm::DirectPutStatus::Ok) {
+        ok = true;
+        break;
+      }
+      if (st == comm::DirectPutStatus::Unavailable || aborting()) break;
+      comm_->progress();  // Retry: transient resource exhaustion
+      backoff.pause();
+    }
+    if (!ok) continue;
+    direct_sent_[static_cast<std::size_t>(dst)] = 1;
+    direct_skip_[static_cast<std::size_t>(dst)] = 1;
+    stats_.direct_sends.fetch_add(1, std::memory_order_relaxed);
+    stats_.messages.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes.fetch_add(f.size(), std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
 bool GeminiHost::drain_one_typed(
     const std::function<void(graph::VertexId, const T&)>& apply) {
   // Prefer published work: another thread already paid the recv cost.
   if (auto queued = apply_queue_.try_pop()) {
     apply_chunk_typed<T>(*queued, apply);
+    return true;
+  }
+
+  // Direct-put signals (DESIGN.md §15): the payload already sits in our
+  // registered region; decode/apply in place, zero-copy. The validation
+  // ladder drops anything not addressed to the live registration for the
+  // current round - a stale put is not in any live ledger, so dropping it
+  // cannot deadlock round completion. Rounds are separated by the OOB
+  // allreduce, so a peer can never be a round ahead of us here; phase
+  // mismatches only arise from retransmissions of already-counted puts.
+  comm::DirectSignal sig;
+  while (comm_->poll_direct(sig)) {
+    if (sig.pattern_key != kGeminiPatternKey) continue;
+    const auto s = static_cast<std::size_t>(sig.src);
+    if (s >= direct_homes_.size()) continue;
+    const DirectHome& home = direct_homes_[s];
+    if (!home.region.valid() || sig.generation != home.region.generation ||
+        sig.phase_id != round_.round_id ||
+        sig.bytes < comm::kChunkHeaderBytes ||
+        sig.bytes > home.region.capacity)
+      continue;
+    comm::InMessage m;
+    m.src = sig.src;
+    m.data = home.buf.get();
+    m.size = sig.bytes;
+    const comm::ChunkHeader header = m.header();
+    constexpr std::size_t rec = sizeof(graph::VertexId) + sizeof(T);
+    if (header.phase_id == round_.round_id &&
+        comm::kChunkHeaderBytes + header.payload_bytes == sig.bytes) {
+      const std::byte* p = m.payload();
+      for (std::size_t off = 0; off + rec <= header.payload_bytes;
+           off += rec) {
+        graph::VertexId gid;
+        T value;
+        std::memcpy(&gid, p + off, sizeof(gid));
+        std::memcpy(&value, p + off + sizeof(gid), sizeof(T));
+        apply(gid, value);
+      }
+    }
+    // Generation and round matched: this is a live put, count it even if the
+    // frame failed to parse (the ledger must balance or the round hangs).
+    round_.note_direct(sig.src);
     return true;
   }
 
@@ -412,6 +592,9 @@ void GeminiHost::stream_round(
         header.chunk_idx = 0;
         header.num_chunks = static_cast<std::uint16_t>(sent + 1);  // + tail
         header.payload_bytes = 0;
+        // Direct-put ledger: the tail reuses base_pos to announce how many
+        // direct puts this host issued to dst this round (DESIGN.md §15).
+        header.base_pos = direct_sent_[static_cast<std::size_t>(dst)];
         header.format = static_cast<std::uint8_t>(comm::WireFormat::Raw);
         header.finalize();
         std::memcpy(tail.data(), &header, sizeof(header));
@@ -431,6 +614,11 @@ void GeminiHost::stream_round(
         backoff.pause();
     }
   });
+
+  // Direct-round scratch is consumed (tails sent, producers done): reset so
+  // a following sparse round doesn't inherit stale skip/count state.
+  direct_sent_.assign(direct_sent_.size(), 0);
+  direct_skip_.assign(direct_skip_.size(), 0);
 
   const std::uint64_t round_end_ns = rt::now_ns();
   const std::uint64_t mid = produce_end_ns.load(std::memory_order_acquire);
@@ -581,6 +769,11 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
             });
       }
       stats_.compute_s += combine_timer.elapsed_s();
+      // Direct-write fan-out (DESIGN.md §15): ship each peer's combined
+      // frame as one one-sided put; peers it reached are skipped by the
+      // streaming producers below (direct_skip_), the rest stream as usual.
+      direct_put_dense<Label>(
+          touched, [&](std::size_t dst) { return combined[dst]; });
       std::atomic<std::size_t> cursor{0};
       stream_round<Label>(
           [&](std::size_t, const std::function<void(graph::VertexId,
@@ -592,7 +785,10 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
               if (lo >= n_local) break;
               const std::size_t hi = std::min(n_local, lo + kGrain);
               touched.for_each_in_range(lo, hi, [&](std::size_t dst) {
-                emit(g_.l2g[dst], combined[dst]);
+                const graph::VertexId gid = g_.l2g[dst];
+                const auto owner = static_cast<std::size_t>(g_.owner_of(gid));
+                if (direct_skip_[owner] != 0) return;  // already put
+                emit(gid, combined[dst]);
               });
             }
           },

@@ -445,7 +445,11 @@ bool Queue::dispatch_one_event() {
       break;
     }
     case PacketType::SIGNAL:
-      break;  // one-sided signals are not routed through Queue endpoints
+      // Direct-write put notification: the payload already sits in the
+      // registered region (the fabric wrote it before raising the CQE), so
+      // there is nothing to receive - just surface the completion.
+      if (signal_handler_) signal_handler_(ev->meta);
+      break;
   }
   return true;
 }

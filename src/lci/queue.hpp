@@ -146,6 +146,18 @@ class Queue {
                      std::uint32_t tag);
   void recv_blocking(Request& req);
 
+  /// Installs the handler for one-sided SIGNAL notifications (direct-write
+  /// puts, DESIGN.md §15): by the time it fires the put's payload has fully
+  /// landed in the registered region, and the handler receives the
+  /// notification metadata (immediates carry generation/phase/bytes). It
+  /// runs on whichever thread drives progress, so it must be cheap and must
+  /// not call back into this Queue. Install before any concurrent progress
+  /// driver (server group / compute threads) starts; the slot is not
+  /// synchronized against in-flight dispatch.
+  void set_signal_handler(std::function<void(const fabric::MsgMeta&)> fn) {
+    signal_handler_ = std::move(fn);
+  }
+
  private:
   /// A staged wire operation: everything a server needs to post it.
   struct TxOp {
@@ -203,6 +215,7 @@ class Queue {
 
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<PutShard>> put_shards_;
+  std::function<void(const fabric::MsgMeta&)> signal_handler_;
 };
 
 }  // namespace lcr::lci

@@ -10,9 +10,15 @@
 namespace lcr::lci {
 
 namespace {
+/// The caller owns the Request and may destroy it the moment it observes
+/// Done (rendezvous puts complete from a progress thread while the poster
+/// spins on status), so the signal pointer must be read BEFORE the store and
+/// no field touched after it. The CompletionCounter outlives its requests by
+/// contract.
 inline void mark_done(Request& req) {
+  CompletionCounter* const signal = req.signal;
   req.status.store(ReqStatus::Done, std::memory_order_release);
-  if (req.signal != nullptr) req.signal->signal();
+  if (signal != nullptr) signal->signal();
 }
 }  // namespace
 

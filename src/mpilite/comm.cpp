@@ -372,6 +372,11 @@ void Comm::handle_cqe_locked(const fabric::Cqe& cqe) {
       flag->store(true, std::memory_order_release);
       break;
     }
+    case WireKind::DirectPut:
+      // Direct-write notification (DESIGN.md §15): the payload already sits
+      // in the registered segment; surface the completion to the backend.
+      if (direct_handler_) direct_handler_(cqe.meta);
+      break;
   }
 
   // Recycle the internal receive buffer (Fin / RmaPut are imm-only).
@@ -477,6 +482,21 @@ bool Comm::rma_try_put(int target, std::uint32_t rkey, std::size_t offset,
   meta.imm = win_id;
   return channel_.put(static_cast<fabric::Rank>(target), rkey, offset, src, n,
                       /*notify=*/true, meta) == fabric::PostResult::Ok;
+}
+
+fabric::PostResult Comm::direct_try_put(int target, std::uint64_t rkey,
+                                        const void* src, std::size_t n,
+                                        std::uint64_t imm,
+                                        std::uint64_t imm2) {
+  CallGuard guard(*this);
+  fabric::MsgMeta meta;
+  meta.kind = static_cast<std::uint8_t>(WireKind::DirectPut);
+  meta.size = static_cast<std::uint32_t>(n);
+  meta.imm = imm;
+  meta.imm2 = imm2;
+  return channel_.put(static_cast<fabric::Rank>(target),
+                      static_cast<fabric::RKey>(rkey), /*offset=*/0, src, n,
+                      /*notify=*/true, meta);
 }
 
 void Comm::register_window(std::uint64_t id, Window* win) {

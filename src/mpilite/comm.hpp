@@ -172,6 +172,23 @@ class Comm {
   bool rma_try_put(int target, std::uint32_t rkey, std::size_t offset,
                    const void* src, std::size_t n, std::uint64_t win_id);
 
+  /// One attempt at a direct-write put (DESIGN.md §15): a dynamic-segment
+  /// RMA write outside any collective window epoch - the mpilite emulation
+  /// of MPI_Win_create_dynamic + MPI_Rput. The raw PostResult is returned
+  /// so callers can tell a transient soft failure (retry) from a dead
+  /// registration (Invalid: fall back to two-sided). Thread-safe.
+  fabric::PostResult direct_try_put(int target, std::uint64_t rkey,
+                                    const void* src, std::size_t n,
+                                    std::uint64_t imm, std::uint64_t imm2);
+
+  /// Installs the handler invoked (under the comm lock, from whichever
+  /// thread drives progress) when a DirectPut notification lands; the
+  /// payload is already in the registered segment at that point. Install
+  /// before any concurrent use; the slot itself is unsynchronized.
+  void set_direct_handler(std::function<void(const fabric::MsgMeta&)> fn) {
+    direct_handler_ = std::move(fn);
+  }
+
  private:
   friend class Window;
 
@@ -261,6 +278,7 @@ class Comm {
 
   CommStats stats_;
   telemetry::Registration stat_reg_;  // CommStats probes ("mpilite.*")
+  std::function<void(const fabric::MsgMeta&)> direct_handler_;
 };
 
 }  // namespace lcr::mpi

@@ -51,6 +51,8 @@ enum class WireKind : std::uint8_t {
   RmaPost = 38,  ///< RMA exposure-epoch grant {imm2 = window id}
   RmaGet = 39,     ///< RMA get request {imm2 = window id, payload = GetWire}
   RmaGetDone = 40, ///< put-completion immediate answering an RMA get
+  DirectPut = 41,  ///< direct-write put notification (DESIGN.md §15;
+                   ///< imm/imm2 carry generation/phase/pattern/bytes)
 };
 
 }  // namespace lcr::mpi

@@ -347,6 +347,63 @@ TEST_P(RecoveryFabric, GeminiPagerankKillRecoversExactly) {
   expect_recovered(result, /*rollback=*/4);
 }
 
+// ---------------------------------------------------------------------------
+// Kill-mid-put (DESIGN.md §15): with direct writes forced, every dense round
+// has one-sided puts in flight when the victim dies. The rebuilt engine
+// re-registers fresh regions under a new generation; retransmissions of
+// pre-kill puts must be fenced by the token/generation ladder, never
+// double-applied into the reborn registration. Early / mid / late kill
+// rounds cover puts dying before, during and after the first checkpoint.
+// ---------------------------------------------------------------------------
+
+TEST_P(RecoveryFabric, DirectWriteBfsEarlyKillRecoversExactly) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  bench::RunSpec spec = killed_spec(/*kill_round=*/1, /*interval=*/2);
+  spec.app = "bfs";
+  spec.direct_write = comm::DirectWriteMode::Forced;
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_bfs(g, spec.source));
+  expect_recovered(result, /*rollback=*/0);
+  const auto it = result.telemetry.find("sync.direct_sends");
+  EXPECT_GT(it == result.telemetry.end() ? 0 : it->second, 0u)
+      << "forced direct writes never engaged across the kill";
+}
+
+TEST_P(RecoveryFabric, DirectWritePagerankMidKillRecoversExactly) {
+  graph::Csr g = graph::rmat(6, 8.0);
+  bench::RunSpec spec = killed_spec(/*kill_round=*/7, /*interval=*/4);
+  spec.app = "pagerank";
+  spec.direct_write = comm::DirectWriteMode::Forced;
+  spec.pagerank_iters = 16;
+  const auto result = bench::run_app(g, spec);
+  const auto expected = apps::reference_pagerank(g, 0.85, 16, 0.0);
+  ASSERT_EQ(result.labels_f64.size(), expected.size());
+  for (std::size_t v = 0; v < expected.size(); ++v)
+    EXPECT_NEAR(result.labels_f64[v], expected[v], 1e-9)
+        << "vertex " << v << " (stale put applied across the epoch?)";
+  expect_recovered(result, /*rollback=*/4);
+  const auto it = result.telemetry.find("sync.direct_sends");
+  EXPECT_GT(it == result.telemetry.end() ? 0 : it->second, 0u);
+}
+
+TEST_P(RecoveryFabric, DirectWriteSsspLateKillRecoversExactly) {
+  graph::GenOptions opt;
+  opt.make_weights = true;
+  graph::Csr g = graph::rmat(6, 8.0, opt);
+  bench::RunSpec spec = killed_spec(/*kill_round=*/4, /*interval=*/2);
+  spec.app = "sssp";
+  spec.direct_write = comm::DirectWriteMode::Forced;
+  spec.source = bench::choose_source(g);
+  const auto result = bench::run_app(g, spec);
+  EXPECT_EQ(result.labels_u32, apps::reference_sssp(g, spec.source));
+  // The victim dies before staging its round-4 snapshot, so the cluster
+  // falls back to the round-2 checkpoint.
+  expect_recovered(result, /*rollback=*/2);
+  const auto it = result.telemetry.find("sync.direct_sends");
+  EXPECT_GT(it == result.telemetry.end() ? 0 : it->second, 0u);
+}
+
 /// A kill before the first checkpoint interval elapses forces a full
 /// restart (stable_round == -1): recovery must still converge exactly.
 TEST_P(RecoveryFabric, KillBeforeAnyCheckpointForcesCleanRestart) {
