@@ -1,0 +1,72 @@
+#include "runtime/collective.hpp"
+
+namespace lcr::rt {
+
+TreeBarrier::TreeBarrier(std::size_t n, std::size_t arity)
+    : n_(n), arity_(arity < 2 ? 2 : (arity > 8 ? 8 : arity)), nodes_(n) {}
+
+bool TreeBarrier::wave(std::size_t self,
+                       const std::function<bool()>* abort) noexcept {
+  Node& me = nodes_[self];
+  const bool sense = (me.round & 1) == 0;
+  ++me.round;
+  // Up-wave: wait for every child subtree to arrive. Children are polled
+  // as a set, not sequentially: under the ULT scheduler each blocked wait
+  // costs a trip through the worker's whole run queue, so one pass that
+  // harvests every already-arrived child before yielding keeps the number
+  // of scheduling round-trips at the tree depth, not the child count.
+  std::size_t pending = 0;
+  std::size_t wait_set[8];  // arity clamped to [2, 8]
+  for (std::size_t j = 1; j <= arity_; ++j) {
+    const std::size_t child = self * arity_ + j;
+    if (child >= n_) break;
+    wait_set[pending++] = child;
+  }
+  Backoff up_backoff;
+  while (pending > 0) {
+    std::size_t still = 0;
+    for (std::size_t i = 0; i < pending; ++i)
+      if (nodes_[wait_set[i]].arrived.load(std::memory_order_acquire) !=
+          sense)
+        wait_set[still++] = wait_set[i];
+    pending = still;
+    if (pending == 0) break;
+    if (abort != nullptr && (*abort)()) return false;
+    up_backoff.pause();
+  }
+  if (self != 0) {
+    me.arrived.store(sense, std::memory_order_release);
+    // Down-wave: the parent releases us once the root has seen everyone.
+    Backoff backoff;
+    while (me.released.load(std::memory_order_acquire) != sense) {
+      if (abort != nullptr && (*abort)()) return false;
+      backoff.pause();
+    }
+  }
+  for (std::size_t j = 1; j <= arity_; ++j) {
+    const std::size_t child = self * arity_ + j;
+    if (child >= n_) break;
+    nodes_[child].released.store(sense, std::memory_order_release);
+  }
+  return true;
+}
+
+void TreeBarrier::arrive_and_wait(std::size_t self) noexcept {
+  wave(self, nullptr);
+}
+
+bool TreeBarrier::arrive_and_wait_abortable(
+    std::size_t self, const std::function<bool()>& abort) noexcept {
+  return wave(self, &abort);
+}
+
+void TreeBarrier::reset() noexcept {
+  for (Node& node : nodes_) {
+    node.arrived.store(false, std::memory_order_relaxed);
+    node.released.store(false, std::memory_order_relaxed);
+    node.round = 0;
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+}  // namespace lcr::rt

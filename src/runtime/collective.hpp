@@ -1,0 +1,168 @@
+// Hierarchical (k-ary tree) shared-memory collectives for the OOB plane.
+//
+// The cluster's out-of-band control plane used flat all-to-all collectives:
+// a centralized sense barrier (every participant fetch_adds one counter, N
+// spinners on one sense flag) and allreduces built from THREE such barrier
+// waits around a shared scratch cell. At 8-16 hosts that is invisible; at
+// 128-256 simulated hosts the serialized fetch_add chain and the triple
+// full-round synchronization dominate every BSP round boundary.
+//
+// These collectives replace that with a k-ary combining tree (default arity
+// 4): each participant owns one tree node, waits for its children's partial
+// results, combines them with its own contribution, publishes upward, then
+// receives the final result down the same tree (each parent wakes only its
+// children). One op is one up-wave plus one down-wave — O(k·log_k N) waits
+// per participant and a single traversal instead of three flat barriers.
+//
+// Failure semantics match the flat plane (DESIGN.md §13): every wait is
+// abortable, and an abort mid-collective tears the tree (flags for the
+// current parity are half-flipped). reset() restores the initial state; it
+// is only safe while every participant is quiescent inside the recovery
+// rendezvous, exactly like rt::SenseBarrier::reset().
+//
+// All waits funnel through rt::Backoff, so participants running as ULT
+// fibers yield to the scheduler instead of burning the worker (§16).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/cpu_relax.hpp"
+
+namespace lcr::rt {
+
+/// k-ary tree barrier. Participant i's children are i*k+1 .. i*k+k (< n);
+/// the root is participant 0. Reusable across rounds via sense reversal.
+/// Arity is clamped to [2, 8] (the child wait-sets are fixed arrays).
+class TreeBarrier {
+ public:
+  explicit TreeBarrier(std::size_t n, std::size_t arity = 4);
+
+  /// Collective: every live participant must call with its own `self`.
+  void arrive_and_wait(std::size_t self) noexcept;
+
+  /// Abortable arrival: returns false when `abort()` fired first. The
+  /// barrier is torn afterwards; reset() before reuse.
+  bool arrive_and_wait_abortable(std::size_t self,
+                                 const std::function<bool()>& abort) noexcept;
+
+  /// Restore the initial state. Only safe while all participants are
+  /// quiescent (recovery rendezvous).
+  void reset() noexcept;
+
+  std::size_t participants() const noexcept { return n_; }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<bool> arrived{false};   // child -> parent, per-parity
+    std::atomic<bool> released{false};  // parent -> child, per-parity
+    std::uint64_t round = 0;            // owner-written op counter
+  };
+
+  bool wave(std::size_t self, const std::function<bool()>* abort) noexcept;
+
+  const std::size_t n_;
+  const std::size_t arity_;
+  std::vector<Node> nodes_;
+};
+
+/// k-ary tree allreduce over T. One object per (cluster, T); different
+/// reductions (sum/min/max) share it — the combine op is a per-call
+/// parameter and participants execute identical op sequences, so the
+/// sense parity stays aligned.
+template <typename T>
+class TreeAllreduce {
+ public:
+  explicit TreeAllreduce(std::size_t n, std::size_t arity = 4)
+      : n_(n), arity_(arity < 2 ? 2 : (arity > 8 ? 8 : arity)), nodes_(n) {}
+
+  /// Collective reduce+broadcast. `combine(a, b)` must be associative and
+  /// commutative. Returns false (leaving *out untouched) when `abort()`
+  /// fired; the tree is torn afterwards — reset() before reuse.
+  template <typename Combine, typename AbortFn>
+  bool run(std::size_t self, T value, Combine&& combine, AbortFn&& abort,
+           T* out) noexcept {
+    Node& me = nodes_[self];
+    const bool sense = (me.round & 1) == 0;
+    ++me.round;
+    // Up-wave: wait for the whole child set (polled together — one pass per
+    // scheduler trip, see TreeBarrier::wave), then combine the partials in
+    // fixed child order so floating-point results are deterministic.
+    std::size_t pending = 0;
+    std::size_t wait_set[8];  // arity clamped to [2, 8]
+    for (std::size_t j = 1; j <= arity_; ++j) {
+      const std::size_t child = self * arity_ + j;
+      if (child >= n_) break;
+      wait_set[pending++] = child;
+    }
+    const std::size_t num_children = pending;
+    Backoff up_backoff;
+    while (pending > 0) {
+      std::size_t still = 0;
+      for (std::size_t i = 0; i < pending; ++i)
+        if (nodes_[wait_set[i]].arrived.load(std::memory_order_acquire) !=
+            sense)
+          wait_set[still++] = wait_set[i];
+      pending = still;
+      if (pending == 0) break;
+      if (abort()) return false;
+      up_backoff.pause();
+    }
+    T acc = value;
+    for (std::size_t j = 1; j <= num_children; ++j)
+      acc = combine(acc, nodes_[self * arity_ + j].partial);
+    if (self == 0) {
+      me.result = acc;
+    } else {
+      me.partial = acc;
+      nodes_[self].arrived.store(sense, std::memory_order_release);
+      // Down-wave: wait for the parent to hand us the final result.
+      Backoff backoff;
+      while (me.released.load(std::memory_order_acquire) != sense) {
+        if (abort()) return false;
+        backoff.pause();
+      }
+    }
+    for (std::size_t j = 1; j <= arity_; ++j) {
+      const std::size_t child = self * arity_ + j;
+      if (child >= n_) break;
+      Node& c = nodes_[child];
+      c.result = me.result;
+      c.released.store(sense, std::memory_order_release);
+    }
+    *out = me.result;
+    return true;
+  }
+
+  /// Restore the initial state (quiescent participants only).
+  void reset() noexcept {
+    for (Node& node : nodes_) {
+      node.arrived.store(false, std::memory_order_relaxed);
+      node.released.store(false, std::memory_order_relaxed);
+      node.round = 0;
+      node.partial = T{};
+      node.result = T{};
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  std::size_t participants() const noexcept { return n_; }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<bool> arrived{false};   // partial is valid, per-parity
+    std::atomic<bool> released{false};  // result is valid, per-parity
+    std::uint64_t round = 0;            // owner-written op counter
+    T partial{};                        // child -> parent payload
+    T result{};                         // parent -> child payload
+  };
+
+  const std::size_t n_;
+  const std::size_t arity_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lcr::rt

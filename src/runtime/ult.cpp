@@ -1,0 +1,657 @@
+#include "runtime/ult.hpp"
+
+#include <pthread.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <thread>
+
+#include "runtime/cpu_relax.hpp"
+#include "runtime/spinlock.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LCR_ULT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LCR_ULT_ASAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define LCR_ULT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LCR_ULT_TSAN 1
+#endif
+#endif
+
+#if defined(LCR_ULT_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(LCR_ULT_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+#if !defined(__x86_64__)
+#error "lcr::ult implements the context switch for x86-64 System V only"
+#endif
+
+namespace lcr::ult {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Context switch: save callee-saved GPRs + mxcsr/x87 control word + rsp on
+// the current stack, swap rsp, restore on the new stack. The System V ABI
+// makes everything else caller-saved, and the compiler treats the extern
+// call as a full clobber of those.
+// ---------------------------------------------------------------------------
+
+extern "C" void lcr_ult_ctx_swap(void** save_rsp, void* const* load_rsp);
+extern "C" void lcr_ult_trampoline();
+
+}  // namespace
+}  // namespace lcr::ult
+
+asm(R"(
+.text
+.align 16
+.globl lcr_ult_ctx_swap
+.hidden lcr_ult_ctx_swap
+.type lcr_ult_ctx_swap, @function
+lcr_ult_ctx_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw 4(%rsp)
+  movq %rsp, (%rdi)
+  movq (%rsi), %rsp
+  ldmxcsr (%rsp)
+  fldcw 4(%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+.size lcr_ult_ctx_swap, .-lcr_ult_ctx_swap
+
+.align 16
+.globl lcr_ult_trampoline
+.hidden lcr_ult_trampoline
+.type lcr_ult_trampoline, @function
+lcr_ult_trampoline:
+  movq %r12, %rdi
+  xorl %ebp, %ebp
+  andq $-16, %rsp
+  callq lcr_ult_task_entry
+  ud2
+.size lcr_ult_trampoline, .-lcr_ult_trampoline
+)");
+
+namespace lcr::ult {
+
+namespace {
+
+enum TaskState : int { kRunnable = 0, kRunning = 1, kParked = 2, kDone = 3 };
+
+enum class Pending { kNone, kYield, kPark, kExit };
+
+constexpr std::size_t kPageBytes = 4096;
+
+std::size_t default_stack_bytes() {
+  if (const char* env = std::getenv("LCR_ULT_STACK")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v >= 16 * 1024) return static_cast<std::size_t>(v);
+  }
+#if defined(LCR_ULT_ASAN) || defined(LCR_ULT_TSAN)
+  // Instrumented frames are several times fatter (redzones, shadow spill).
+  return 1024 * 1024;
+#else
+  return 256 * 1024;
+#endif
+}
+
+std::atomic<int> g_fls_slots{0};
+FlsDestructor g_fls_dtors[kMaxFlsSlots] = {};
+
+}  // namespace
+
+struct Task {
+  void* ctx_rsp = nullptr;
+  void* map_base = nullptr;       // mmap base (guard page lives here)
+  std::size_t map_bytes = 0;
+  void* stack_lo = nullptr;       // lowest usable stack byte (above guard)
+  std::size_t stack_bytes = 0;
+  SchedulerImpl* sched = nullptr;
+  std::function<void()> fn;
+  std::atomic<int> state{kRunnable};
+  std::atomic<bool> notified{false};
+  int host = -1;
+  void* fls[kMaxFlsSlots] = {};
+#if defined(LCR_ULT_ASAN)
+  void* asan_save = nullptr;
+#endif
+#if defined(LCR_ULT_TSAN)
+  void* tsan_fiber = nullptr;
+#endif
+};
+
+namespace {
+
+struct alignas(64) Worker {
+  SchedulerImpl* sched = nullptr;
+  std::size_t index = 0;
+  void* ctx_rsp = nullptr;  // scheduler-side context while a fiber runs
+  rt::Spinlock lock;
+  std::deque<Task*> queue;
+  std::atomic<std::size_t> qsize{0};
+  Pending pending = Pending::kNone;
+  SchedStats stats;
+#if defined(LCR_ULT_ASAN)
+  void* asan_save = nullptr;
+  const void* stack_lo = nullptr;  // this worker's OS stack, for annotations
+  std::size_t stack_bytes = 0;
+#endif
+#if defined(LCR_ULT_TSAN)
+  void* tsan_fiber = nullptr;
+#endif
+};
+
+thread_local Worker* tl_worker = nullptr;
+thread_local Task* tl_task = nullptr;
+
+}  // namespace
+
+struct SchedulerImpl {
+  explicit SchedulerImpl(SchedulerConfig cfg) : config(cfg) {
+    std::size_t n = cfg.workers;
+    if (n == 0) {
+      n = std::thread::hardware_concurrency();
+      if (n == 0) n = 1;
+      if (cfg.workers_hint > 0 && cfg.workers_hint < n) n = cfg.workers_hint;
+    }
+    stack_bytes = cfg.stack_bytes ? cfg.stack_bytes : default_stack_bytes();
+    stack_bytes = (stack_bytes + kPageBytes - 1) & ~(kPageBytes - 1);
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->sched = this;
+      w->index = i;
+      workers.push_back(std::move(w));
+    }
+  }
+
+  ~SchedulerImpl() {
+    for (auto* t : arena) {
+      destroy_stack(t);
+      delete t;
+    }
+  }
+
+  SchedulerConfig config;
+  std::size_t stack_bytes = 0;
+  std::vector<std::unique_ptr<Worker>> workers;
+  rt::Spinlock inject_lock;
+  std::deque<Task*> inject;
+  std::atomic<std::size_t> inject_size{0};
+  rt::Spinlock arena_lock;
+  std::vector<Task*> arena;  // tasks stay valid until scheduler destruction
+  std::atomic<std::size_t> live{0};
+  std::atomic<bool> shutdown{false};
+  std::atomic<std::uint64_t> external_spawns{0};
+  std::atomic<std::uint64_t> external_notifies{0};
+
+  Task* spawn(std::function<void()> fn, int host);
+  void run();
+  void worker_loop(Worker& w, bool primary);
+  Task* next_task(Worker& w);
+  void enqueue(Task* t);
+  void run_task(Worker& w, Task* t);
+  void cleanup(Task* t);
+  void attach(Worker& w);
+  void detach(Worker& w);
+  void make_stack(Task* t);
+  void destroy_stack(Task* t);
+  SchedStats stats_sum() const;
+};
+
+namespace {
+
+/// Fiber-side suspension: record why on the current worker and switch to its
+/// scheduler context. The worker finishes the state transition once the
+/// fiber's stack is no longer in use (deferred park/yield: a notify() racing
+/// with park() can never resume a fiber that is still running).
+void suspend(Pending why) {
+  Task* t = tl_task;
+  Worker* w = tl_worker;
+  w->pending = why;
+#if defined(LCR_ULT_ASAN)
+  __sanitizer_start_switch_fiber(
+      why == Pending::kExit ? nullptr : &t->asan_save, w->stack_lo,
+      w->stack_bytes);
+#endif
+#if defined(LCR_ULT_TSAN)
+  __tsan_switch_to_fiber(w->tsan_fiber, 0);
+#endif
+  lcr_ult_ctx_swap(&t->ctx_rsp, &w->ctx_rsp);
+  // Resumed, possibly on a different worker (tl_worker is re-read by the
+  // next suspension; never cache it across a switch).
+#if defined(LCR_ULT_ASAN)
+  __sanitizer_finish_switch_fiber(t->asan_save, nullptr, nullptr);
+#endif
+}
+
+}  // namespace
+
+extern "C" void lcr_ult_task_entry(Task* t) noexcept {
+#if defined(LCR_ULT_ASAN)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  try {
+    t->fn();
+  } catch (...) {
+    // Same contract as std::thread: an exception escaping the body is fatal.
+    std::fprintf(stderr, "lcr::ult: uncaught exception escaped a fiber\n");
+    std::terminate();
+  }
+  t->fn = nullptr;  // run capture destructors on the fiber's own stack
+  suspend(Pending::kExit);
+  __builtin_unreachable();
+}
+
+void SchedulerImpl::make_stack(Task* t) {
+  const std::size_t map_bytes = stack_bytes + kPageBytes;
+  void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) {
+    std::perror("lcr::ult: mmap fiber stack");
+    std::abort();
+  }
+  ::mprotect(base, kPageBytes, PROT_NONE);  // guard page below the stack
+  t->map_base = base;
+  t->map_bytes = map_bytes;
+  t->stack_lo = static_cast<char*>(base) + kPageBytes;
+  t->stack_bytes = stack_bytes;
+
+  // Initial frame, consumed by lcr_ult_ctx_swap's restore path: the switch
+  // pops the control-word slot and six callee-saved registers, then returns
+  // into the trampoline with the Task* staged in r12.
+  auto* top = reinterpret_cast<std::uint64_t*>(
+      static_cast<char*>(t->stack_lo) + t->stack_bytes);
+  std::uint64_t* sp = top;
+  *--sp = 0;  // padding: keeps the trampoline's post-ret rsp 16-aligned
+  *--sp = reinterpret_cast<std::uint64_t>(&lcr_ult_trampoline);
+  *--sp = 0;                                 // rbp
+  *--sp = 0;                                 // rbx
+  *--sp = reinterpret_cast<std::uint64_t>(t);  // r12 -> trampoline's rdi
+  *--sp = 0;                                 // r13
+  *--sp = 0;                                 // r14
+  *--sp = 0;                                 // r15
+  *--sp = 0x1F80ull | (0x037Full << 32);     // default mxcsr | x87 cw
+  t->ctx_rsp = sp;
+}
+
+void SchedulerImpl::destroy_stack(Task* t) {
+  if (t->map_base != nullptr) {
+    ::munmap(t->map_base, t->map_bytes);
+    t->map_base = nullptr;
+  }
+}
+
+Task* SchedulerImpl::spawn(std::function<void()> fn, int host) {
+  Task* t = new Task();
+  t->sched = this;
+  t->host = host;
+  t->fn = std::move(fn);
+  make_stack(t);
+#if defined(LCR_ULT_TSAN)
+  t->tsan_fiber = __tsan_create_fiber(0);
+#endif
+  {
+    std::lock_guard<rt::Spinlock> guard(arena_lock);
+    arena.push_back(t);
+  }
+  live.fetch_add(1, std::memory_order_acq_rel);
+  Worker* w = tl_worker;
+  if (w != nullptr && w->sched == this) {
+    ++w->stats.spawns;
+    std::lock_guard<rt::Spinlock> guard(w->lock);
+    w->queue.push_back(t);
+    w->qsize.fetch_add(1, std::memory_order_release);
+  } else {
+    external_spawns.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<rt::Spinlock> guard(inject_lock);
+    inject.push_back(t);
+    inject_size.fetch_add(1, std::memory_order_release);
+  }
+  return t;
+}
+
+void SchedulerImpl::enqueue(Task* t) {
+  Worker* w = tl_worker;
+  if (w != nullptr && w->sched == this) {
+    std::lock_guard<rt::Spinlock> guard(w->lock);
+    w->queue.push_back(t);
+    w->qsize.fetch_add(1, std::memory_order_release);
+  } else {
+    std::lock_guard<rt::Spinlock> guard(inject_lock);
+    inject.push_back(t);
+    inject_size.fetch_add(1, std::memory_order_release);
+  }
+}
+
+Task* SchedulerImpl::next_task(Worker& w) {
+  // Fold externally injected tasks into the local FIFO first: a fiber that
+  // yield-spins (re-enqueueing itself locally) must not starve tasks that
+  // arrived from off-worker spawn()/notify() calls.
+  if (inject_size.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<rt::Spinlock> iguard(inject_lock);
+    if (!inject.empty()) {
+      std::lock_guard<rt::Spinlock> wguard(w.lock);
+      while (!inject.empty()) {
+        w.queue.push_back(inject.front());
+        inject.pop_front();
+        inject_size.fetch_sub(1, std::memory_order_release);
+        w.qsize.fetch_add(1, std::memory_order_release);
+      }
+    }
+  }
+  if (w.qsize.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<rt::Spinlock> guard(w.lock);
+    if (!w.queue.empty()) {
+      Task* t = w.queue.front();
+      w.queue.pop_front();
+      w.qsize.fetch_sub(1, std::memory_order_release);
+      return t;
+    }
+  }
+  if (workers.size() > 1) {
+    for (std::size_t i = 1; i < workers.size(); ++i) {
+      Worker& victim = *workers[(w.index + i) % workers.size()];
+      if (victim.qsize.load(std::memory_order_acquire) == 0) continue;
+      std::lock_guard<rt::Spinlock> guard(victim.lock);
+      if (!victim.queue.empty()) {
+        Task* t = victim.queue.back();
+        victim.queue.pop_back();
+        victim.qsize.fetch_sub(1, std::memory_order_release);
+        ++w.stats.steals;
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void SchedulerImpl::run_task(Worker& w, Task* t) {
+  t->state.store(kRunning, std::memory_order_relaxed);
+  tl_task = t;
+  w.pending = Pending::kNone;
+  ++w.stats.switches;
+#if defined(LCR_ULT_ASAN)
+  __sanitizer_start_switch_fiber(&w.asan_save, t->stack_lo, t->stack_bytes);
+#endif
+#if defined(LCR_ULT_TSAN)
+  __tsan_switch_to_fiber(t->tsan_fiber, 0);
+#endif
+  lcr_ult_ctx_swap(&w.ctx_rsp, &t->ctx_rsp);
+#if defined(LCR_ULT_ASAN)
+  __sanitizer_finish_switch_fiber(w.asan_save, nullptr, nullptr);
+#endif
+  tl_task = nullptr;
+  switch (w.pending) {
+    case Pending::kYield:
+      ++w.stats.yields;
+      t->state.store(kRunnable, std::memory_order_release);
+      enqueue(t);
+      break;
+    case Pending::kPark: {
+      ++w.stats.parks;
+      t->state.store(kParked, std::memory_order_release);
+      // Close the race with a notify() that fired while the fiber was still
+      // switching out: whoever wins the Parked->Runnable CAS enqueues.
+      if (t->notified.exchange(false, std::memory_order_acq_rel)) {
+        int expected = kParked;
+        if (t->state.compare_exchange_strong(expected, kRunnable,
+                                             std::memory_order_acq_rel))
+          enqueue(t);
+      }
+      break;
+    }
+    case Pending::kExit:
+      cleanup(t);
+      break;
+    case Pending::kNone:
+      std::fprintf(stderr, "lcr::ult: fiber returned without suspending\n");
+      std::abort();
+  }
+  w.pending = Pending::kNone;
+}
+
+void SchedulerImpl::cleanup(Task* t) {
+  for (int i = 0; i < kMaxFlsSlots; ++i) {
+    if (t->fls[i] != nullptr && g_fls_dtors[i] != nullptr) {
+      g_fls_dtors[i](t->fls[i]);
+      t->fls[i] = nullptr;
+    }
+  }
+#if defined(LCR_ULT_TSAN)
+  __tsan_destroy_fiber(t->tsan_fiber);
+  t->tsan_fiber = nullptr;
+#endif
+  destroy_stack(t);
+  t->state.store(kDone, std::memory_order_release);
+  live.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void SchedulerImpl::attach(Worker& w) {
+  tl_worker = &w;
+#if defined(LCR_ULT_TSAN)
+  w.tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if defined(LCR_ULT_ASAN)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    pthread_attr_getstack(&attr, &addr, &size);
+    w.stack_lo = addr;
+    w.stack_bytes = size;
+    pthread_attr_destroy(&attr);
+  }
+#endif
+}
+
+void SchedulerImpl::detach(Worker&) { tl_worker = nullptr; }
+
+void SchedulerImpl::worker_loop(Worker& w, bool primary) {
+  rt::Backoff idle;
+  for (;;) {
+    if (primary) {
+      if (live.load(std::memory_order_acquire) == 0) return;
+    } else {
+      if (shutdown.load(std::memory_order_acquire)) return;
+    }
+    Task* t = next_task(w);
+    if (t == nullptr) {
+      idle.pause();  // off-fiber: Backoff falls through to an OS yield
+      continue;
+    }
+    idle.reset();
+    run_task(w, t);
+  }
+}
+
+void SchedulerImpl::run() {
+  Worker& w0 = *workers[0];
+  attach(w0);
+  std::vector<std::thread> helpers;
+  helpers.reserve(workers.size() - 1);
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    Worker& w = *workers[i];
+    helpers.emplace_back([this, &w] {
+      attach(w);
+      worker_loop(w, /*primary=*/false);
+      detach(w);
+    });
+  }
+  worker_loop(w0, /*primary=*/true);
+  shutdown.store(true, std::memory_order_release);
+  for (auto& th : helpers) th.join();
+  shutdown.store(false, std::memory_order_relaxed);
+  detach(w0);
+}
+
+SchedStats SchedulerImpl::stats_sum() const {
+  SchedStats s;
+  for (const auto& w : workers) {
+    s.spawns += w->stats.spawns;
+    s.switches += w->stats.switches;
+    s.yields += w->stats.yields;
+    s.yields_fast += w->stats.yields_fast;
+    s.steals += w->stats.steals;
+    s.parks += w->stats.parks;
+    s.notifies += w->stats.notifies;
+  }
+  s.spawns += external_spawns.load(std::memory_order_relaxed);
+  s.notifies += external_notifies.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- public Scheduler ------------------------------------------------------
+
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : impl_(std::make_unique<SchedulerImpl>(cfg)) {}
+
+Scheduler::~Scheduler() = default;
+
+Task* Scheduler::spawn(std::function<void()> fn, int host) {
+  return impl_->spawn(std::move(fn), host);
+}
+
+void Scheduler::run() { impl_->run(); }
+
+std::size_t Scheduler::workers() const noexcept {
+  return impl_->workers.size();
+}
+
+SchedStats Scheduler::stats() const noexcept { return impl_->stats_sum(); }
+
+// --- free functions --------------------------------------------------------
+
+bool on_fiber() noexcept { return tl_task != nullptr; }
+
+Task* current() noexcept { return tl_task; }
+
+int current_host() noexcept {
+  return tl_task != nullptr ? tl_task->host : -1;
+}
+
+void yield() noexcept {
+  Task* t = tl_task;
+  if (t == nullptr) return;
+  Worker* w = tl_worker;
+  // Fast path: nothing else visible to run anywhere — treat the yield as a
+  // pause instead of paying two context switches to come straight back.
+  SchedulerImpl* s = t->sched;
+  bool anything = w->qsize.load(std::memory_order_acquire) > 0 ||
+                  s->inject_size.load(std::memory_order_acquire) > 0;
+  if (!anything && s->workers.size() > 1) {
+    for (const auto& other : s->workers) {
+      if (other->qsize.load(std::memory_order_acquire) > 0) {
+        anything = true;
+        break;
+      }
+    }
+  }
+  if (!anything) {
+    ++w->stats.yields_fast;
+    return;
+  }
+  suspend(Pending::kYield);
+}
+
+bool maybe_yield() noexcept {
+  if (tl_task == nullptr) return false;
+  yield();
+  return true;
+}
+
+void park() noexcept {
+  Task* t = tl_task;
+  if (t == nullptr) {
+    std::fprintf(stderr, "lcr::ult: park() called off-fiber\n");
+    std::abort();
+  }
+  if (t->notified.exchange(false, std::memory_order_acq_rel)) return;
+  suspend(Pending::kPark);
+}
+
+void notify(Task* t) noexcept {
+  Worker* w = tl_worker;
+  if (w != nullptr && w->sched == t->sched)
+    ++w->stats.notifies;
+  else
+    t->sched->external_notifies.fetch_add(1, std::memory_order_relaxed);
+  t->notified.store(true, std::memory_order_release);
+  int expected = kParked;
+  if (t->state.compare_exchange_strong(expected, kRunnable,
+                                       std::memory_order_acq_rel)) {
+    t->notified.store(false, std::memory_order_relaxed);
+    t->sched->enqueue(t);
+  }
+}
+
+Task* spawn(std::function<void()> fn) {
+  Task* t = tl_task;
+  if (t == nullptr) {
+    std::fprintf(stderr, "lcr::ult: spawn() called off-fiber\n");
+    std::abort();
+  }
+  return t->sched->spawn(std::move(fn), t->host);
+}
+
+bool done(const Task* t) noexcept {
+  return t->state.load(std::memory_order_acquire) == kDone;
+}
+
+void join(Task* t) noexcept {
+  rt::Backoff backoff;
+  while (!done(t)) backoff.pause();
+}
+
+// --- fiber-local storage ---------------------------------------------------
+
+int fls_alloc(FlsDestructor dtor) noexcept {
+  const int slot = g_fls_slots.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxFlsSlots) {
+    std::fprintf(stderr, "lcr::ult: fls slot table exhausted\n");
+    std::abort();
+  }
+  g_fls_dtors[slot] = dtor;
+  return slot;
+}
+
+void* fls_get(int slot) noexcept {
+  Task* t = tl_task;
+  return t != nullptr ? t->fls[slot] : nullptr;
+}
+
+void fls_set(int slot, void* value) noexcept {
+  Task* t = tl_task;
+  if (t != nullptr) t->fls[slot] = value;
+}
+
+}  // namespace lcr::ult

@@ -1,0 +1,429 @@
+// ULT scheduler unit + seeded stress tests (DESIGN.md §16).
+//
+// The exactness matrix (apps x backends x {os-threads, ult}) lives in
+// test_host_scale.cpp; this file exercises the scheduler itself: spawn /
+// yield / park-notify storms, work conservation, fiber-local storage, the
+// Backoff yield hook, and the tree collectives' abort/reset protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/collective.hpp"
+#include "runtime/cpu_relax.hpp"
+#include "runtime/ult.hpp"
+
+namespace lcr {
+namespace {
+
+TEST(Ult, RunsEverySpawnedFiber) {
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i)
+    sched.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  sched.run();
+  EXPECT_EQ(ran.load(), kTasks);
+  const ult::SchedStats stats = sched.stats();
+  EXPECT_EQ(stats.spawns, static_cast<std::uint64_t>(kTasks));
+  EXPECT_GE(stats.switches, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Ult, OffFiberQueriesAreBenign) {
+  EXPECT_FALSE(ult::on_fiber());
+  EXPECT_EQ(ult::current(), nullptr);
+  EXPECT_EQ(ult::current_host(), -1);
+  EXPECT_FALSE(ult::maybe_yield());
+  ult::yield();  // no-op off-fiber
+}
+
+TEST(Ult, YieldInterleavesFibersOnOneWorker) {
+  // Two fibers strictly alternate through a shared turn variable; without a
+  // working yield this deadlocks (single worker, cooperative scheduling).
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> turn{0};
+  std::vector<int> order;
+  for (int id = 0; id < 2; ++id) {
+    sched.spawn([&, id] {
+      for (int step = 0; step < 50; ++step) {
+        while (turn.load(std::memory_order_acquire) % 2 != id) ult::yield();
+        order.push_back(id);
+        turn.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  sched.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i], static_cast<int>(i % 2));
+}
+
+TEST(Ult, BackoffSpinYieldsToSiblingFiber) {
+  // A fiber spinning through rt::Backoff (the repo-wide spin funnel) on a
+  // flag only a sibling fiber on the SAME worker can set: completes only
+  // because rt::thread_yield() yields the fiber, not the OS thread.
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<bool> flag{false};
+  std::atomic<bool> waiter_done{false};
+  sched.spawn([&] {
+    rt::Backoff backoff;
+    while (!flag.load(std::memory_order_acquire)) backoff.pause();
+    waiter_done.store(true, std::memory_order_release);
+  });
+  sched.spawn([&] { flag.store(true, std::memory_order_release); });
+  sched.run();
+  EXPECT_TRUE(waiter_done.load());
+}
+
+TEST(Ult, ParkWaitsForNotify) {
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> phase{0};
+  ult::Task* sleeper = sched.spawn([&] {
+    phase.store(1, std::memory_order_release);
+    ult::park();
+    phase.store(2, std::memory_order_release);
+  });
+  sched.spawn([&] {
+    rt::Backoff backoff;
+    while (phase.load(std::memory_order_acquire) != 1) backoff.pause();
+    // Give the sleeper time to actually park, then wake it.
+    for (int i = 0; i < 10; ++i) ult::yield();
+    EXPECT_EQ(phase.load(), 1);
+    ult::notify(sleeper);
+  });
+  sched.run();
+  EXPECT_EQ(phase.load(), 2);
+  EXPECT_GE(sched.stats().parks, 1u);
+}
+
+TEST(Ult, NotifyBeforeParkIsRemembered) {
+  ult::Scheduler sched({.workers = 1});
+  bool reached = false;
+  ult::Task* t = sched.spawn([&] {
+    // The notify below lands before this fiber parks; park must return
+    // immediately instead of sleeping forever.
+    for (int i = 0; i < 5; ++i) ult::yield();
+    ult::park();
+    reached = true;
+  });
+  sched.spawn([&] { ult::notify(t); });
+  sched.run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Ult, NotifyFromOsThread) {
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<bool> parked_done{false};
+  ult::Task* sleeper = sched.spawn([&] {
+    ult::park();
+    parked_done.store(true, std::memory_order_release);
+  });
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ult::notify(sleeper);
+  });
+  sched.run();
+  waker.join();
+  EXPECT_TRUE(parked_done.load());
+}
+
+TEST(Ult, SpawnFromFiberInheritsHostTag) {
+  ult::Scheduler sched({.workers = 1});
+  int parent_host = -2;
+  int child_host = -2;
+  sched.spawn(
+      [&] {
+        parent_host = ult::current_host();
+        ult::Task* child = ult::spawn([&] { child_host = ult::current_host(); });
+        ult::join(child);
+      },
+      /*host=*/7);
+  sched.run();
+  EXPECT_EQ(parent_host, 7);
+  EXPECT_EQ(child_host, 7);
+}
+
+TEST(Ult, JoinFromFiberAndFromOwner) {
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> done_count{0};
+  ult::Task* a = sched.spawn([&] {
+    for (int i = 0; i < 20; ++i) ult::yield();
+    done_count.fetch_add(1);
+  });
+  sched.spawn([&] {
+    ult::join(a);
+    EXPECT_TRUE(ult::done(a));
+    done_count.fetch_add(1);
+  });
+  sched.run();
+  EXPECT_EQ(done_count.load(), 2);
+  EXPECT_TRUE(ult::done(a));
+}
+
+TEST(Ult, FlsIsPerFiberAndDestructorRuns) {
+  static std::atomic<int> dtor_calls{0};
+  static const int slot = ult::fls_alloc(
+      [](void* p) { delete static_cast<int*>(p); dtor_calls.fetch_add(1); });
+  dtor_calls.store(0);
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> mismatches{0};
+  for (int id = 0; id < 4; ++id) {
+    sched.spawn([&, id] {
+      EXPECT_EQ(ult::fls_get(slot), nullptr);
+      ult::fls_set(slot, new int(id));
+      for (int i = 0; i < 10; ++i) {
+        ult::yield();
+        int* mine = static_cast<int*>(ult::fls_get(slot));
+        if (mine == nullptr || *mine != id) mismatches.fetch_add(1);
+      }
+    });
+  }
+  sched.run();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(dtor_calls.load(), 4);
+  EXPECT_EQ(ult::fls_get(slot), nullptr);  // off-fiber
+}
+
+TEST(Ult, MultiWorkerDrainsInjectQueueAndSteals) {
+  // Two OS workers; tasks spawned off-fiber land in the inject queue. On a
+  // one-core box this still passes (the workers just time-slice).
+  ult::Scheduler sched({.workers = 2});
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    sched.spawn([&] {
+      for (int k = 0; k < 8; ++k) ult::yield();
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  sched.run();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(sched.workers(), 2u);
+}
+
+// Seeded spawn/yield/park storm with a work-conservation check: every fiber
+// must complete every unit of its work no matter how the storm interleaves
+// (a lost wakeup or dropped queue entry shows up as a hang — caught by the
+// ctest timeout — or a wrong sum).
+TEST(UltStress, SeededStormConservesWork) {
+  for (unsigned seed : {1u, 42u, 1234u}) {
+    ult::Scheduler sched({.workers = 1});
+    constexpr int kFibers = 48;
+    constexpr int kUnits = 200;
+    std::atomic<std::uint64_t> work{0};
+    std::vector<ult::Task*> tasks(kFibers, nullptr);
+    std::atomic<int> spawned_extra{0};
+    for (int id = 0; id < kFibers; ++id) {
+      tasks[id] = sched.spawn([&, id, seed] {
+        std::mt19937 rng(seed * 1000003u + static_cast<unsigned>(id));
+        for (int u = 0; u < kUnits; ++u) {
+          work.fetch_add(1, std::memory_order_relaxed);
+          switch (rng() % 4) {
+            case 0:
+              ult::yield();
+              break;
+            case 1: {
+              // Nudge a sibling; notify on a running fiber is remembered.
+              ult::Task* peer = tasks[rng() % kFibers];
+              if (peer != nullptr) ult::notify(peer);
+              break;
+            }
+            case 2:
+              if (spawned_extra.fetch_add(1) < 32) {
+                ult::join(ult::spawn(
+                    [&] { work.fetch_add(1, std::memory_order_relaxed); }));
+              } else {
+                spawned_extra.fetch_sub(1);
+              }
+              break;
+            default:
+              break;  // plain compute
+          }
+        }
+      });
+    }
+    sched.run();
+    const std::uint64_t extra =
+        static_cast<std::uint64_t>(std::min(spawned_extra.load(), 32));
+    EXPECT_EQ(work.load(), kFibers * static_cast<std::uint64_t>(kUnits) + extra)
+        << "seed " << seed;
+    const ult::SchedStats stats = sched.stats();
+    EXPECT_GT(stats.yields + stats.yields_fast, 0u) << "seed " << seed;
+  }
+}
+
+// Park/notify storm: waves of sleepers woken by a single waker fiber. A
+// deadlock here means the park/notify race (notify landing while the fiber
+// is mid-suspend) lost a wakeup.
+TEST(UltStress, ParkNotifyStorm) {
+  ult::Scheduler sched({.workers = 1});
+  constexpr int kSleepers = 32;
+  constexpr int kWaves = 50;
+  std::vector<ult::Task*> sleepers(kSleepers, nullptr);
+  std::atomic<int> wakeups{0};
+  std::atomic<int> wave_arrivals{0};
+  for (int id = 0; id < kSleepers; ++id) {
+    sleepers[id] = sched.spawn([&] {
+      for (int wv = 0; wv < kWaves; ++wv) {
+        wave_arrivals.fetch_add(1, std::memory_order_acq_rel);
+        ult::park();
+        wakeups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  sched.spawn([&] {
+    for (int wv = 0; wv < kWaves; ++wv) {
+      // Wait until the whole wave is parked (or about to park; notify on a
+      // not-yet-parked fiber is remembered, so early notifies are safe).
+      rt::Backoff backoff;
+      while (wave_arrivals.load(std::memory_order_acquire) <
+             (wv + 1) * kSleepers)
+        backoff.pause();
+      for (ult::Task* s : sleepers) ult::notify(s);
+      // Let the woken wave run before the next round of notifies.
+      for (int i = 0; i < 4; ++i) ult::yield();
+    }
+  });
+  sched.run();
+  EXPECT_EQ(wakeups.load(), kSleepers * kWaves);
+  EXPECT_GE(sched.stats().notifies, static_cast<std::uint64_t>(kSleepers));
+}
+
+// --- Tree collectives ----------------------------------------------------
+
+TEST(TreeCollective, BarrierSynchronizesFibers) {
+  constexpr std::size_t kN = 64;
+  rt::TreeBarrier barrier(kN);
+  ult::Scheduler sched({.workers = 1});
+  std::atomic<int> before{0};
+  std::atomic<bool> violation{false};
+  for (std::size_t h = 0; h < kN; ++h) {
+    sched.spawn([&, h] {
+      for (int round = 0; round < 5; ++round) {
+        before.fetch_add(1, std::memory_order_acq_rel);
+        barrier.arrive_and_wait(h);
+        if (before.load(std::memory_order_acquire) <
+            (round + 1) * static_cast<int>(kN))
+          violation.store(true, std::memory_order_relaxed);
+        barrier.arrive_and_wait(h);
+      }
+    });
+  }
+  sched.run();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(TreeCollective, AllreduceMatchesFlatAnswer) {
+  constexpr std::size_t kN = 65;  // deliberately not a power of the arity
+  rt::TreeAllreduce<std::uint64_t> tree(kN);
+  ult::Scheduler sched({.workers = 1});
+  std::vector<std::uint64_t> results(kN, 0);
+  std::atomic<bool> aborted{false};
+  for (std::size_t h = 0; h < kN; ++h) {
+    sched.spawn([&, h] {
+      for (int round = 0; round < 4; ++round) {
+        std::uint64_t out = 0;
+        const bool ok = tree.run(
+            h, static_cast<std::uint64_t>(h + round),
+            [](std::uint64_t a, std::uint64_t b) { return a + b; },
+            [] { return false; }, &out);
+        if (!ok) aborted.store(true);
+        if (round == 3) results[h] = out;
+      }
+    });
+  }
+  sched.run();
+  EXPECT_FALSE(aborted.load());
+  const std::uint64_t expect = kN * 3 + (kN * (kN - 1)) / 2;
+  for (std::size_t h = 0; h < kN; ++h) EXPECT_EQ(results[h], expect);
+}
+
+TEST(TreeCollective, AbortTearsAndResetRestores) {
+  constexpr std::size_t kN = 16;
+  rt::TreeAllreduce<std::uint64_t> tree(kN);
+  {
+    // Participant 3 never arrives; everyone else aborts out.
+    ult::Scheduler sched({.workers = 1});
+    std::atomic<bool> give_up{false};
+    std::atomic<int> aborted{0};
+    for (std::size_t h = 0; h < kN; ++h) {
+      if (h == 3) continue;
+      sched.spawn([&, h] {
+        std::uint64_t out = 0;
+        const bool ok = tree.run(
+            h, std::uint64_t{1},
+            [](std::uint64_t a, std::uint64_t b) { return a + b; },
+            [&] { return give_up.load(std::memory_order_acquire); }, &out);
+        if (!ok) aborted.fetch_add(1);
+      });
+    }
+    sched.spawn([&] {
+      for (int i = 0; i < 200; ++i) ult::yield();
+      give_up.store(true, std::memory_order_release);
+    });
+    sched.run();
+    EXPECT_GT(aborted.load(), 0);
+  }
+  // The tree is torn (parities diverged). reset() must make it reusable.
+  tree.reset();
+  {
+    ult::Scheduler sched({.workers = 1});
+    std::vector<std::uint64_t> results(kN, 0);
+    for (std::size_t h = 0; h < kN; ++h) {
+      sched.spawn([&, h] {
+        std::uint64_t out = 0;
+        ASSERT_TRUE(tree.run(
+            h, std::uint64_t{2},
+            [](std::uint64_t a, std::uint64_t b) { return a + b; },
+            [] { return false; }, &out));
+        results[h] = out;
+      });
+    }
+    sched.run();
+    for (std::size_t h = 0; h < kN; ++h) EXPECT_EQ(results[h], 2 * kN);
+  }
+}
+
+TEST(TreeCollective, BarrierAbortAndReset) {
+  constexpr std::size_t kN = 8;
+  rt::TreeBarrier barrier(kN);
+  std::atomic<bool> give_up{false};
+  {
+    ult::Scheduler sched({.workers = 1});
+    std::atomic<int> aborted{0};
+    for (std::size_t h = 0; h < kN; ++h) {
+      if (h == 5) continue;  // missing participant
+      sched.spawn([&, h] {
+        if (!barrier.arrive_and_wait_abortable(
+                h, [&] { return give_up.load(std::memory_order_acquire); }))
+          aborted.fetch_add(1);
+      });
+    }
+    sched.spawn([&] {
+      for (int i = 0; i < 100; ++i) ult::yield();
+      give_up.store(true, std::memory_order_release);
+    });
+    sched.run();
+    EXPECT_GT(aborted.load(), 0);
+  }
+  barrier.reset();
+  {
+    ult::Scheduler sched({.workers = 1});
+    std::atomic<int> through{0};
+    for (std::size_t h = 0; h < kN; ++h) {
+      sched.spawn([&, h] {
+        barrier.arrive_and_wait(h);
+        through.fetch_add(1);
+      });
+    }
+    sched.run();
+    EXPECT_EQ(through.load(), static_cast<int>(kN));
+  }
+}
+
