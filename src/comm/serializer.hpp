@@ -27,8 +27,33 @@
 #include "comm/message.hpp"
 #include "graph/csr.hpp"
 #include "runtime/bitset.hpp"
+#include "runtime/ult.hpp"
 
 namespace lcr::comm {
+
+namespace detail {
+
+/// Encoder spill scratch for the in-place format-upgrade pass, keyed by
+/// execution context: one buffer per OS thread, or per fiber under the ULT
+/// host scheduler, so compute fibers of different simulated hosts
+/// multiplexed onto one worker never share (or cross-account) scratch
+/// (DESIGN.md §16 re-keying rule).
+inline std::vector<std::byte>& encode_scratch() {
+  if (ult::on_fiber()) {
+    static const int slot = ult::fls_alloc(
+        [](void* p) { delete static_cast<std::vector<std::byte>*>(p); });
+    auto* v = static_cast<std::vector<std::byte>*>(ult::fls_get(slot));
+    if (v == nullptr) {
+      v = new std::vector<std::byte>();
+      ult::fls_set(slot, v);
+    }
+    return *v;
+  }
+  static thread_local std::vector<std::byte> scratch;
+  return scratch;
+}
+
+}  // namespace detail
 
 template <typename T>
 constexpr std::size_t record_bytes() {
@@ -219,7 +244,7 @@ EncodedChunk encode_dirty_range(const std::vector<graph::VertexId>& shared,
   }
 
   // Upgrade pass: spill the sparse records and re-encode sequentially.
-  static thread_local std::vector<std::byte> scratch;
+  std::vector<std::byte>& scratch = detail::encode_scratch();
   if (scratch.size() < off) scratch.resize(off);
   std::memcpy(scratch.data(), dst, off);
   const std::byte* src = scratch.data();

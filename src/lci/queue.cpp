@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "runtime/cpu_relax.hpp"
+#include "runtime/ult.hpp"
 #include "telemetry/trace.hpp"
 
 namespace lcr::lci {
@@ -78,11 +79,27 @@ Queue::~Queue() {
 }
 
 std::size_t Queue::lane_index() const {
-  // Process-wide injector numbering: each thread takes the next id the
-  // first time it sends through any lane-mode queue, then hashes onto this
-  // queue's lanes. With lanes >= injecting threads every lane is SPSC in
-  // practice and the producer lock never spins.
+  // Process-wide injector numbering: each execution context (OS thread, or
+  // fiber under the ULT host scheduler) takes the next id the first time it
+  // sends through any lane-mode queue, then hashes onto this queue's lanes.
+  // With lanes >= injectors every lane is SPSC in practice and the producer
+  // lock never spins. Keying by fiber rather than worker matters for
+  // correctness of the SPSC assumption: two host fibers multiplexed onto
+  // one worker must not look like a single injector to a lane whose
+  // consumer-side dedupe is per-injector.
   static std::atomic<std::size_t> next_injector{0};
+  if (ult::on_fiber()) {
+    static const int slot = ult::fls_alloc(nullptr);
+    void* raw = ult::fls_get(slot);
+    std::size_t id;
+    if (raw == nullptr) {
+      id = next_injector.fetch_add(1, std::memory_order_relaxed);
+      ult::fls_set(slot, reinterpret_cast<void*>(id + 1));
+    } else {
+      id = reinterpret_cast<std::size_t>(raw) - 1;
+    }
+    return id % lanes_.size();
+  }
   thread_local const std::size_t injector =
       next_injector.fetch_add(1, std::memory_order_relaxed);
   return injector % lanes_.size();

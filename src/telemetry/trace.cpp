@@ -8,14 +8,19 @@
 #include <mutex>
 
 #include "runtime/spinlock.hpp"
+#include "runtime/ult.hpp"
 
 namespace lcr::telemetry {
 
 namespace {
 
-/// Per-thread event ring. Registered globally on first use and kept alive by
-/// shared ownership (the global list + the owning thread's TLS handle), so a
-/// collector can still read events of threads that already exited.
+/// Per-execution-context event ring. Registered globally on first use and
+/// kept alive by shared ownership (the global list + the owning context's
+/// handle), so a collector can still read events of contexts that already
+/// exited. An "execution context" is an OS thread — or, under the ULT host
+/// scheduler, one fiber: a simulated host's spans must attribute to that
+/// host's rings, not to whichever OS worker happened to run it (the
+/// re-keying satellite of DESIGN.md §16).
 struct ThreadBuffer {
   static constexpr std::size_t kCapacity = 1 << 16;
   mutable rt::Spinlock lock;
@@ -31,14 +36,27 @@ std::vector<std::shared_ptr<ThreadBuffer>>& buffer_list() {
 }
 
 #ifndef LCR_TELEMETRY_DISABLED
+std::shared_ptr<ThreadBuffer> make_buffer() {
+  auto b = std::make_shared<ThreadBuffer>();
+  std::lock_guard<std::mutex> guard(g_buffers_mu);
+  b->tid = static_cast<std::uint32_t>(buffer_list().size());
+  buffer_list().push_back(b);
+  return b;
+}
+
 ThreadBuffer& tls_buffer() {
-  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
-    auto b = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> guard(g_buffers_mu);
-    b->tid = static_cast<std::uint32_t>(buffer_list().size());
-    buffer_list().push_back(b);
-    return b;
-  }();
+  if (ult::on_fiber()) {
+    static const int slot = ult::fls_alloc(
+        [](void* p) { delete static_cast<std::shared_ptr<ThreadBuffer>*>(p); });
+    auto* sp =
+        static_cast<std::shared_ptr<ThreadBuffer>*>(ult::fls_get(slot));
+    if (sp == nullptr) {
+      sp = new std::shared_ptr<ThreadBuffer>(make_buffer());
+      ult::fls_set(slot, sp);
+    }
+    return **sp;
+  }
+  thread_local std::shared_ptr<ThreadBuffer> buf = make_buffer();
   return *buf;
 }
 

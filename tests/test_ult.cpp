@@ -15,9 +15,12 @@
 #include <thread>
 #include <vector>
 
+#include "comm/serializer.hpp"
 #include "runtime/collective.hpp"
 #include "runtime/cpu_relax.hpp"
+#include "runtime/mem_tracker.hpp"
 #include "runtime/ult.hpp"
+#include "telemetry/trace.hpp"
 
 namespace lcr {
 namespace {
@@ -427,3 +430,97 @@ TEST(TreeCollective, BarrierAbortAndReset) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// thread_local re-keying regression tests (DESIGN.md §16): state that used to
+// be per-OS-thread must attribute to the fiber (= simulated host), not the
+// worker. Each test multiplexes two host fibers onto ONE worker and checks
+// they don't cross-pollute.
+// ---------------------------------------------------------------------------
+
+#ifndef LCR_TELEMETRY_DISABLED
+TEST(Rekey, TraceTidIsPerFiberOnSharedWorker) {
+  // Two host fibers sharing one worker must get distinct, stable trace tids;
+  // otherwise spans from host 0 and host 1 land in the same ring and the
+  // Perfetto export shows one interleaved thread track for two hosts.
+  ult::Scheduler sched({.workers = 1});
+  std::uint32_t tid[2] = {0, 0};
+  std::atomic<bool> stable[2] = {true, true};
+  for (int id = 0; id < 2; ++id) {
+    sched.spawn(
+        [&, id] {
+          tid[id] = telemetry::detail::this_thread_tid();
+          for (int step = 0; step < 20; ++step) {
+            ult::yield();  // let the sibling run on the same worker
+            if (telemetry::detail::this_thread_tid() != tid[id])
+              stable[id].store(false);
+          }
+        },
+        /*host=*/id);
+  }
+  sched.run();
+  EXPECT_NE(tid[0], tid[1]);
+  EXPECT_TRUE(stable[0].load());
+  EXPECT_TRUE(stable[1].load());
+  EXPECT_NE(tid[0], telemetry::detail::this_thread_tid());
+  EXPECT_NE(tid[1], telemetry::detail::this_thread_tid());
+}
+#endif
+
+TEST(Rekey, EncodeScratchIsPerFiber) {
+  // The serializer's format-upgrade spill buffer is reused across encodes;
+  // if two hosts on one worker shared it, a yield inside the upgrade pass
+  // would let host B scribble over host A's spilled records.
+  ult::Scheduler sched({.workers = 1});
+  std::byte* addr[2] = {nullptr, nullptr};
+  std::atomic<bool> intact[2] = {true, true};
+  for (int id = 0; id < 2; ++id) {
+    sched.spawn([&, id] {
+      std::vector<std::byte>& scratch = comm::detail::encode_scratch();
+      scratch.assign(64, std::byte(0x10 + id));
+      addr[id] = scratch.data();
+      for (int step = 0; step < 20; ++step) {
+        ult::yield();
+        std::vector<std::byte>& again = comm::detail::encode_scratch();
+        if (again.data() != addr[id] || again.size() != 64 ||
+            again[0] != std::byte(0x10 + id))
+          intact[id].store(false);
+      }
+    });
+  }
+  sched.run();
+  EXPECT_NE(addr[0], addr[1]);
+  EXPECT_TRUE(intact[0].load());
+  EXPECT_TRUE(intact[1].load());
+  // Off-fiber callers keep their own thread_local buffer.
+  EXPECT_NE(comm::detail::encode_scratch().data(), addr[0]);
+  EXPECT_NE(comm::detail::encode_scratch().data(), addr[1]);
+}
+
+TEST(Rekey, MemTrackerCountersArePerHostNotPerWorker) {
+  // MemTracker holds plain per-object atomics (no thread_local), so two
+  // hosts' trackers driven from fibers sharing one worker must account
+  // independently. This pins the invariant the ULT path relies on.
+  ult::Scheduler sched({.workers = 1});
+  rt::MemTracker tracker[2];
+  for (int id = 0; id < 2; ++id) {
+    sched.spawn([&, id] {
+      for (int step = 0; step < 10; ++step) {
+        tracker[id].on_alloc(static_cast<std::size_t>(100 + id));
+        ult::yield();
+        tracker[id].on_free(static_cast<std::size_t>(100 + id));
+      }
+    });
+  }
+  sched.run();
+  EXPECT_EQ(tracker[0].current(), 0u);
+  EXPECT_EQ(tracker[1].current(), 0u);
+  EXPECT_EQ(tracker[0].total_allocated(), 1000u);
+  EXPECT_EQ(tracker[1].total_allocated(), 1010u);
+  EXPECT_EQ(tracker[0].alloc_count(), 10u);
+  EXPECT_EQ(tracker[1].alloc_count(), 10u);
+  EXPECT_EQ(tracker[0].peak(), 100u);
+  EXPECT_EQ(tracker[1].peak(), 101u);
+}
+
+}  // namespace
+}  // namespace lcr
