@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -27,14 +28,41 @@
 #include "fabric/fabric.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/checkpoint.hpp"
+#include "runtime/collective.hpp"
 #include "runtime/spinlock.hpp"
 #include "telemetry/health.hpp"
 
 namespace lcr::abelian {
 
+/// How the cluster schedules its simulated hosts and runs the OOB plane
+/// (DESIGN.md §16). Defaults come from the environment so every existing
+/// test/bench entry point picks them up without plumbing:
+///   LCR_HOST_SCHED = os (default) | ult
+///   LCR_OOB_COLL   = tree (default) | flat
+struct ClusterOptions {
+  enum class HostSched {
+    kOsThreads,  ///< one OS thread per host (the original path)
+    kUlt,        ///< hosts are cooperative fibers over a small worker pool
+  };
+  enum class OobColl {
+    kFlat,  ///< centralized sense barrier + 3-barrier scratch allreduce
+    kTree,  ///< k-ary combining tree, O(log N) waves per op
+  };
+
+  HostSched host_sched = HostSched::kOsThreads;
+  OobColl oob_coll = OobColl::kTree;
+  /// ULT worker (OS thread) count; 0 = min(hardware threads, num_hosts).
+  std::size_t ult_workers = 0;
+
+  /// Reads LCR_HOST_SCHED / LCR_OOB_COLL; unset or unknown values keep the
+  /// defaults above.
+  static ClusterOptions from_env();
+};
+
 class Cluster {
  public:
-  Cluster(int num_hosts, fabric::FabricConfig config);
+  Cluster(int num_hosts, fabric::FabricConfig config,
+          ClusterOptions options = ClusterOptions::from_env());
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -57,8 +85,14 @@ class Cluster {
   /// a post-revive region that reuses the same buffer.
   comm::DirectDirectory& direct_directory() noexcept { return directory_; }
 
-  /// Runs fn(host_id) on one thread per host and joins them all. Any
-  /// exception thrown by a host is rethrown (first one wins).
+  const ClusterOptions& options() const noexcept { return options_; }
+
+  /// Runs fn(host_id) once per host and joins them all. Under
+  /// HostSched::kOsThreads each host is an OS thread; under kUlt the hosts
+  /// are fibers multiplexed over min(hardware threads, N) workers, and the
+  /// scheduler's sched.* statistics are flushed into the fabric telemetry
+  /// registry when the run completes. Any exception thrown by a host is
+  /// rethrown (first one wins).
   void run(const std::function<void(int)>& fn);
 
   // --- Out-of-band control plane (host-main threads only) ---
@@ -93,11 +127,21 @@ class Cluster {
  private:
   /// Abortable barrier arrival; throws PeerFailedError on pending failure.
   void oob_wait();
+  void run_ult(const std::function<void(int)>& fn);
+  /// The caller's simulated-host id inside run() (fiber host tag under ULT,
+  /// a thread_local set by the OS-thread wrapper otherwise); -1 outside.
+  int self_host() const noexcept;
+  /// True when a failure is pending (abort predicate for tree waves).
+  bool abort_pending() const { return membership_.failure_pending(); }
   [[noreturn]] void throw_failure() const;
 
   int num_hosts_;
+  ClusterOptions options_;
   fabric::Fabric fabric_;
   rt::SenseBarrier barrier_;
+  rt::TreeBarrier tree_barrier_;
+  rt::TreeAllreduce<std::uint64_t> tree_u64_;
+  rt::TreeAllreduce<double> tree_double_;
   comm::Membership membership_;
   rt::CheckpointStore checkpoints_;
   telemetry::HealthMonitor health_;

@@ -71,7 +71,7 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
       {"sync.direct_stale", &stats_.direct_stale},
       {"sync.direct_fallbacks", &stats_.direct_fallbacks},
   });
-  comm_thread_ = std::thread([this] { comm_thread_loop(); });
+  comm_thread_ = rt::AuxThread([this] { comm_thread_loop(); });
 }
 
 HostEngine::~HostEngine() {

@@ -33,6 +33,7 @@
 #include "comm/backend.hpp"
 #include "comm/serializer.hpp"
 #include "graph/dist_graph.hpp"
+#include "runtime/aux_thread.hpp"
 #include "runtime/bitset.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/thread_team.hpp"
@@ -388,7 +389,7 @@ class HostEngine {
   std::unique_ptr<rt::ThreadTeam> team_;
 
   // Communication thread.
-  std::thread comm_thread_;
+  rt::AuxThread comm_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<Cmd> cmd_{Cmd::None};
   const comm::PhaseSpec* cmd_spec_ = nullptr;

@@ -112,7 +112,17 @@ RunResult run_app(const graph::Csr& g, const RunSpec& spec) {
   std::vector<graph::DistGraph> parts =
       graph::partition(g, spec.hosts, policy);
 
-  abelian::Cluster cluster(spec.hosts, spec.fabric);
+  abelian::ClusterOptions copts = abelian::ClusterOptions::from_env();
+  if (spec.host_sched == "ult")
+    copts.host_sched = abelian::ClusterOptions::HostSched::kUlt;
+  else if (spec.host_sched == "os")
+    copts.host_sched = abelian::ClusterOptions::HostSched::kOsThreads;
+  if (spec.oob_coll == "tree")
+    copts.oob_coll = abelian::ClusterOptions::OobColl::kTree;
+  else if (spec.oob_coll == "flat")
+    copts.oob_coll = abelian::ClusterOptions::OobColl::kFlat;
+  if (spec.ult_workers != 0) copts.ult_workers = spec.ult_workers;
+  abelian::Cluster cluster(spec.hosts, spec.fabric, copts);
 
   RunResult result;
   result.peak_mem.assign(static_cast<std::size_t>(spec.hosts), 0);

@@ -58,6 +58,17 @@ struct RunSpec {
   /// Dedicated LCI progress servers sharding lanes and peer ranks; 0 = the
   /// engine's own comm/server thread is the only progress driver.
   std::size_t lci_servers = 0;
+  /// Simulated-host scheduler (DESIGN.md §16): "" = env LCR_HOST_SCHED /
+  /// OS threads; "os" forces one OS thread per host; "ult" multiplexes
+  /// hosts as cooperative fibers over min(hardware threads, hosts) workers
+  /// (required past ~16 hosts on ordinary machines).
+  std::string host_sched;
+  /// OOB control-plane collectives: "" = env LCR_OOB_COLL / tree; "tree" is
+  /// the k-ary combining tree (O(log N) waves); "flat" keeps the original
+  /// centralized barrier + 3-barrier scratch allreduce for comparison.
+  std::string oob_coll;
+  /// ULT worker pool size; 0 = min(hardware threads, hosts).
+  std::size_t ult_workers = 0;
   /// When nonempty (or env LCR_HEALTH_OUT is set), the runner writes the
   /// cluster health monitor's round-indexed timeline and classifier
   /// findings as health.json to this path after the run (DESIGN.md §14).

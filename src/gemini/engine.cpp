@@ -265,7 +265,7 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
     }
     direct_enabled_ = true;
   }
-  server_thread_ = std::thread([this] {
+  server_thread_ = rt::AuxThread([this] {
     rt::Backoff backoff;
     while (!stop_.load(std::memory_order_acquire)) {
       comm_->progress();

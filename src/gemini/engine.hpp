@@ -36,6 +36,7 @@
 #include "comm/backend.hpp"
 #include "comm/message.hpp"
 #include "graph/dist_graph.hpp"
+#include "runtime/aux_thread.hpp"
 #include "runtime/bitset.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/cpu_relax.hpp"
@@ -242,7 +243,7 @@ class GeminiHost {
   std::unique_ptr<GeminiComm> comm_;
   std::unique_ptr<rt::ThreadTeam> team_;
 
-  std::thread server_thread_;
+  rt::AuxThread server_thread_;
   std::atomic<bool> stop_{false};
 
   RoundState round_;

@@ -1,0 +1,76 @@
+// Auxiliary execution context: OS thread or sibling fiber, start-site picked.
+//
+// Engines spawn helper loops next to the host-main control flow: the abelian
+// comm thread, Gemini's progress server, ThreadTeam compute workers. Under
+// the OS-thread host scheduler each helper is a real std::thread. Under the
+// ULT host scheduler (DESIGN.md §16) the host-main itself is a fiber, and
+// forking a kernel thread per helper would bring back exactly the
+// oversubscription the fiber scheduler exists to avoid: 256 hosts x
+// (comm + compute) helpers is thousands of kernel threads on a handful of
+// cores. AuxThread checks ult::on_fiber() at start: on a fiber it spawns a
+// sibling fiber on the same scheduler (inheriting the simulated-host tag, so
+// re-keyed telemetry/scratch attribute correctly); otherwise a std::thread.
+//
+// The helper loops this wraps block only through rt::Backoff-based spins
+// (queue pops, sense barriers, progress pumps), which yield to the fiber
+// scheduler via rt::thread_yield() — a cv-waiting loop must NOT run under
+// AuxThread (it would pin its worker; the checkpoint sealer stays a plain
+// std::thread for this reason).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "runtime/ult.hpp"
+
+namespace lcr::rt {
+
+class AuxThread {
+ public:
+  AuxThread() = default;
+
+  explicit AuxThread(std::function<void()> fn) {
+    if (ult::on_fiber())
+      task_ = ult::spawn(std::move(fn));
+    else
+      thread_ = std::thread(std::move(fn));
+  }
+
+  AuxThread(AuxThread&& other) noexcept { *this = std::move(other); }
+  AuxThread& operator=(AuxThread&& other) noexcept {
+    if (this != &other) {
+      thread_ = std::move(other.thread_);
+      task_ = other.task_;
+      other.task_ = nullptr;
+    }
+    return *this;
+  }
+
+  AuxThread(const AuxThread&) = delete;
+  AuxThread& operator=(const AuxThread&) = delete;
+
+  // Like std::thread, the owner must join before destruction; an abandoned
+  // joinable std::thread member still terminates, and an abandoned fiber
+  // would leak its Task until scheduler teardown.
+  ~AuxThread() = default;
+
+  bool joinable() const noexcept {
+    return task_ != nullptr || thread_.joinable();
+  }
+
+  void join() {
+    if (task_ != nullptr) {
+      ult::join(task_);
+      task_ = nullptr;
+    } else if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  std::thread thread_;
+  ult::Task* task_ = nullptr;
+};
+
+}  // namespace lcr::rt

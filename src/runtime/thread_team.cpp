@@ -10,7 +10,7 @@ ThreadTeam::ThreadTeam(std::size_t num_threads)
       end_barrier_(num_threads_) {
   threads_.reserve(num_threads_ - 1);
   for (std::size_t t = 1; t < num_threads_; ++t)
-    threads_.emplace_back([this, t] { worker_loop(t); });
+    threads_.emplace_back(AuxThread([this, t] { worker_loop(t); }));
 }
 
 ThreadTeam::~ThreadTeam() {

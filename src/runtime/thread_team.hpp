@@ -4,14 +4,19 @@
 // "compute threads" of paper Fig. 2). The team is created once and reused
 // every round; work is distributed in blocked or dynamic (chunk-stealing via
 // a shared atomic counter) fashion.
+//
+// Under the ULT host scheduler the workers are sibling fibers instead of OS
+// threads (rt::AuxThread picks at construction); the sense barriers they
+// block on funnel through rt::Backoff and therefore yield to the fiber
+// scheduler rather than burning the worker (DESIGN.md §16).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <functional>
-#include <thread>
 #include <vector>
 
+#include "runtime/aux_thread.hpp"
 #include "runtime/barrier.hpp"
 
 namespace lcr::rt {
@@ -49,7 +54,7 @@ class ThreadTeam {
   void worker_loop(std::size_t tid);
 
   std::size_t num_threads_;
-  std::vector<std::thread> threads_;
+  std::vector<AuxThread> threads_;
   SenseBarrier start_barrier_;
   SenseBarrier end_barrier_;
   const std::function<void(std::size_t)>* job_ = nullptr;
