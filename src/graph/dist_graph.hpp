@@ -93,9 +93,18 @@ class DistGraph {
     return lo;
   }
 
+  /// First global id of this host's master block.
+  VertexId master_lo() const {
+    return master_bounds[static_cast<std::size_t>(host_id)];
+  }
+
   /// Local id of a global vertex, or kNoLocal if absent on this host.
   static constexpr VertexId kNoLocal = ~VertexId{0};
   VertexId global_to_local(VertexId gid) const {
+    // Masters are the contiguous block [mlo, mlo + num_masters) mapped to
+    // local ids [0, num_masters) in order: pure arithmetic, no hashing.
+    const VertexId mlo = master_lo();
+    if (gid >= mlo && gid - mlo < num_masters) return gid - mlo;
     auto it = g2l_.find(gid);
     return it == g2l_.end() ? kNoLocal : it->second;
   }
