@@ -61,7 +61,7 @@ int main() {
     abelian::HostEngine eng(cluster, part, cfg);
     auto labels = apps::run_push<WidestPathTraits>(eng, /*source=*/0);
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-      widest[part.l2g[lid]] =
+      widest[part.local_to_global(lid)] =
           labels[lid] == WidestPathTraits::kInf ? 0 : 255 - labels[lid];
     cluster.oob_barrier();
   });
@@ -97,7 +97,7 @@ int main() {
         },
         [](graph::VertexId) {});
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-      indeg[part.l2g[lid]] = counts[lid];
+      indeg[part.local_to_global(lid)] = counts[lid];
     cluster.oob_barrier();
   });
 

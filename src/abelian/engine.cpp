@@ -51,6 +51,11 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
   apply_workers_ = std::min(std::max<std::size_t>(apply_workers_, 1),
                             team_->size());
   stats_.apply_threads.store(apply_workers_, std::memory_order_relaxed);
+  stats_.graph_mem_bytes.store(graph.mem_bytes(), std::memory_order_relaxed);
+  stats_.graph_mem_bytes_uncompressed.store(graph.mem_bytes_uncompressed(),
+                                            std::memory_order_relaxed);
+  stats_.graph_mirrors.store(graph.num_local - graph.num_masters,
+                             std::memory_order_relaxed);
   stat_reg_ = cluster.fabric().telemetry().register_probes({
       {"abelian.messages_sent", &stats_.messages_sent},
       {"abelian.bytes_sent", &stats_.bytes_sent},
@@ -70,6 +75,9 @@ HostEngine::HostEngine(Cluster& cluster, const graph::DistGraph& graph,
       {"sync.direct_ns", &stats_.direct_ns},
       {"sync.direct_stale", &stats_.direct_stale},
       {"sync.direct_fallbacks", &stats_.direct_fallbacks},
+      {"graph.mem_bytes", &stats_.graph_mem_bytes},
+      {"graph.mem_bytes_uncompressed", &stats_.graph_mem_bytes_uncompressed},
+      {"graph.mirrors", &stats_.graph_mirrors},
   });
   comm_thread_ = rt::AuxThread([this] { comm_thread_loop(); });
 }
@@ -658,13 +666,13 @@ bool HostEngine::drain_one(const ScatterFn& scatter, bool can_apply) {
 // Direct-write path (DESIGN.md §15)
 // ---------------------------------------------------------------------------
 
-void HostEngine::ensure_direct_homes(
-    const comm::PhaseSpec& spec, std::size_t rec_bytes,
-    const std::vector<std::vector<graph::VertexId>>& recv_lists) {
+void HostEngine::ensure_direct_homes(const comm::PhaseSpec& spec,
+                                     std::size_t rec_bytes,
+                                     const graph::CompressedPlan& recv_plan) {
   for (const int src : spec.recv_from) {
     const std::uint64_t key = direct_key(spec.pattern_key, src);
     if (direct_homes_.count(key) != 0) continue;
-    const std::size_t span = recv_lists[static_cast<std::size_t>(src)].size();
+    const std::size_t span = recv_plan.size(src);
     // Sized so the whole list fits in ANY wire format: worst-case sparse
     // records plus the dense bitmap (Forced mode direct-puts sparse rounds).
     const std::size_t cap =
@@ -730,11 +738,11 @@ bool HostEngine::try_direct_put(int dst, const comm::DirectRegion& region,
 // Phase driver
 // ---------------------------------------------------------------------------
 
-void HostEngine::execute_phase(
-    std::uint32_t pattern, std::size_t rec_bytes,
-    const std::vector<std::vector<graph::VertexId>>& send_lists,
-    const std::vector<std::vector<graph::VertexId>>& recv_lists,
-    const GatherFn& gather, const ScatterFn& scatter) {
+void HostEngine::execute_phase(std::uint32_t pattern, std::size_t rec_bytes,
+                               const graph::CompressedPlan& send_plan,
+                               const graph::CompressedPlan& recv_plan,
+                               const GatherFn& gather,
+                               const ScatterFn& scatter) {
   // The span and the timer cover the same interval: summed sync_phase span
   // time per host must agree with stats_.comm_s (bench_fig6 asserts this).
   telemetry::Span phase_span("abelian", "sync_phase", graph_.host_id);
@@ -751,15 +759,15 @@ void HostEngine::execute_phase(
   for (int r = 0; r < p; ++r) {
     if (r == me) continue;
     const auto rs = static_cast<std::size_t>(r);
-    if (!send_lists[rs].empty()) {
+    if (!send_plan.empty(r)) {
       spec.send_to.push_back(r);
       spec.max_send_bytes[rs] =
-          comm::kChunkHeaderBytes + send_lists[rs].size() * rec_bytes;
+          comm::kChunkHeaderBytes + send_plan.size(r) * rec_bytes;
     }
-    if (!recv_lists[rs].empty()) {
+    if (!recv_plan.empty(r)) {
       spec.recv_from.push_back(r);
       spec.max_recv_bytes[rs] =
-          comm::kChunkHeaderBytes + recv_lists[rs].size() * rec_bytes;
+          comm::kChunkHeaderBytes + recv_plan.size(r) * rec_bytes;
     }
   }
 
@@ -774,7 +782,7 @@ void HostEngine::execute_phase(
   const bool direct_capable =
       cfg_.direct_write != comm::DirectWriteMode::Off &&
       backend_->supports_direct_write();
-  if (direct_capable) ensure_direct_homes(spec, rec_bytes, recv_lists);
+  if (direct_capable) ensure_direct_homes(spec, rec_bytes, recv_plan);
   stats_.apply_threads.store(apply_workers_, std::memory_order_relaxed);
   purge_stale_stash();
   post_cmd(Cmd::BeginPhase, &spec);
@@ -826,8 +834,7 @@ void HostEngine::execute_phase(
 
   std::vector<std::size_t> range_offset(num_peers + 1, 0);
   for (std::size_t i = 0; i < num_peers; ++i) {
-    const std::size_t list_size =
-        send_lists[static_cast<std::size_t>(spec.send_to[i])].size();
+    const std::size_t list_size = send_plan.size(spec.send_to[i]);
     const std::size_t ranges =
         (single_chunk || direct_plan[i].use)
             ? 1
@@ -890,8 +897,7 @@ void HostEngine::execute_phase(
       while (r >= range_offset[pi + 1]) ++pi;
       const int dst = spec.send_to[pi];
       const bool direct_this = direct_plan[pi].use;
-      const std::size_t list_size =
-          send_lists[static_cast<std::size_t>(dst)].size();
+      const std::size_t list_size = send_plan.size(dst);
       const auto lo = static_cast<std::uint32_t>(
           (single_chunk || direct_this) ? 0
                                         : (r - range_offset[pi]) * span_cap);

@@ -117,6 +117,12 @@ struct EngineStats {
   double comm_s = 0.0;
   /// Computation time, accumulated by the app drivers (Fig 6).
   double compute_s = 0.0;
+  /// Gauges set once at construction from the host's DistGraph: compressed
+  /// lid-metadata bytes, the seed-representation equivalent, and the mirror
+  /// count (DESIGN.md §17). Summed by the registry across hosts.
+  std::atomic<std::uint64_t> graph_mem_bytes{0};
+  std::atomic<std::uint64_t> graph_mem_bytes_uncompressed{0};
+  std::atomic<std::uint64_t> graph_mirrors{0};
 };
 
 class HostEngine {
@@ -155,17 +161,16 @@ class HostEngine {
       std::uint32_t rec_lo, std::uint32_t rec_hi)>;
 
   /// Runs one full communication phase: the shared list of every peer with
-  /// a non-empty `send_lists` entry is split into ranges gathered in
+  /// a non-empty `send_plan` entry is split into ranges gathered in
   /// parallel by the compute team straight into leased send buffers, then
   /// receive+scatter until one message stream from every peer with a
-  /// non-empty `recv_lists` entry completed. `pattern` (0 = reduce,
+  /// non-empty `recv_plan` entry completed. `pattern` (0 = reduce,
   /// 1 = broadcast) and `rec_bytes` key the RMA window sets; max message
-  /// sizes derive from the list sizes (all-nodes-active upper bound).
-  void execute_phase(
-      std::uint32_t pattern, std::size_t rec_bytes,
-      const std::vector<std::vector<graph::VertexId>>& send_lists,
-      const std::vector<std::vector<graph::VertexId>>& recv_lists,
-      const GatherFn& gather, const ScatterFn& scatter);
+  /// sizes derive from the plan sizes (all-nodes-active upper bound).
+  void execute_phase(std::uint32_t pattern, std::size_t rec_bytes,
+                     const graph::CompressedPlan& send_plan,
+                     const graph::CompressedPlan& recv_plan,
+                     const GatherFn& gather, const ScatterFn& scatter);
 
   // ---- Partition-aware sync wrappers (used by app drivers) ----
 
@@ -184,17 +189,19 @@ class HostEngine {
         [&](int peer, std::uint32_t lo, std::uint32_t hi,
             const ReserveFn& reserve) {
           return comm::encode_dirty_range<T>(
-              graph_.mirror_to_master[static_cast<std::size_t>(peer)], dirty,
-              labels, lo, hi, reserve);
+              graph_.mirror_to_master.span(peer), dirty, labels, lo, hi,
+              reserve);
         },
         [&](int peer, const comm::ChunkHeader& header,
             const std::byte* payload, std::uint32_t rec_lo,
             std::uint32_t rec_hi) {
-          const auto& shared =
-              graph_.master_to_mirror[static_cast<std::size_t>(peer)];
+          const graph::PlanSpan shared = graph_.master_to_mirror.span(peer);
           comm::DecodeCursor cur;
           if (!comm::seek_record<T>(header, shared.size(), rec_lo, cur))
             return false;
+          // Slice-private plan cursor: record positions stream strictly
+          // increasing within a slice, so each plan chunk decodes once.
+          graph::PlanCursor plan(shared);
           // The same master may receive from several peers concurrently
           // (and slices of different chunks interleave): exclusion comes
           // from the destination-lid shard lock, amortized by the shared
@@ -204,7 +211,7 @@ class HostEngine {
               header, payload, shared.size(), cur,
               static_cast<std::size_t>(rec_hi - rec_lo),
               [&](std::uint32_t pos, const T& value) {
-                const graph::VertexId lid = shared[pos];
+                const graph::VertexId lid = plan.at(pos);
                 guard.enter(static_cast<std::size_t>(lid) >>
                             kApplyShardShift);
                 if (combine(labels[lid], value)) on_update(lid);
@@ -227,22 +234,22 @@ class HostEngine {
         [&](int peer, std::uint32_t lo, std::uint32_t hi,
             const ReserveFn& reserve) {
           return comm::encode_dirty_range<T>(
-              graph_.master_to_mirror[static_cast<std::size_t>(peer)], dirty,
-              labels, lo, hi, reserve);
+              graph_.master_to_mirror.span(peer), dirty, labels, lo, hi,
+              reserve);
         },
         [&](int peer, const comm::ChunkHeader& header,
             const std::byte* payload, std::uint32_t rec_lo,
             std::uint32_t rec_hi) {
-          const auto& shared =
-              graph_.mirror_to_master[static_cast<std::size_t>(peer)];
+          const graph::PlanSpan shared = graph_.mirror_to_master.span(peer);
           comm::DecodeCursor cur;
           if (!comm::seek_record<T>(header, shared.size(), rec_lo, cur))
             return false;
+          graph::PlanCursor plan(shared);
           const auto status = comm::decode_chunk_resume<T>(
               header, payload, shared.size(), cur,
               static_cast<std::size_t>(rec_hi - rec_lo),
               [&](std::uint32_t pos, const T& value) {
-                const graph::VertexId lid = shared[pos];
+                const graph::VertexId lid = plan.at(pos);
                 labels[lid] = value;  // single writer
                 on_set(lid);
               });
@@ -335,9 +342,8 @@ class HostEngine {
                  bool can_apply);
   /// Registers (once per pattern_key) and publishes the per-source direct-
   /// write landing regions for this phase's receive peers.
-  void ensure_direct_homes(
-      const comm::PhaseSpec& spec, std::size_t rec_bytes,
-      const std::vector<std::vector<graph::VertexId>>& recv_lists);
+  void ensure_direct_homes(const comm::PhaseSpec& spec, std::size_t rec_bytes,
+                           const graph::CompressedPlan& recv_plan);
   /// Ships one framed whole-list payload as a direct put: retries soft
   /// failures (scattering meanwhile), or queues to the comm thread on
   /// FUNNELED backends. False = the put cannot succeed and the caller must

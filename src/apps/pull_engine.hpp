@@ -39,7 +39,8 @@ std::vector<typename Traits::Label> run_pull(
   rt::ConcurrentBitset dirty(n);
 
   for (std::size_t lid = 0; lid < n; ++lid)
-    labels[lid] = Traits::init_label(g.l2g[lid], source);
+    labels[lid] = Traits::init_label(
+        g.local_to_global(static_cast<graph::VertexId>(lid)), source);
 
   const abelian::SyncPlan plan = abelian::plan_push_monotone(g.policy);
   std::uint64_t round = 0;

@@ -49,7 +49,8 @@ std::vector<typename Traits::Label> run_push(
   };
 
   for (std::size_t lid = 0; lid < n; ++lid) {
-    const graph::VertexId gid = g.l2g[lid];
+    const graph::VertexId gid =
+        g.local_to_global(static_cast<graph::VertexId>(lid));
     labels[lid] = Traits::init_label(gid, source);
     if (Traits::init_active(gid, source))
       maybe_activate(static_cast<graph::VertexId>(lid));

@@ -42,7 +42,7 @@ std::vector<std::uint32_t> run_sssp_delta(abelian::HostEngine& eng,
   };
 
   for (std::size_t lid = 0; lid < n; ++lid) {
-    if (g.l2g[lid] == source) {
+    if (g.local_to_global(static_cast<graph::VertexId>(lid)) == source) {
       dist[lid] = 0;
       maybe_activate(static_cast<graph::VertexId>(lid));
     }

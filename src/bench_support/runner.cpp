@@ -52,7 +52,7 @@ template <typename Label>
 void write_masters(const graph::DistGraph& g, const std::vector<Label>& local,
                    std::vector<Label>& global) {
   for (graph::VertexId lid = 0; lid < g.num_masters; ++lid)
-    global[g.l2g[lid]] = local[lid];
+    global[g.local_to_global(lid)] = local[lid];
 }
 
 /// Untimed warm-up: run one empty sync round with the app's patterns and

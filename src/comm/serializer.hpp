@@ -28,10 +28,25 @@
 #include "graph/csr.hpp"
 #include "runtime/bitset.hpp"
 #include "runtime/ult.hpp"
+#include "runtime/varint.hpp"
 
 namespace lcr::comm {
 
 namespace detail {
+
+/// Uniform iteration over a shared vertex list: fn(pos, lid) for pos in
+/// [lo, hi). A plain vector indexes directly; the compressed sync plans
+/// (graph::PlanSpan, DESIGN.md §17) stream through their chunked decoder -
+/// either way the encode paths below never materialize the list.
+template <typename Shared, typename Fn>
+void for_each_shared(const Shared& shared, std::uint32_t lo, std::uint32_t hi,
+                     Fn&& fn) {
+  if constexpr (requires { shared.visit(lo, hi, fn); }) {
+    shared.visit(lo, hi, fn);
+  } else {
+    for (std::uint32_t pos = lo; pos < hi; ++pos) fn(pos, shared[pos]);
+  }
+}
 
 /// Encoder spill scratch for the in-place format-upgrade pass, keyed by
 /// execution context: one buffer per OS thread, or per fiber under the ULT
@@ -109,12 +124,15 @@ void scatter_records(const std::byte* data, std::size_t size, Fn&& fn) {
 // ---------------------------------------------------------------------------
 
 /// Dirty popcount of shared-list range [lo, hi) - exact reservation sizing.
-inline std::size_t count_dirty(const std::vector<graph::VertexId>& shared,
-                               const rt::ConcurrentBitset& dirty,
-                               std::size_t lo, std::size_t hi) {
+template <typename Shared>
+std::size_t count_dirty(const Shared& shared, const rt::ConcurrentBitset& dirty,
+                        std::size_t lo, std::size_t hi) {
   std::size_t count = 0;
-  for (std::size_t pos = lo; pos < hi; ++pos)
-    if (dirty.test(shared[pos])) ++count;
+  detail::for_each_shared(shared, static_cast<std::uint32_t>(lo),
+                          static_cast<std::uint32_t>(hi),
+                          [&](std::uint32_t, graph::VertexId lid) {
+                            if (dirty.test(lid)) ++count;
+                          });
   return count;
 }
 
@@ -158,33 +176,9 @@ inline WireFormat choose_format(std::size_t count, std::size_t span,
   return WireFormat::Sparse;
 }
 
-/// LEB128 append; returns bytes written (<= 5 for u32).
-inline std::size_t put_varint(std::byte* dst, std::uint32_t v) {
-  std::size_t n = 0;
-  while (v >= 0x80) {
-    dst[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
-    v >>= 7;
-  }
-  dst[n++] = static_cast<std::byte>(v);
-  return n;
-}
-
-/// LEB128 read with strict truncation/overflow checks.
-inline bool get_varint(const std::byte* data, std::size_t size,
-                       std::size_t& off, std::uint32_t& out) {
-  std::uint32_t value = 0;
-  for (std::size_t i = 0; i < 5; ++i) {
-    if (off >= size) return false;  // truncated mid-varint
-    const auto b = static_cast<std::uint8_t>(data[off++]);
-    if (i == 4 && (b & ~0x0FU) != 0) return false;  // > 32 bits
-    value |= static_cast<std::uint32_t>(b & 0x7F) << (7 * i);
-    if ((b & 0x80) == 0) {
-      out = value;
-      return true;
-    }
-  }
-  return false;  // continuation bit never cleared
-}
+/// LEB128 codec, shared with the compressed lid maps (runtime/varint.hpp).
+using rt::get_varint;
+using rt::put_varint;
 
 /// Result of encoding one shared-list range.
 struct EncodedChunk {
@@ -210,8 +204,8 @@ struct EncodedChunk {
 /// labels with their random indirection - and every format fits the
 /// worst-case sparse reservation (dense_bytes, varint_bound <=
 /// sparse_bytes for any span).
-template <typename T, typename ReserveFn>
-EncodedChunk encode_dirty_range(const std::vector<graph::VertexId>& shared,
+template <typename T, typename Shared, typename ReserveFn>
+EncodedChunk encode_dirty_range(const Shared& shared,
                                 const rt::ConcurrentBitset& dirty,
                                 const T* labels, std::uint32_t lo,
                                 std::uint32_t hi, ReserveFn&& reserve) {
@@ -223,16 +217,16 @@ EncodedChunk encode_dirty_range(const std::vector<graph::VertexId>& shared,
   std::byte* dst = nullptr;
   std::size_t off = 0;
   std::size_t count = 0;
-  for (std::uint32_t pos = lo; pos < hi; ++pos) {
-    const graph::VertexId lid = shared[pos];
-    if (!dirty.test(lid)) continue;
-    if (dst == nullptr) dst = reserve(sparse_bytes(span, vb));
-    const std::uint32_t rel = pos - lo;
-    std::memcpy(dst + off, &rel, sizeof(rel));
-    std::memcpy(dst + off + sizeof(rel), &labels[lid], vb);
-    off += rec;
-    ++count;
-  }
+  detail::for_each_shared(
+      shared, lo, hi, [&](std::uint32_t pos, graph::VertexId lid) {
+        if (!dirty.test(lid)) return;
+        if (dst == nullptr) dst = reserve(sparse_bytes(span, vb));
+        const std::uint32_t rel = pos - lo;
+        std::memcpy(dst + off, &rel, sizeof(rel));
+        std::memcpy(dst + off + sizeof(rel), &labels[lid], vb);
+        off += rec;
+        ++count;
+      });
   if (count == 0) return enc;
   enc.records = count;
   enc.all_set = count == span;

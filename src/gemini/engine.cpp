@@ -223,10 +223,18 @@ GeminiHost::GeminiHost(abelian::Cluster& cluster, const graph::DistGraph& g,
           cfg_.compute_threads);
       break;
   }
+  stats_.graph_mem_bytes.store(g.mem_bytes(), std::memory_order_relaxed);
+  stats_.graph_mem_bytes_uncompressed.store(g.mem_bytes_uncompressed(),
+                                            std::memory_order_relaxed);
+  stats_.graph_mirrors.store(g.num_local - g.num_masters,
+                             std::memory_order_relaxed);
   stat_reg_ = cluster.fabric().telemetry().register_probes({
       {"gemini.messages", &stats_.messages},
       {"gemini.bytes", &stats_.bytes},
       {"gemini.direct_sends", &stats_.direct_sends},
+      {"graph.mem_bytes", &stats_.graph_mem_bytes},
+      {"graph.mem_bytes_uncompressed", &stats_.graph_mem_bytes_uncompressed},
+      {"graph.mirrors", &stats_.graph_mirrors},
   });
   team_ = std::make_unique<rt::ThreadTeam>(cfg_.compute_threads);
   chunks_sent_.reserve(static_cast<std::size_t>(g.num_hosts));
@@ -456,7 +464,8 @@ std::vector<double> GeminiHost::run_pagerank(double damping,
             if (lo >= n_local) break;
             const std::size_t hi = std::min(n_local, lo + kGrain);
             touched.for_each_in_range(lo, hi, [&](std::size_t dst) {
-              const graph::VertexId gid = g_.l2g[dst];
+              const graph::VertexId gid =
+                  g_.local_to_global(static_cast<graph::VertexId>(dst));
               const auto owner = static_cast<std::size_t>(g_.owner_of(gid));
               if (direct_skip_[owner] != 0) return;  // already put
               emit(gid, partial[dst]);

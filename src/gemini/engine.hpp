@@ -92,6 +92,12 @@ struct GeminiStats {
   std::atomic<std::uint64_t> bytes{0};
   /// Dense frames that went out as one-sided direct puts (DESIGN.md §15).
   std::atomic<std::uint64_t> direct_sends{0};
+  /// Gauges set once at construction: this host's lid-metadata footprint in
+  /// the compressed representation vs. the seed vector/hash-map model, and
+  /// the mirror count it amortizes over (DESIGN.md §17).
+  std::atomic<std::uint64_t> graph_mem_bytes{0};
+  std::atomic<std::uint64_t> graph_mem_bytes_uncompressed{0};
+  std::atomic<std::uint64_t> graph_mirrors{0};
 };
 
 /// Directory pattern key for gemini direct-write regions: gemini rounds all
@@ -326,7 +332,8 @@ void GeminiHost::direct_put_dense(
   // decodes it exactly like a streamed chunk, just in place.
   std::vector<std::vector<std::byte>> frames(static_cast<std::size_t>(p));
   touched.for_each([&](std::size_t lid) {
-    const graph::VertexId gid = g_.l2g[lid];
+    const graph::VertexId gid =
+        g_.local_to_global(static_cast<graph::VertexId>(lid));
     const int owner = g_.owner_of(gid);
     if (owner == me) return;
     auto& f = frames[static_cast<std::size_t>(owner)];
@@ -739,7 +746,7 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
                     [&](graph::VertexId dst_lid, graph::Weight w) {
                       const Label cand = Traits::relax(src_label, w);
                       if (cand == Traits::kInf) return;
-                      emit(g_.l2g[dst_lid], cand);
+                      emit(g_.local_to_global(dst_lid), cand);
                     });
               });
             }
@@ -786,7 +793,8 @@ std::vector<typename Traits::Label> GeminiHost::run_push(
               if (lo >= n_local) break;
               const std::size_t hi = std::min(n_local, lo + kGrain);
               touched.for_each_in_range(lo, hi, [&](std::size_t dst) {
-                const graph::VertexId gid = g_.l2g[dst];
+                const graph::VertexId gid =
+                    g_.local_to_global(static_cast<graph::VertexId>(dst));
                 const auto owner = static_cast<std::size_t>(g_.owner_of(gid));
                 if (direct_skip_[owner] != 0) return;  // already put
                 emit(gid, combined[dst]);

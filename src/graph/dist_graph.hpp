@@ -9,18 +9,23 @@
 //
 // For communication, each pair of hosts shares *memoized index lists* sorted
 // by global id (Abelian "minimizes the communication meta-data"):
-//   mirror_to_master[p] - my mirror local-ids whose master lives on p
-//   master_to_mirror[p] - my master local-ids that have a mirror on p
+//   mirror_to_master.span(p) - my mirror local-ids whose master lives on p
+//   master_to_mirror.span(p) - my master local-ids that have a mirror on p
 // Host A's mirror_to_master[B] and host B's master_to_mirror[A] enumerate the
 // same global vertices in the same order, so sync messages only carry
 // (position, value) pairs, never global ids.
+//
+// All lid metadata - the l2g/g2l maps and both plan directions - lives in
+// delta-varint chunks (graph/lid_map.hpp, DESIGN.md §17): master lookups are
+// pure arithmetic and mirror/plan structures cost ~1-2 bytes per entry
+// instead of the 28+ bytes of the former vector + hash-map representation.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/lid_map.hpp"
 
 namespace lcr::graph {
 
@@ -56,16 +61,16 @@ class DistGraph {
   VertexId num_masters = 0;
   VertexId num_local = 0;
 
-  /// Local-to-global vertex id map (size num_local).
-  std::vector<VertexId> l2g;
+  /// Compressed local<->global vertex id map (DESIGN.md §17).
+  CompressedLidMap lids;
 
   /// Local out-edges (local src -> local dst) and the transpose.
   Csr out_edges;
   Csr in_edges;
 
-  /// Memoized sync lists, indexed by peer host (see file comment).
-  std::vector<std::vector<VertexId>> mirror_to_master;
-  std::vector<std::vector<VertexId>> master_to_mirror;
+  /// Memoized sync plans, indexed by peer host (see file comment).
+  CompressedPlan mirror_to_master;
+  CompressedPlan master_to_mirror;
 
   /// Master-ownership block boundaries: owner of gid v is the unique h with
   /// master_bounds[h] <= v < master_bounds[h+1].
@@ -77,7 +82,9 @@ class DistGraph {
 
   bool is_master(VertexId local) const noexcept { return local < num_masters; }
 
-  VertexId local_to_global(VertexId local) const { return l2g[local]; }
+  VertexId local_to_global(VertexId local) const {
+    return lids.local_to_global(local);
+  }
 
   /// Owner host of a global vertex.
   int owner_of(VertexId gid) const {
@@ -99,22 +106,30 @@ class DistGraph {
   }
 
   /// Local id of a global vertex, or kNoLocal if absent on this host.
-  static constexpr VertexId kNoLocal = ~VertexId{0};
+  /// Masters resolve by pure arithmetic (the contiguous [mlo, mlo +
+  /// num_masters) block), mirrors by chunk binary search - no hashing.
+  static constexpr VertexId kNoLocal = CompressedLidMap::kNoLocal;
   VertexId global_to_local(VertexId gid) const {
-    // Masters are the contiguous block [mlo, mlo + num_masters) mapped to
-    // local ids [0, num_masters) in order: pure arithmetic, no hashing.
-    const VertexId mlo = master_lo();
-    if (gid >= mlo && gid - mlo < num_masters) return gid - mlo;
-    auto it = g2l_.find(gid);
-    return it == g2l_.end() ? kNoLocal : it->second;
+    return lids.global_to_local(gid);
   }
 
-  /// Construction-time access for the partitioner.
-  std::unordered_map<VertexId, VertexId>& g2l_mutable() { return g2l_; }
-  const std::unordered_map<VertexId, VertexId>& g2l() const { return g2l_; }
+  /// Heap bytes of this host's lid metadata (lid map + both sync plans +
+  /// ownership bounds) in the compressed representation.
+  std::size_t mem_bytes() const noexcept {
+    return lids.mem_bytes() + mirror_to_master.mem_bytes() +
+           master_to_mirror.mem_bytes() +
+           master_bounds.capacity() * sizeof(VertexId);
+  }
 
- private:
-  std::unordered_map<VertexId, VertexId> g2l_;
+  /// What the same metadata cost in the seed representation (l2g vector +
+  /// g2l unordered_map + vector<vector> plans); the model is documented at
+  /// CompressedLidMap::mem_bytes_uncompressed.
+  std::size_t mem_bytes_uncompressed() const noexcept {
+    return lids.mem_bytes_uncompressed() +
+           mirror_to_master.mem_bytes_uncompressed() +
+           master_to_mirror.mem_bytes_uncompressed() +
+           master_bounds.capacity() * sizeof(VertexId);
+  }
 };
 
 }  // namespace lcr::graph

@@ -1,0 +1,14 @@
+#include "graph/lid_map.hpp"
+
+#include <atomic>
+
+namespace lcr::graph::detail {
+
+// Ids start at 1 so 0 can mean "empty cache way". A process that built
+// 2^64 maps would wrap; at one build per nanosecond that is ~580 years.
+std::uint64_t next_sequence_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace lcr::graph::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 namespace lcr::graph {
 
@@ -147,20 +148,21 @@ std::vector<DistGraph> partition(const Csr& g, int num_hosts,
     }
 
     dg.num_local = dg.num_masters + static_cast<VertexId>(mirrors.size());
-    dg.l2g.resize(dg.num_local);
-    auto& g2l = dg.g2l_mutable();
-    g2l.reserve(dg.num_local);
-    for (VertexId i = 0; i < dg.num_masters; ++i) {
-      dg.l2g[i] = mlo + i;
-      g2l.emplace(mlo + i, i);
-    }
-    for (std::size_t i = 0; i < mirrors.size(); ++i) {
-      const VertexId lid = dg.num_masters + static_cast<VertexId>(i);
-      dg.l2g[lid] = mirrors[i];
-      g2l.emplace(mirrors[i], lid);
-    }
 
-    // Local CSR.
+    // Compressed lid map: masters implicit, mirror gids appended in the
+    // sorted order the collection above produced.
+    CompressedLidMap::Builder lids(mlo, dg.num_masters);
+    for (const VertexId gid : mirrors) lids.add_mirror(gid);
+    dg.lids = std::move(lids).build();
+
+    // Local CSR. Construction uses a throwaway g2l hash map - the edge list
+    // is touched once and random-order, so the transient map beats repeated
+    // chunk decodes; it dies with this scope and never ships with the graph.
+    std::unordered_map<VertexId, VertexId> g2l;
+    g2l.reserve(dg.num_local);
+    for (VertexId i = 0; i < dg.num_masters; ++i) g2l.emplace(mlo + i, i);
+    for (std::size_t i = 0; i < mirrors.size(); ++i)
+      g2l.emplace(mirrors[i], dg.num_masters + static_cast<VertexId>(i));
     EdgeList local;
     local.reserve(host_edges[static_cast<std::size_t>(h)].size());
     for (const Edge& e : host_edges[static_cast<std::size_t>(h)])
@@ -171,27 +173,42 @@ std::vector<DistGraph> partition(const Csr& g, int num_hosts,
 
     // Global out-degrees for every local proxy.
     dg.global_out_degree.resize(dg.num_local);
-    for (VertexId lid = 0; lid < dg.num_local; ++lid)
-      dg.global_out_degree[lid] =
-          static_cast<std::uint32_t>(g.degree(dg.l2g[lid]));
-
-    dg.mirror_to_master.assign(static_cast<std::size_t>(num_hosts), {});
-    dg.master_to_mirror.assign(static_cast<std::size_t>(num_hosts), {});
+    for (VertexId i = 0; i < dg.num_masters; ++i)
+      dg.global_out_degree[i] = static_cast<std::uint32_t>(g.degree(mlo + i));
+    for (std::size_t i = 0; i < mirrors.size(); ++i)
+      dg.global_out_degree[dg.num_masters + i] =
+          static_cast<std::uint32_t>(g.degree(mirrors[i]));
   }
 
-  // 3. Memoized sync lists. Mirrors are sorted by gid, masters are sorted by
+  // 3. Memoized sync plans. Mirrors are sorted by gid, masters are sorted by
   //    gid, and gid -> master-local-id is monotone, so both sides of each
-  //    pair list the shared vertices in identical (gid) order.
+  //    pair list the shared vertices in identical (gid) order - which also
+  //    means every per-(host, peer) list appends strictly increasing lids,
+  //    exactly what the delta-chunk builders require.
+  std::vector<CompressedPlan::Builder> m2m_builders;
+  std::vector<CompressedPlan::Builder> m2mirror_builders;
+  m2m_builders.reserve(static_cast<std::size_t>(num_hosts));
+  m2mirror_builders.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    m2m_builders.emplace_back(num_hosts);
+    m2mirror_builders.emplace_back(num_hosts);
+  }
   for (int h = 0; h < num_hosts; ++h) {
     DistGraph& dg = hosts[static_cast<std::size_t>(h)];
-    for (VertexId lid = dg.num_masters; lid < dg.num_local; ++lid) {
-      const VertexId gid = dg.l2g[lid];
+    dg.lids.visit_mirrors([&](VertexId lid, VertexId gid) {
       const int p = owner_from_bounds(bounds, gid);
-      dg.mirror_to_master[static_cast<std::size_t>(p)].push_back(lid);
-      DistGraph& owner = hosts[static_cast<std::size_t>(p)];
-      owner.master_to_mirror[static_cast<std::size_t>(h)].push_back(
-          owner.g2l().at(gid));
-    }
+      m2m_builders[static_cast<std::size_t>(h)].append(p, lid);
+      // The owner-side master lid is arithmetic: gid - owner's block start.
+      m2mirror_builders[static_cast<std::size_t>(p)].append(
+          h, gid - bounds[static_cast<std::size_t>(p)]);
+    });
+  }
+  for (int h = 0; h < num_hosts; ++h) {
+    DistGraph& dg = hosts[static_cast<std::size_t>(h)];
+    dg.mirror_to_master =
+        std::move(m2m_builders[static_cast<std::size_t>(h)]).build();
+    dg.master_to_mirror =
+        std::move(m2mirror_builders[static_cast<std::size_t>(h)]).build();
   }
 
   return hosts;

@@ -1,0 +1,42 @@
+// LEB128 varints for u32 values.
+//
+// Hoisted below both the comm and graph layers: the adaptive wire formats
+// (comm/serializer.hpp, DESIGN.md §11) and the compressed lid maps
+// (graph/lid_map.hpp, DESIGN.md §17) share this one codec, so a gid delta
+// on disk-of-RAM and a position delta on the wire are encoded identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcr::rt {
+
+/// LEB128 append; returns bytes written (<= 5 for u32).
+inline std::size_t put_varint(std::byte* dst, std::uint32_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<std::byte>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  dst[n++] = static_cast<std::byte>(v);
+  return n;
+}
+
+/// LEB128 read with strict truncation/overflow checks.
+inline bool get_varint(const std::byte* data, std::size_t size,
+                       std::size_t& off, std::uint32_t& out) {
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (off >= size) return false;  // truncated mid-varint
+    const auto b = static_cast<std::uint8_t>(data[off++]);
+    if (i == 4 && (b & ~0x0FU) != 0) return false;  // > 32 bits
+    value |= static_cast<std::uint32_t>(b & 0x7F) << (7 * i);
+    if ((b & 0x80) == 0) {
+      out = value;
+      return true;
+    }
+  }
+  return false;  // continuation bit never cleared
+}
+
+}  // namespace lcr::rt

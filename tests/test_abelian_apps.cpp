@@ -164,7 +164,7 @@ TEST_P(PullApps, PullMatchesReference) {
     else
       local = apps::run_pull<apps::SsspTraits>(eng, source);
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-      labels[part.l2g[lid]] = local[lid];
+      labels[part.local_to_global(lid)] = local[lid];
     cluster.oob_barrier();
   });
 
@@ -271,7 +271,7 @@ TEST_P(DeltaSssp, MatchesDijkstraAcrossDeltas) {
         EXPECT_GT(stats.buckets, 1u);  // real bucketing
       }
       for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-        labels[part.l2g[lid]] = local[lid];
+        labels[part.local_to_global(lid)] = local[lid];
       cluster.oob_barrier();
     });
     EXPECT_EQ(labels, expected) << "delta " << delta;

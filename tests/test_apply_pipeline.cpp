@@ -260,18 +260,23 @@ TEST(ApplyPipeline, MidDecodeRejectSettlesOnce) {
     }
     abelian::HostEngine eng(cluster, part, cfg);
 
-    std::vector<std::vector<graph::VertexId>> send_lists(kHosts);
-    std::vector<std::vector<graph::VertexId>> recv_lists(kHosts);
-    if (h == 0) {
-      send_lists[1].resize(kRecords);  // shared-list identities are unused
-    } else {
-      recv_lists[0].resize(kRecords);
+    // Shared-list identities are unused by this test - only the per-peer
+    // sizes matter - so fill the plans with consecutive lids.
+    graph::CompressedPlan::Builder send_b(kHosts);
+    graph::CompressedPlan::Builder recv_b(kHosts);
+    for (std::uint32_t i = 0; i < kRecords; ++i) {
+      if (h == 0)
+        send_b.append(1, i);
+      else
+        recv_b.append(0, i);
     }
+    const graph::CompressedPlan send_plan = std::move(send_b).build();
+    const graph::CompressedPlan recv_plan = std::move(recv_b).build();
 
     std::vector<std::uint32_t> received(kRecords, 0);
     eng.execute_phase(
-        /*pattern=*/0, comm::record_bytes<std::uint32_t>(), send_lists,
-        recv_lists,
+        /*pattern=*/0, comm::record_bytes<std::uint32_t>(), send_plan,
+        recv_plan,
         [&](int, std::uint32_t lo, std::uint32_t hi,
             const abelian::HostEngine::ReserveFn& reserve)
             -> comm::EncodedChunk {

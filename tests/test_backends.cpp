@@ -30,9 +30,9 @@ TEST_P(BackendSync, ReduceMinAcrossProxies) {
                                       ~std::uint32_t{0});
   for (const auto& part : parts)
     for (graph::VertexId lid = 0; lid < part.num_local; ++lid) {
-      const std::uint32_t v = part.l2g[lid] * 16 +
+      const std::uint32_t v = part.local_to_global(lid) * 16 +
                               static_cast<std::uint32_t>(part.host_id);
-      expected[part.l2g[lid]] = std::min(expected[part.l2g[lid]], v);
+      expected[part.local_to_global(lid)] = std::min(expected[part.local_to_global(lid)], v);
     }
 
   std::vector<std::vector<std::uint32_t>> results(kHosts);
@@ -46,7 +46,7 @@ TEST_P(BackendSync, ReduceMinAcrossProxies) {
     std::vector<std::uint32_t> labels(part.num_local);
     rt::ConcurrentBitset dirty(part.num_local);
     for (graph::VertexId lid = 0; lid < part.num_local; ++lid) {
-      labels[lid] = part.l2g[lid] * 16 + static_cast<std::uint32_t>(h);
+      labels[lid] = part.local_to_global(lid) * 16 + static_cast<std::uint32_t>(h);
       if (!part.is_master(lid)) dirty.set(lid);  // ship every mirror
     }
     eng.sync_reduce<std::uint32_t>(
@@ -66,8 +66,8 @@ TEST_P(BackendSync, ReduceMinAcrossProxies) {
   for (const auto& part : parts)
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
       EXPECT_EQ(results[static_cast<std::size_t>(part.host_id)][lid],
-                expected[part.l2g[lid]])
-          << "host " << part.host_id << " gid " << part.l2g[lid];
+                expected[part.local_to_global(lid)])
+          << "host " << part.host_id << " gid " << part.local_to_global(lid);
 }
 
 /// Broadcast correctness: masters carry canonical values; after
@@ -91,7 +91,7 @@ TEST_P(BackendSync, BroadcastMasterToMirrors) {
     std::vector<std::uint32_t> labels(part.num_local, 0);
     rt::ConcurrentBitset dirty(part.num_local);
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid) {
-      labels[lid] = part.l2g[lid] * 7 + 3;  // canonical value
+      labels[lid] = part.local_to_global(lid) * 7 + 3;  // canonical value
       dirty.set(lid);
     }
     eng.sync_broadcast<std::uint32_t>(labels.data(), dirty,
@@ -103,7 +103,7 @@ TEST_P(BackendSync, BroadcastMasterToMirrors) {
   for (const auto& part : parts)
     for (graph::VertexId lid = part.num_masters; lid < part.num_local; ++lid)
       EXPECT_EQ(results[static_cast<std::size_t>(part.host_id)][lid],
-                part.l2g[lid] * 7 + 3);
+                part.local_to_global(lid) * 7 + 3);
 }
 
 /// Several consecutive phases must not interfere (stashing of early
@@ -127,7 +127,7 @@ TEST_P(BackendSync, RepeatedPhasesStayConsistent) {
     for (int round = 0; round < 8; ++round) {
       rt::ConcurrentBitset dirty(part.num_local);
       for (graph::VertexId lid = 0; lid < part.num_local; ++lid) {
-        labels[lid] = part.l2g[lid] + static_cast<std::uint32_t>(round)
+        labels[lid] = part.local_to_global(lid) + static_cast<std::uint32_t>(round)
                       + (part.is_master(lid) ? 0u : 1u);
         if (!part.is_master(lid)) dirty.set(lid);
       }
@@ -143,7 +143,7 @@ TEST_P(BackendSync, RepeatedPhasesStayConsistent) {
           [](graph::VertexId) {});
       // Masters kept their own (smaller) value.
       for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-        EXPECT_EQ(labels[lid], part.l2g[lid] + static_cast<std::uint32_t>(
+        EXPECT_EQ(labels[lid], part.local_to_global(lid) + static_cast<std::uint32_t>(
                                                    round));
     }
     cluster.oob_barrier();
@@ -175,7 +175,7 @@ TEST_P(BackendSync, LargePayloadsChunkOnRecordBoundaries) {
     std::vector<std::uint64_t> labels(part.num_local);
     rt::ConcurrentBitset dirty(part.num_local);
     for (graph::VertexId lid = 0; lid < part.num_local; ++lid) {
-      labels[lid] = static_cast<std::uint64_t>(part.l2g[lid]) * 1000 + 7;
+      labels[lid] = static_cast<std::uint64_t>(part.local_to_global(lid)) * 1000 + 7;
       if (!part.is_master(lid)) dirty.set(lid);
     }
     eng.sync_reduce<std::uint64_t>(
@@ -194,7 +194,7 @@ TEST_P(BackendSync, LargePayloadsChunkOnRecordBoundaries) {
   for (const auto& part : parts)
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
       ASSERT_EQ(results[static_cast<std::size_t>(part.host_id)][lid],
-                static_cast<std::uint64_t>(part.l2g[lid]) * 1000 + 7);
+                static_cast<std::uint64_t>(part.local_to_global(lid)) * 1000 + 7);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendSync,

@@ -32,7 +32,7 @@ TEST_P(PartitionInvariants, HoldOnRmat) {
   std::vector<int> master_count(g.num_nodes(), 0);
   for (const auto& part : parts)
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-      ++master_count[part.l2g[lid]];
+      ++master_count[part.local_to_global(lid)];
   for (graph::VertexId v = 0; v < g.num_nodes(); ++v)
     EXPECT_EQ(master_count[v], 1) << "vertex " << v;
 
@@ -42,44 +42,64 @@ TEST_P(PartitionInvariants, HoldOnRmat) {
   for (const auto& part : parts) total_edges += part.out_edges.num_edges();
   EXPECT_EQ(total_edges, g.num_edges());
 
-  // 3. Local ids: masters first (sorted by gid), then mirrors (sorted).
+  // 3. Local ids: masters first (sorted by gid), then mirrors (sorted), and
+  //    the compressed map round-trips both directions.
   for (const auto& part : parts) {
     for (graph::VertexId lid = 1; lid < part.num_masters; ++lid)
-      EXPECT_LT(part.l2g[lid - 1], part.l2g[lid]);
+      EXPECT_LT(part.local_to_global(lid - 1), part.local_to_global(lid));
     for (graph::VertexId lid = part.num_masters + 1; lid < part.num_local;
          ++lid)
-      EXPECT_LT(part.l2g[lid - 1], part.l2g[lid]);
-    // owner_of agrees with the master block.
+      EXPECT_LT(part.local_to_global(lid - 1), part.local_to_global(lid));
+    // owner_of agrees with the master block; g2l inverts l2g exactly.
     for (graph::VertexId lid = 0; lid < part.num_masters; ++lid)
-      EXPECT_EQ(part.owner_of(part.l2g[lid]), part.host_id);
+      EXPECT_EQ(part.owner_of(part.local_to_global(lid)), part.host_id);
     for (graph::VertexId lid = part.num_masters; lid < part.num_local; ++lid)
-      EXPECT_NE(part.owner_of(part.l2g[lid]), part.host_id);
+      EXPECT_NE(part.owner_of(part.local_to_global(lid)), part.host_id);
+    for (graph::VertexId lid = 0; lid < part.num_local; ++lid)
+      EXPECT_EQ(part.global_to_local(part.local_to_global(lid)), lid);
   }
 
-  // 4. Memoized sync lists agree pairwise: host A's mirror_to_master[B]
+  // 4. Memoized sync plans agree pairwise: host A's mirror_to_master.span(B)
   //    lists the same global vertices, in the same order, as host B's
-  //    master_to_mirror[A].
+  //    master_to_mirror.span(A).
   for (int a = 0; a < hosts; ++a) {
     for (int b = 0; b < hosts; ++b) {
-      const auto& m2m = parts[a].mirror_to_master[static_cast<std::size_t>(b)];
-      const auto& rev = parts[b].master_to_mirror[static_cast<std::size_t>(a)];
+      const graph::PlanSpan m2m = parts[a].mirror_to_master.span(b);
+      const graph::PlanSpan rev = parts[b].master_to_mirror.span(a);
       ASSERT_EQ(m2m.size(), rev.size()) << "pair " << a << "," << b;
-      for (std::size_t i = 0; i < m2m.size(); ++i)
-        EXPECT_EQ(parts[a].l2g[m2m[i]], parts[b].l2g[rev[i]]);
+      std::vector<graph::VertexId> a_gids;
+      std::vector<graph::VertexId> b_gids;
+      m2m.visit(0, static_cast<std::uint32_t>(m2m.size()),
+                [&](std::uint32_t, graph::VertexId lid) {
+                  a_gids.push_back(parts[a].local_to_global(lid));
+                });
+      rev.visit(0, static_cast<std::uint32_t>(rev.size()),
+                [&](std::uint32_t, graph::VertexId lid) {
+                  b_gids.push_back(parts[b].local_to_global(lid));
+                });
+      EXPECT_EQ(a_gids, b_gids) << "pair " << a << "," << b;
+      // Streaming cursor decode matches bulk visit at random positions.
+      graph::PlanCursor cur(m2m);
+      for (std::size_t i = 0; i < m2m.size(); i += 7)
+        EXPECT_EQ(cur.at(static_cast<std::uint32_t>(i)),
+                  parts[a].global_to_local(a_gids[i]));
     }
   }
 
-  // 5. Mirror lists cover exactly the mirrors.
-  for (const auto& part : parts) {
-    std::size_t listed = 0;
-    for (const auto& list : part.mirror_to_master) listed += list.size();
-    EXPECT_EQ(listed, part.num_local - part.num_masters);
-  }
+  // 5. Mirror plans cover exactly the mirrors.
+  for (const auto& part : parts)
+    EXPECT_EQ(part.mirror_to_master.total_entries(),
+              static_cast<std::size_t>(part.num_local - part.num_masters));
 
   // 6. Global out-degrees recorded per proxy match the global graph.
   for (const auto& part : parts)
     for (graph::VertexId lid = 0; lid < part.num_local; ++lid)
-      EXPECT_EQ(part.global_out_degree[lid], g.degree(part.l2g[lid]));
+      EXPECT_EQ(part.global_out_degree[lid],
+                g.degree(part.local_to_global(lid)));
+
+  // 7. The compressed metadata never exceeds the uncompressed model's cost.
+  for (const auto& part : parts)
+    EXPECT_LE(part.mem_bytes(), part.mem_bytes_uncompressed());
 }
 
 INSTANTIATE_TEST_SUITE_P(
