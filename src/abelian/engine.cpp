@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "runtime/cpu_relax.hpp"
 #include "telemetry/profiler.hpp"
@@ -395,18 +397,41 @@ void HostEngine::stash_message(comm::InMessage&& msg,
   const std::uint32_t current = phase_state_.phase_id;
   if (header.phase_id > current &&
       header.phase_id - current <= kStashPhaseWindow) {
+    // Copy out of transport memory before stashing. A stashed message stays
+    // parked until this engine advances to its phase, and holding the
+    // transport lease that long pins an rx packet: a straggler whose whole
+    // receive window fills with raced-ahead next-phase chunks can then
+    // never land the tail that completes its *current* phase - a cross-host
+    // deadlock (the sender spins on a throttled link, the receiver waits
+    // for the sender). Copying frees the rx packet immediately; only
+    // chunks from peers running ahead pay for it.
+    auto buf = std::make_shared<std::vector<std::byte>>(msg.data,
+                                                        msg.data + msg.size);
+    comm::InMessage copy;
+    copy.src = msg.src;
+    copy.data = buf->data();
+    copy.size = msg.size;
+    copy.release = [buf] {};  // buffer lives until the stash entry dies
+    if (msg.release) {
+      msg.release();
+      msg.release = nullptr;
+    }
     std::lock_guard<rt::Spinlock> guard(stash_lock_);
     if (stash_count_ < cfg_.stash_cap) {
-      stash_[header.phase_id].push_back(std::move(msg));
+      stash_[header.phase_id].push_back(std::move(copy));
       ++stash_count_;
       if (stash_count_ > stats_.stash_peak.load(std::memory_order_relaxed))
         stats_.stash_peak.store(stash_count_, std::memory_order_relaxed);
       return;
     }
+    // Stash at capacity: the transport lease is already released; count the
+    // drop and fall through without touching msg.release again.
+    stats_.stash_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
-  // Stale phase, beyond the window, or stash at capacity: drop. release()
-  // recycles the transport resources, which is all the "nack" the reliable
-  // fabric needs - delivery already completed at that layer.
+  // Stale phase or beyond the window: drop. release() recycles the
+  // transport resources, which is all the "nack" the reliable fabric
+  // needs - delivery already completed at that layer.
   stats_.stash_drops.fetch_add(1, std::memory_order_relaxed);
   if (msg.release) msg.release();
 }

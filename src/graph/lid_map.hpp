@@ -98,39 +98,66 @@ class DeltaChunks {
    public:
     /// Appends the next value; must be strictly greater than the last.
     void append(VertexId v) {
-      if (count_ % kLidChunkSpan == 0) {
-        anchors_.push_back(v);
-        chunk_off_.push_back(static_cast<std::uint32_t>(bytes_.size()));
-      } else {
-        assert(v > prev_);
-        std::byte buf[5];
-        const std::size_t n = rt::put_varint(buf, v - prev_ - 1);
-        bytes_.insert(bytes_.end(), buf, buf + n);
-      }
+      assert(count_ == 0 || v > prev_);
       prev_ = v;
+      pend_[pend_n_++] = v;
       ++count_;
+      if (pend_n_ == kLidChunkSpan) flush_chunk();
     }
 
     std::uint32_t size() const noexcept { return count_; }
 
     DeltaChunks build() && {
+      flush_chunk();
       DeltaChunks c;
       c.count_ = count_;
       c.anchors_ = std::move(anchors_);
       c.chunk_off_ = std::move(chunk_off_);
+      c.run_ = std::move(run_);
       c.bytes_ = std::move(bytes_);
       c.anchors_.shrink_to_fit();
       c.chunk_off_.shrink_to_fit();
+      c.run_.shrink_to_fit();
       c.bytes_.shrink_to_fit();
       c.id_ = next_sequence_id();
       return c;
     }
 
    private:
+    /// Chunks are encoded whole so a run chunk - every delta exactly 1,
+    /// i.e. kLidChunkSpan consecutive values - can skip the byte stream
+    /// entirely: the anchor alone reconstructs it arithmetically. Runs
+    /// dominate dense mirror segments and plan lists, so this is both the
+    /// decode fast path and a size win.
+    void flush_chunk() {
+      if (pend_n_ == 0) return;
+      anchors_.push_back(pend_[0]);
+      chunk_off_.push_back(static_cast<std::uint32_t>(bytes_.size()));
+      bool run = true;
+      for (std::uint32_t i = 1; i < pend_n_; ++i)
+        if (pend_[i] != pend_[i - 1] + 1) {
+          run = false;
+          break;
+        }
+      run_.push_back(run ? 1 : 0);
+      if (!run) {
+        for (std::uint32_t i = 1; i < pend_n_; ++i) {
+          std::byte buf[5];
+          const std::size_t n =
+              rt::put_varint(buf, pend_[i] - pend_[i - 1] - 1);
+          bytes_.insert(bytes_.end(), buf, buf + n);
+        }
+      }
+      pend_n_ = 0;
+    }
+
     std::uint32_t count_ = 0;
     VertexId prev_ = 0;
+    std::uint32_t pend_n_ = 0;
+    VertexId pend_[kLidChunkSpan];
     std::vector<VertexId> anchors_;
     std::vector<std::uint32_t> chunk_off_;
+    std::vector<std::uint8_t> run_;
     std::vector<std::byte> bytes_;
   };
 
@@ -142,16 +169,35 @@ class DeltaChunks {
     return static_cast<std::uint32_t>(anchors_.size());
   }
 
+  /// True when chunk `chunk` is a pure run (anchor + i reconstructs it).
+  bool is_run(std::uint32_t chunk) const noexcept {
+    return run_[chunk] != 0;
+  }
+
   /// Decodes chunk `chunk` into out[0..len); returns len (<= kLidChunkSpan).
   std::uint32_t decode_chunk(std::uint32_t chunk, VertexId* out) const {
     const std::uint32_t base = chunk * kLidChunkSpan;
     const std::uint32_t len = std::min(kLidChunkSpan, count_ - base);
-    VertexId v = anchors_[chunk];
+    const VertexId a = anchors_[chunk];
+    if (run_[chunk] != 0) {
+      for (std::uint32_t i = 0; i < len; ++i) out[i] = a + i;
+      return len;
+    }
+    VertexId v = a;
     out[0] = v;
     std::size_t off = chunk_off_[chunk];
     const std::size_t end = chunk + 1 < chunk_off_.size()
                                 ? chunk_off_[chunk + 1]
                                 : bytes_.size();
+    if (end - off == len - 1) {
+      // Every delta fits one varint byte: skip the continuation-bit loop.
+      const std::byte* b = bytes_.data() + off;
+      for (std::uint32_t i = 1; i < len; ++i) {
+        v += static_cast<std::uint32_t>(b[i - 1]) + 1;
+        out[i] = v;
+      }
+      return len;
+    }
     for (std::uint32_t i = 1; i < len; ++i) {
       std::uint32_t delta = 0;
       const bool ok = rt::get_varint(bytes_.data(), end, off, delta);
@@ -177,9 +223,11 @@ class DeltaChunks {
     return e;
   }
 
-  /// Random access through the per-context cache.
+  /// Random access: arithmetic for run chunks, per-context cache otherwise.
   VertexId at(std::uint32_t idx) const {
-    const ChunkCacheEntry& e = cached_chunk(idx / kLidChunkSpan);
+    const std::uint32_t chunk = idx / kLidChunkSpan;
+    if (run_[chunk] != 0) return anchors_[chunk] + idx % kLidChunkSpan;
+    const ChunkCacheEntry& e = cached_chunk(chunk);
     return e.vals[idx % kLidChunkSpan];
   }
 
@@ -193,6 +241,12 @@ class DeltaChunks {
         std::upper_bound(anchors_.begin(), anchors_.end(), value);
     const auto chunk =
         static_cast<std::uint32_t>(it - anchors_.begin()) - 1;
+    if (run_[chunk] != 0) {
+      const std::uint32_t base = chunk * kLidChunkSpan;
+      const std::uint32_t len = std::min(kLidChunkSpan, count_ - base);
+      const VertexId off = value - anchors_[chunk];  // >= 0 by upper_bound
+      return off < len ? base + off : kNotFound;
+    }
     const ChunkCacheEntry& e = cached_chunk(chunk);
     const VertexId* lo = e.vals;
     const VertexId* hi = e.vals + e.len;
@@ -209,6 +263,14 @@ class DeltaChunks {
     VertexId buf[kLidChunkSpan];
     for (std::uint32_t c = lo / kLidChunkSpan; c * kLidChunkSpan < hi; ++c) {
       const std::uint32_t base = c * kLidChunkSpan;
+      if (run_[c] != 0) {
+        const std::uint32_t len = std::min(kLidChunkSpan, count_ - base);
+        const VertexId a = anchors_[c];
+        const std::uint32_t b = std::max(lo, base);
+        const std::uint32_t e = std::min(hi, base + len);
+        for (std::uint32_t i = b; i < e; ++i) fn(i, a + (i - base));
+        continue;
+      }
       const std::uint32_t len = decode_chunk(c, buf);
       const std::uint32_t b = std::max(lo, base);
       const std::uint32_t e = std::min(hi, base + len);
@@ -219,7 +281,8 @@ class DeltaChunks {
   /// Heap bytes of the compressed representation.
   std::size_t mem_bytes() const noexcept {
     return anchors_.capacity() * sizeof(VertexId) +
-           chunk_off_.capacity() * sizeof(std::uint32_t) + bytes_.capacity();
+           chunk_off_.capacity() * sizeof(std::uint32_t) +
+           run_.capacity() * sizeof(std::uint8_t) + bytes_.capacity();
   }
 
  private:
@@ -227,6 +290,7 @@ class DeltaChunks {
   std::uint64_t id_ = 0;
   std::vector<VertexId> anchors_;     ///< first value of each chunk
   std::vector<std::uint32_t> chunk_off_;  ///< byte offset of each chunk's deltas
+  std::vector<std::uint8_t> run_;     ///< 1 = pure run chunk, no delta bytes
   std::vector<std::byte> bytes_;      ///< LEB128 (delta - 1) stream
 };
 

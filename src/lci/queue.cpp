@@ -59,8 +59,11 @@ Queue::Queue(fabric::Fabric& fabric, fabric::Rank rank, QueueConfig cfg)
     lanes_.push_back(std::make_unique<Lane>(cfg.lane_depth));
   const std::size_t shards = fabric.num_ranks() > 0 ? fabric.num_ranks() : 1;
   put_shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s)
+  rtr_shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
     put_shards_.push_back(std::make_unique<PutShard>());
+    rtr_shards_.push_back(std::make_unique<RtrShard>());
+  }
 }
 
 Queue::~Queue() {
@@ -362,14 +365,19 @@ bool Queue::recv_deq(Request& req) {
   rtr.recv_req = reinterpret_cast<std::uint64_t>(&req);
   rtr.rkey = req.rkey;
   rtr.msg_size = rts.msg_size;
-  std::memcpy(p->data, &rtr, sizeof(rtr));
   fabric::MsgMeta meta;
   meta.kind = static_cast<std::uint8_t>(PacketType::RTR);
   meta.tag = req.tag;
   meta.size = sizeof(RtrPayload);
-  rt::Backoff backoff;
-  while (device_.lc_send(req.peer, p->data, meta) != fabric::PostResult::Ok)
-    backoff.pause();  // control reply; peer's server drains, bounded wait
+  if (device_.lc_send(req.peer, &rtr, meta) != fabric::PostResult::Ok) {
+    // Reverse link full. DO NOT spin here: recv_deq runs on engine threads,
+    // and a thread that blocks on the reply stops draining its own receive
+    // side - with the peer in the symmetric state that is a cross-host
+    // deadlock. Park the reply for the progress servers instead.
+    RtrShard& shard = *rtr_shards_[req.peer % rtr_shards_.size()];
+    std::lock_guard<rt::Spinlock> guard(shard.lock);
+    shard.rtrs.push_back(PendingRtr{req.peer, req.tag, rtr});
+  }
 
   device_.repost_rx(p);  // give the slab back to the NIC receive window
   stats_.recvs.fetch_add(1, std::memory_order_relaxed);
@@ -430,6 +438,30 @@ bool Queue::retry_pending_puts(std::size_t server_id,
   return did_work;
 }
 
+bool Queue::retry_pending_rtrs(std::size_t server_id,
+                               std::size_t num_servers) {
+  bool did_work = false;
+  for (std::size_t s = server_id; s < rtr_shards_.size(); s += num_servers) {
+    RtrShard& shard = *rtr_shards_[s];
+    std::lock_guard<rt::Spinlock> guard(shard.lock);
+    std::size_t n = shard.rtrs.size();
+    while (n-- > 0) {
+      PendingRtr pr = shard.rtrs.front();
+      shard.rtrs.pop_front();
+      fabric::MsgMeta meta;
+      meta.kind = static_cast<std::uint8_t>(PacketType::RTR);
+      meta.tag = pr.tag;
+      meta.size = sizeof(RtrPayload);
+      if (device_.lc_send(pr.peer, &pr.rtr, meta) == fabric::PostResult::Ok) {
+        did_work = true;
+      } else {
+        shard.rtrs.push_back(pr);
+      }
+    }
+  }
+  return did_work;
+}
+
 bool Queue::dispatch_one_event() {
   std::optional<ProgressEvent> ev = device_.lc_progress();
   if (!ev) return false;
@@ -474,6 +506,7 @@ bool Queue::dispatch_one_event() {
 bool Queue::progress_shard(std::size_t server_id, std::size_t num_servers) {
   if (num_servers == 0) num_servers = 1;
   bool did_work = retry_pending_puts(server_id, num_servers);
+  did_work |= retry_pending_rtrs(server_id, num_servers);
   const std::size_t num_lanes = lanes_.size();
   for (std::size_t l = server_id; l < num_lanes; l += num_servers)
     did_work |= drain_lane(*lanes_[l], kLaneBurst);

@@ -194,6 +194,23 @@ class Queue {
     std::deque<PendingPut> puts;
   };
 
+  /// An RTR control reply whose lc_send soft-failed (reverse link
+  /// throttled). recv_deq runs on engine threads, and an engine thread that
+  /// spins on the reverse link stops draining its own receive side - at
+  /// scale that wedges the whole cluster (A's link to B is full because B is
+  /// stuck sending to A). So the reply is staged here by value and the
+  /// progress servers retry it; the receive request stays Pending and
+  /// completes on the RDMA notification as usual.
+  struct PendingRtr {
+    fabric::Rank peer;
+    std::uint32_t tag;
+    RtrPayload rtr;
+  };
+  struct RtrShard {
+    rt::Spinlock lock;
+    std::deque<PendingRtr> rtrs;
+  };
+
   bool send_lane(const void* buf, std::size_t size, fabric::Rank dst,
                  std::uint32_t tag, Request& req);
   std::size_t lane_index() const;
@@ -203,6 +220,7 @@ class Queue {
   bool drain_lane(Lane& lane, std::size_t burst);
   void serve_rtr(const RtrPayload& rtr, fabric::Rank peer);
   bool retry_pending_puts(std::size_t server_id, std::size_t num_servers);
+  bool retry_pending_rtrs(std::size_t server_id, std::size_t num_servers);
   bool dispatch_one_event();
 
   Device device_;
@@ -215,6 +233,7 @@ class Queue {
 
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<PutShard>> put_shards_;
+  std::vector<std::unique_ptr<RtrShard>> rtr_shards_;
   std::function<void(const fabric::MsgMeta&)> signal_handler_;
 };
 

@@ -90,14 +90,16 @@ void TwoSided::answer_rts(Request& req, Packet* p) {
   rtr.recv_req = reinterpret_cast<std::uint64_t>(&req);
   rtr.rkey = req.rkey;
   rtr.msg_size = rts.msg_size;
-  std::memcpy(p->data, &rtr, sizeof(rtr));
   fabric::MsgMeta meta;
   meta.kind = static_cast<std::uint8_t>(PacketType::RTR);
   meta.tag = req.tag;
   meta.size = sizeof(RtrPayload);
-  rt::Backoff backoff;
-  while (device_.lc_send(req.peer, p->data, meta) != fabric::PostResult::Ok)
-    backoff.pause();
+  if (device_.lc_send(req.peer, &rtr, meta) != fabric::PostResult::Ok) {
+    // Reverse link full: park the reply for progress() rather than spinning
+    // on a thread that may be the one responsible for draining this side.
+    std::lock_guard<rt::Spinlock> guard(pending_lock_);
+    pending_rtrs_.push_back(PendingRtr{req.peer, req.tag, rtr});
+  }
   device_.repost_rx(p);
 }
 
@@ -134,9 +136,20 @@ void TwoSided::recv(void* buf, std::size_t cap, fabric::Rank src,
 }
 
 bool TwoSided::progress() {
-  // Retry rendezvous puts that soft-failed.
+  // Retry rendezvous puts and RTR replies that soft-failed.
   {
     std::lock_guard<rt::Spinlock> guard(pending_lock_);
+    std::size_t nr = pending_rtrs_.size();
+    while (nr-- > 0) {
+      PendingRtr pr = pending_rtrs_.front();
+      pending_rtrs_.pop_front();
+      fabric::MsgMeta meta;
+      meta.kind = static_cast<std::uint8_t>(PacketType::RTR);
+      meta.tag = pr.tag;
+      meta.size = sizeof(RtrPayload);
+      if (device_.lc_send(pr.peer, &pr.rtr, meta) != fabric::PostResult::Ok)
+        pending_rtrs_.push_back(pr);
+    }
     std::size_t n = pending_puts_.size();
     while (n-- > 0) {
       PendingPut pp = pending_puts_.front();

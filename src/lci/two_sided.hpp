@@ -81,8 +81,17 @@ class TwoSided {
     fabric::Rank peer;
     RtrPayload rtr;
   };
+  /// RTR replies whose lc_send soft-failed (reverse link throttled): staged
+  /// by value and retried from progress(), so answer_rts - which may run on
+  /// the application thread via recv() - never blocks on the reverse link.
+  struct PendingRtr {
+    fabric::Rank peer;
+    std::uint32_t tag;
+    RtrPayload rtr;
+  };
   rt::Spinlock pending_lock_;
   std::deque<PendingPut> pending_puts_;
+  std::deque<PendingRtr> pending_rtrs_;
 };
 
 }  // namespace lcr::lci
