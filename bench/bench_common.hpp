@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -24,6 +25,15 @@ inline int env_hosts(int dflt) {
 inline std::uint32_t env_pr_iters(std::uint32_t dflt) {
   if (const char* s = std::getenv("LCR_BENCH_PR_ITERS"))
     return static_cast<std::uint32_t>(std::atoi(s));
+  return dflt;
+}
+
+/// LCR_BENCH_VERTS - vertex-count cap for vertex-sweep benches (the sweep
+/// stops at the first scale whose 2^scale exceeds this). CI sets a small
+/// cap so the gated sweep stays cheap; local runs default to 2^22.
+inline std::uint64_t env_verts(std::uint64_t dflt) {
+  if (const char* s = std::getenv("LCR_BENCH_VERTS"))
+    return static_cast<std::uint64_t>(std::atoll(s));
   return dflt;
 }
 
